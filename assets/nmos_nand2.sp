@@ -1,0 +1,7 @@
+* A ratioed-nMOS 2-input NAND at transistor level (Mead-Conway style).
+* Models: pd = enhancement pull-down, pu = depletion load.
+.subckt nand2 a b y
+M1 y   a mid gnd pd
+M2 mid b gnd gnd pd
+M3 vdd y y   gnd pu
+.ends

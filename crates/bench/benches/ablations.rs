@@ -1,0 +1,64 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * exact-rational vs f64 probability path (Eqs. 2–3);
+//! * track-sharing correction cost on top of the plain estimate (E6);
+//! * multi-aspect candidate generation cost vs a single estimate (E7);
+//! * feed-through closed form vs a brute-force Eq. 5 double sum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maestro::estimator::standard_cell::{self};
+use maestro::estimator::{feedthrough, multi_aspect, prob, track_sharing};
+use maestro::netlist::library_circuits;
+use maestro::prelude::*;
+
+fn bench_ablations(c: &mut Criterion) {
+    let tech = builtin::nmos25();
+    let module = library_circuits::sc_adder4();
+    let stats = NetlistStats::resolve(&module, &tech, LayoutStyle::StandardCell).expect("resolves");
+
+    // Probability paths.
+    c.bench_function("ablation/prob_f64_path", |b| {
+        b.iter(|| (1..=8u32).map(|n| prob::expected_rows(n, 6)).sum::<f64>())
+    });
+    c.bench_function("ablation/prob_exact_rational_path", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 1..=8u32 {
+                for i in 1..=n.min(6) {
+                    acc += i as f64 * prob::exact::probability(n, 6, i).as_f64();
+                }
+            }
+            acc
+        })
+    });
+
+    // Feed-through formulations.
+    c.bench_function("ablation/feedthrough_closed_form", |b| {
+        b.iter(|| {
+            (1..=9u32)
+                .map(|i| feedthrough::feedthrough_probability(9, 6, i))
+                .sum::<f64>()
+        })
+    });
+    c.bench_function("ablation/feedthrough_eq5_double_sum", |b| {
+        b.iter(|| {
+            (1..=9u32)
+                .map(|i| feedthrough::eq5_probability(9, 6, i))
+                .sum::<f64>()
+        })
+    });
+
+    // Estimate variants.
+    c.bench_function("ablation/estimate_plain", |b| {
+        b.iter(|| standard_cell::estimate_with_rows(&stats, &tech, 3))
+    });
+    c.bench_function("ablation/estimate_with_track_sharing", |b| {
+        b.iter(|| track_sharing::estimate_with_sharing(&stats, &tech, 3))
+    });
+    c.bench_function("ablation/estimate_multi_aspect_5", |b| {
+        b.iter(|| multi_aspect::sc_candidates(&stats, &tech, 5))
+    });
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E4: estimator runtime scaling with module size — the "modest amount of
+//! computer time" claim quantified. Sweeps synthetic modules from 25 to
+//! 800 gates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maestro::estimator::standard_cell::{self, ScParams};
+use maestro::netlist::generate::{self, RandomLogicConfig};
+use maestro::prelude::*;
+
+fn bench_scaling(c: &mut Criterion) {
+    let tech = builtin::nmos25();
+    let mut group = c.benchmark_group("scaling/standard_cell_estimate");
+    for &n in &[25usize, 50, 100, 200, 400, 800] {
+        let cfg = RandomLogicConfig {
+            device_count: n,
+            input_count: (n / 8).max(4),
+            ..RandomLogicConfig::default()
+        };
+        let module = generate::random_logic(1988, &cfg);
+        let stats =
+            NetlistStats::resolve(&module, &tech, LayoutStyle::StandardCell).expect("resolves");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &stats, |b, s| {
+            b.iter(|| standard_cell::estimate(s, &tech, &ScParams::default()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scaling/full_custom_estimate");
+    for &gates in &[10usize, 25, 50, 100, 200] {
+        let module = generate::random_nmos_logic(1988, gates);
+        let stats =
+            NetlistStats::resolve(&module, &tech, LayoutStyle::FullCustom).expect("resolves");
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &stats, |b, s| {
+            b.iter(|| full_custom::estimate(s, &tech))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

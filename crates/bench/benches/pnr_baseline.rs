@@ -1,0 +1,49 @@
+//! E4 (contrast): the layout substrates the estimator replaces. One
+//! place-and-route and one full-custom synthesis, timed against the
+//! corresponding estimate — preserving the paper's "estimation is cheap,
+//! layout is expensive" ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maestro::estimator::standard_cell::{self};
+use maestro::netlist::library_circuits;
+use maestro::prelude::*;
+
+fn bench_pnr(c: &mut Criterion) {
+    let tech = builtin::nmos25();
+
+    // Standard-cell: estimate vs place & route on the Table 2 adder.
+    let module = library_circuits::sc_adder4();
+    let stats = NetlistStats::resolve(&module, &tech, LayoutStyle::StandardCell).expect("resolves");
+    c.bench_function("baseline/sc_estimate_rows3", |b| {
+        b.iter(|| standard_cell::estimate_with_rows(&stats, &tech, 3))
+    });
+    c.bench_function("baseline/sc_place_and_route_rows3", |b| {
+        b.iter(|| {
+            let placed = place(
+                &module,
+                &tech,
+                &PlaceParams {
+                    rows: 3,
+                    schedule: maestro::place::AnnealSchedule::quick(),
+                    ..Default::default()
+                },
+            )
+            .expect("places");
+            route(&placed)
+        })
+    });
+
+    // Full-custom: estimate vs synthesis on the Table 1 decoder.
+    let module = library_circuits::nmos_decoder2to4();
+    let fc_stats =
+        NetlistStats::resolve(&module, &tech, LayoutStyle::FullCustom).expect("resolves");
+    c.bench_function("baseline/fc_estimate", |b| {
+        b.iter(|| full_custom::estimate(&fc_stats, &tech))
+    });
+    c.bench_function("baseline/fc_synthesize", |b| {
+        b.iter(|| synthesize(&module, &tech, &SynthesisParams::quick()).expect("synthesizes"))
+    });
+}
+
+criterion_group!(benches, bench_pnr);
+criterion_main!(benches);

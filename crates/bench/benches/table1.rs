@@ -1,0 +1,50 @@
+//! E1/E4: benchmark the full-custom estimator on the Table 1 suite —
+//! the paper's "< 1.5 CPU seconds on a Sun 3/50 for all examples".
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use maestro::netlist::library_circuits;
+use maestro::prelude::*;
+
+fn bench_table1(c: &mut Criterion) {
+    let tech = builtin::nmos25();
+    let suite: Vec<(Module, NetlistStats)> = library_circuits::table1_suite()
+        .into_iter()
+        .map(|m| {
+            let s = NetlistStats::resolve(&m, &tech, LayoutStyle::FullCustom).expect("resolves");
+            (m, s)
+        })
+        .collect();
+
+    // The paper's headline: estimate the whole suite.
+    c.bench_function("table1/estimate_all_five_modules", |b| {
+        b.iter(|| {
+            suite
+                .iter()
+                .map(|(_, s)| full_custom::estimate(s, &tech).total_exact)
+                .collect::<Vec<_>>()
+        })
+    });
+
+    // Per-module breakdown.
+    let mut group = c.benchmark_group("table1/estimate");
+    for (m, s) in &suite {
+        group.bench_function(m.name(), |b| b.iter(|| full_custom::estimate(s, &tech)));
+    }
+    group.finish();
+
+    // Statistics extraction (the §3 "translation" step).
+    let mut group = c.benchmark_group("table1/resolve_stats");
+    for (m, _) in &suite {
+        group.bench_function(m.name(), |b| {
+            b.iter_batched(
+                || m.clone(),
+                |m| NetlistStats::resolve(&m, &tech, LayoutStyle::FullCustom).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

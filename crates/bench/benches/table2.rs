@@ -1,0 +1,41 @@
+//! E2/E4: benchmark the standard-cell estimator on the Table 2 suite —
+//! the paper's "< 3 CPU seconds on a Sun 3/50 for each example".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maestro::estimator::standard_cell::{self, ScParams};
+use maestro::netlist::library_circuits;
+use maestro::prelude::*;
+
+fn bench_table2(c: &mut Criterion) {
+    let tech = builtin::nmos25();
+    let suite: Vec<(Module, NetlistStats)> = library_circuits::table2_suite()
+        .into_iter()
+        .map(|m| {
+            let s = NetlistStats::resolve(&m, &tech, LayoutStyle::StandardCell).expect("resolves");
+            (m, s)
+        })
+        .collect();
+
+    // Full estimates including the §5 row-count iteration.
+    let mut group = c.benchmark_group("table2/estimate_auto_rows");
+    for (m, s) in &suite {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| standard_cell::estimate(s, &tech, &ScParams::default()))
+        });
+    }
+    group.finish();
+
+    // The paper's row sweep: every (module, row-count) cell of Table 2.
+    let mut group = c.benchmark_group("table2/estimate_fixed_rows");
+    for ((m, s), sweep) in suite.iter().zip(maestro_bench::table2::ROW_SWEEPS) {
+        for &rows in sweep {
+            group.bench_function(format!("{}/rows{rows}", m.name()), |b| {
+                b.iter(|| standard_cell::estimate_with_rows(s, &tech, rows))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates the extension experiments (paper §7 future work plus the
+//! §4.1 central-row verification):
+//!
+//! ```text
+//! cargo run -p maestro-bench --bin repro-extensions              # all
+//! cargo run -p maestro-bench --bin repro-extensions -- central-row
+//! cargo run -p maestro-bench --bin repro-extensions -- track-sharing
+//! cargo run -p maestro-bench --bin repro-extensions -- multi-aspect
+//! cargo run -p maestro-bench --bin repro-extensions -- iterations
+//! ```
+
+use maestro_bench::extensions;
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty();
+    let wants = |name: &str| all || which.iter().any(|w| w == name);
+
+    if wants("central-row") {
+        print!("{}", extensions::central_row_experiment());
+        println!();
+    }
+    if wants("track-sharing") {
+        print!("{}", extensions::track_sharing_table());
+        println!();
+    }
+    if wants("multi-aspect") {
+        print!("{}", extensions::multi_aspect_table());
+        println!();
+    }
+    if wants("wire-aware") {
+        print!("{}", extensions::wire_aware_floorplan());
+        println!();
+    }
+    if wants("accuracy") {
+        print!("{}", extensions::accuracy_sweep());
+        println!();
+    }
+    if wants("cross-process") {
+        print!("{}", extensions::cross_process_table());
+        println!();
+    }
+    if wants("iterations") {
+        let (report, _, _) = extensions::iteration_experiment();
+        print!("{report}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 1: the estimator pipeline structure,
+//! exercised end-to-end (process DB + schematics → estimates → results
+//! DB → floorplanner).
+//!
+//! ```text
+//! cargo run -p maestro-bench --bin repro-figure1
+//! ```
+
+fn main() {
+    let (trace, _plan) = maestro_bench::figure1::run();
+    print!("{trace}");
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Table 1: full-custom module layout area
+//! estimates vs "real" (synthesized) layouts.
+//!
+//! ```text
+//! cargo run -p maestro-bench --bin repro-table1
+//! ```
+
+fn main() {
+    let rows = maestro_bench::table1::rows();
+    print!("{}", maestro_bench::table1::render(&rows));
+}

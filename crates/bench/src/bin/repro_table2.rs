@@ -1,0 +1,11 @@
+//! Regenerates the paper's Table 2: standard-cell module layout area
+//! estimates vs TimberWolf-style place & route.
+//!
+//! ```text
+//! cargo run -p maestro-bench --bin repro-table2
+//! ```
+
+fn main() {
+    let rows = maestro_bench::table2::rows();
+    print!("{}", maestro_bench::table2::render(&rows));
+}

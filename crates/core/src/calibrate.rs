@@ -1,0 +1,216 @@
+//! Empirical calibration of estimates against layout experiments.
+//!
+//! The paper's prior-work section describes CHAMP, which "estimates the
+//! areas of Standard-Cell blocks by using empirical formulas obtained by
+//! running numerous layout experiments" — the approach the analytical
+//! estimator competes with. This module lets the two be combined: fit a
+//! multiplicative correction from a population of (estimate, real-area)
+//! pairs and apply it to fresh estimates.
+//!
+//! The fit is the least-squares slope through the origin,
+//! `a = Σ xᵢyᵢ / Σ xᵢ²`, the natural model when the estimator's error is
+//! proportional (which Tables 1 and 2 show it is: a consistent
+//! under/overestimate fraction per methodology).
+
+use maestro_geom::LambdaArea;
+use serde::{Deserialize, Serialize};
+
+/// One training observation: an estimated and a laid-out area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The estimator's output.
+    pub estimated: LambdaArea,
+    /// The area the layout actually took.
+    pub real: LambdaArea,
+}
+
+/// A fitted multiplicative correction.
+///
+/// # Examples
+///
+/// ```
+/// use maestro_estimator::calibrate::{Calibration, Observation};
+/// use maestro_geom::LambdaArea;
+///
+/// // The estimator consistently reads ~20 % low.
+/// let obs = [
+///     Observation { estimated: LambdaArea::new(800), real: LambdaArea::new(1000) },
+///     Observation { estimated: LambdaArea::new(1600), real: LambdaArea::new(2000) },
+/// ];
+/// let cal = Calibration::fit(&obs);
+/// assert!((cal.factor() - 1.25).abs() < 1e-9);
+/// assert_eq!(cal.apply(LambdaArea::new(400)), LambdaArea::new(500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    factor: f64,
+    samples: usize,
+}
+
+impl Calibration {
+    /// The identity calibration (factor 1, no training data).
+    pub fn identity() -> Self {
+        Calibration {
+            factor: 1.0,
+            samples: 0,
+        }
+    }
+
+    /// Fits the least-squares through-origin slope `real ≈ a · estimated`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observations` is empty or every estimate is zero.
+    pub fn fit(observations: &[Observation]) -> Self {
+        assert!(!observations.is_empty(), "calibration needs data");
+        let sxy: f64 = observations
+            .iter()
+            .map(|o| o.estimated.as_f64() * o.real.as_f64())
+            .sum();
+        let sxx: f64 = observations
+            .iter()
+            .map(|o| o.estimated.as_f64() * o.estimated.as_f64())
+            .sum();
+        assert!(sxx > 0.0, "cannot calibrate on all-zero estimates");
+        Calibration {
+            factor: sxy / sxx,
+            samples: observations.len(),
+        }
+    }
+
+    /// The fitted multiplicative factor.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Number of training observations.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Applies the correction to a fresh estimate.
+    pub fn apply(&self, estimate: LambdaArea) -> LambdaArea {
+        LambdaArea::from_f64_ceil((estimate.as_f64() * self.factor).max(0.0))
+    }
+
+    /// Mean absolute relative error of the (calibrated) estimates over a
+    /// data set — the metric to compare before/after calibration.
+    pub fn mean_abs_error(&self, observations: &[Observation]) -> f64 {
+        assert!(!observations.is_empty(), "error needs data");
+        observations
+            .iter()
+            .map(|o| {
+                let corrected = self.apply(o.estimated).as_f64();
+                (corrected - o.real.as_f64()).abs() / o.real.as_f64()
+            })
+            .sum::<f64>()
+            / observations.len() as f64
+    }
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(estimated: i64, real: i64) -> Observation {
+        Observation {
+            estimated: LambdaArea::new(estimated),
+            real: LambdaArea::new(real),
+        }
+    }
+
+    #[test]
+    fn exact_proportionality_is_recovered() {
+        let data = [obs(100, 150), obs(200, 300), obs(400, 600)];
+        let cal = Calibration::fit(&data);
+        assert!((cal.factor() - 1.5).abs() < 1e-12);
+        assert!(cal.mean_abs_error(&data) < 1e-12);
+        assert_eq!(cal.samples(), 3);
+    }
+
+    #[test]
+    fn identity_does_nothing() {
+        let cal = Calibration::identity();
+        assert_eq!(cal.apply(LambdaArea::new(1234)), LambdaArea::new(1234));
+        assert_eq!(cal, Calibration::default());
+    }
+
+    #[test]
+    fn calibration_reduces_systematic_error() {
+        // Noisy but systematically 2× low.
+        let data = [obs(100, 210), obs(150, 290), obs(200, 410), obs(250, 490)];
+        let raw = Calibration::identity().mean_abs_error(&data);
+        let cal = Calibration::fit(&data);
+        let fitted = cal.mean_abs_error(&data);
+        assert!(fitted < raw / 5.0, "raw {raw:.2}, fitted {fitted:.2}");
+    }
+
+    #[test]
+    fn calibrating_the_sc_estimator_against_the_router() {
+        // End-to-end: train on three modules, test on a fourth.
+        use crate::standard_cell::estimate_with_rows;
+        use maestro_netlist::{generate, LayoutStyle, NetlistStats};
+        use maestro_place::{place, AnnealSchedule, PlaceParams};
+        use maestro_tech::builtin;
+
+        let tech = builtin::nmos25();
+        let run = |m: &maestro_netlist::Module| -> Observation {
+            let stats = NetlistStats::resolve(m, &tech, LayoutStyle::StandardCell).unwrap();
+            let est = estimate_with_rows(&stats, &tech, 3);
+            let placed = place(
+                m,
+                &tech,
+                &PlaceParams {
+                    rows: 3,
+                    schedule: AnnealSchedule::quick(),
+                    ..PlaceParams::default()
+                },
+            )
+            .unwrap();
+            let routed = maestro_route_shim(&placed);
+            Observation {
+                estimated: est.area,
+                real: routed,
+            }
+        };
+        // maestro-route isn't a dependency of the estimator; approximate
+        // real area by the placed footprint (rows × height × width) plus
+        // density-free channels — enough for a calibration smoke test.
+        fn maestro_route_shim(placed: &maestro_place::PlacedModule) -> LambdaArea {
+            let rows = placed.rows().len() as i64;
+            let height = placed.row_height() * rows + placed.track_pitch() * (rows + 1) * 3;
+            placed.width() * height
+        }
+
+        let train = [
+            run(&generate::ripple_adder(4)),
+            run(&generate::counter(6)),
+            run(&generate::shift_register(8)),
+        ];
+        let test = [run(&generate::mux_tree(3))];
+        let cal = Calibration::fit(&train);
+        assert!(
+            cal.factor() < 1.0,
+            "upper bound ⇒ factor < 1, got {}",
+            cal.factor()
+        );
+        let raw = Calibration::identity().mean_abs_error(&test);
+        let fitted = cal.mean_abs_error(&test);
+        assert!(
+            fitted < raw,
+            "calibration should transfer: raw {raw:.2} vs fitted {fitted:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_fit_rejected() {
+        let _ = Calibration::fit(&[]);
+    }
+}

@@ -1,0 +1,271 @@
+//! The full-custom area estimator: the paper's §4.2 (Eq. 13) and §5
+//! aspect-ratio algorithm.
+//!
+//! Device area is read directly from the schematic; only interconnection
+//! area needs estimating. Per net, the paper assumes "the transistors
+//! connected to the same net are placed into two rows of equal length,
+//! with a one-track routing channel between them": the net's
+//! interconnection area is a one-track channel spanning half the net's
+//! total component width (rounded up).
+//!
+//! A **two-component** net needs no channel at all — its two devices abut
+//! and connect directly, which is how the paper's Table 1 footnote module
+//! ("all nets in this module were two-component nets") contributes
+//! **zero** estimated wire area. We therefore charge wire area only to
+//! nets with three or more components; see DESIGN.md for this reading of
+//! the (tersely worded) §4.2.
+//!
+//! Eq. 13 is evaluated twice:
+//!
+//! * **exact** — each device contributes its own width/height/area;
+//! * **average** — every device contributes `W_av × h_av` and each net's
+//!   half-row length is `⌈D/2⌉ · W_av`.
+//!
+//! Both totals are "minimum interconnection area" lower-bound styles: the
+//! paper notes the method may *understate* when a component's multiple
+//! nets cannot all be placed closely.
+//!
+//! The §5 aspect-ratio algorithm starts from a square and widens the
+//! module until its perimeter edge fits all I/O ports.
+
+use maestro_geom::{AspectRatio, Lambda, LambdaArea};
+use maestro_netlist::NetlistStats;
+use maestro_tech::ProcessDb;
+use serde::{Deserialize, Serialize};
+
+/// The full-custom estimate for one module: every quantity the paper's
+/// Table 1 reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FcEstimate {
+    /// Module name the estimate belongs to.
+    pub module_name: String,
+    /// Σ device areas (identical in both variants; the "Device Area"
+    /// column).
+    pub device_area: LambdaArea,
+    /// Estimated wire area using exact device dimensions.
+    pub wire_area_exact: LambdaArea,
+    /// Estimated wire area using the average device width.
+    pub wire_area_average: LambdaArea,
+    /// Total estimated area, exact variant (device + wire).
+    pub total_exact: LambdaArea,
+    /// Total estimated area, average variant.
+    pub total_average: LambdaArea,
+    /// Estimated aspect ratio, exact variant.
+    pub aspect_exact: AspectRatio,
+    /// Estimated aspect ratio, average variant.
+    pub aspect_average: AspectRatio,
+}
+
+/// Nets with fewer components than this contribute no wire area (devices
+/// abut; see module docs and the paper's Table 1 footnote).
+pub const MIN_WIRED_COMPONENTS: usize = 3;
+
+/// Wire area of one net in the exact variant: a one-track channel spanning
+/// half the net's total component width, rounded up; zero for nets below
+/// [`MIN_WIRED_COMPONENTS`].
+fn net_wire_area_exact(
+    components: usize,
+    total_component_width: Lambda,
+    track_pitch: Lambda,
+) -> LambdaArea {
+    if components < MIN_WIRED_COMPONENTS {
+        return LambdaArea::ZERO;
+    }
+    let half_width = Lambda::new((total_component_width.get() + 1) / 2);
+    track_pitch * half_width
+}
+
+/// Wire area of one net in the average variant: `⌈D/2⌉ · W_av` channel
+/// length at one track pitch; zero below [`MIN_WIRED_COMPONENTS`].
+fn net_wire_area_average(components: usize, w_av: f64, track_pitch: Lambda) -> LambdaArea {
+    if components < MIN_WIRED_COMPONENTS {
+        return LambdaArea::ZERO;
+    }
+    let half = components.div_ceil(2) as f64;
+    LambdaArea::from_f64_ceil(track_pitch.as_f64() * half * w_av)
+}
+
+/// §5's full-custom aspect-ratio algorithm: assume a square of the
+/// estimated area; if the square's edge already fits all I/O ports, report
+/// 1:1, otherwise widen the module to the port length and report
+/// `width ÷ height` of the resulting rectangle.
+pub fn aspect_for_area(area: LambdaArea, port_count: usize, tech: &ProcessDb) -> AspectRatio {
+    if area.get() <= 0 {
+        return AspectRatio::SQUARE;
+    }
+    let side = area.isqrt_ceil();
+    let port_length = tech.port_pitch() * port_count as i64;
+    if side >= port_length {
+        AspectRatio::SQUARE
+    } else {
+        let width = port_length;
+        let height = Lambda::new((area.get() + width.get() - 1) / width.get()).max(Lambda::ONE);
+        AspectRatio::of(width, height)
+    }
+}
+
+/// Runs the §4.2 estimator (both exact and average variants) on
+/// full-custom statistics.
+///
+/// # Panics
+///
+/// Panics if `stats` was resolved for the standard-cell style or the
+/// module has no devices.
+pub fn estimate(stats: &NetlistStats, tech: &ProcessDb) -> FcEstimate {
+    assert!(
+        stats.style() == maestro_netlist::LayoutStyle::FullCustom,
+        "full-custom estimator needs full-custom statistics"
+    );
+    assert!(stats.device_count() > 0, "cannot estimate an empty module");
+
+    let track_pitch = tech.track_pitch();
+    let w_av = stats.average_width();
+    let h_av = stats.average_height();
+
+    let mut wire_exact = LambdaArea::ZERO;
+    let mut wire_avg = LambdaArea::ZERO;
+    for nw in stats.net_wires() {
+        wire_exact += net_wire_area_exact(nw.components, nw.total_component_width, track_pitch);
+        wire_avg += net_wire_area_average(nw.components, w_av, track_pitch);
+    }
+
+    let device_area_exact = stats.total_device_area();
+    let device_area_avg = LambdaArea::from_f64_ceil(stats.device_count() as f64 * w_av * h_av);
+
+    let total_exact = device_area_exact + wire_exact;
+    let total_average = device_area_avg + wire_avg;
+
+    FcEstimate {
+        module_name: stats.module_name().to_owned(),
+        device_area: device_area_exact,
+        wire_area_exact: wire_exact,
+        wire_area_average: wire_avg,
+        total_exact,
+        total_average,
+        aspect_exact: aspect_for_area(total_exact, stats.port_count(), tech),
+        aspect_average: aspect_for_area(total_average, stats.port_count(), tech),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_netlist::{generate, library_circuits, LayoutStyle, ModuleBuilder};
+    use maestro_tech::builtin;
+
+    fn fc_stats(module: &maestro_netlist::Module) -> NetlistStats {
+        NetlistStats::resolve(module, &builtin::nmos25(), LayoutStyle::FullCustom)
+            .expect("resolves")
+    }
+
+    #[test]
+    fn two_component_nets_contribute_zero_wire_area() {
+        // The Table 1 footnote case: the pass chain has only ≤2-component
+        // nets, so estimated wire area is exactly zero.
+        let m = library_circuits::pass_chain(8);
+        let est = estimate(&fc_stats(&m), &builtin::nmos25());
+        assert_eq!(est.wire_area_exact, LambdaArea::ZERO);
+        assert_eq!(est.wire_area_average, LambdaArea::ZERO);
+        assert_eq!(est.total_exact, est.device_area);
+    }
+
+    #[test]
+    fn hand_computed_three_component_net() {
+        // Three pull-downs (14λ wide each) on one net; pitch 6λ.
+        let mut b = ModuleBuilder::new("m");
+        let n = b.net("n");
+        b.device("q1", "pd", [("d", n)]);
+        b.device("q2", "pd", [("d", n)]);
+        b.device("q3", "pd", [("d", n)]);
+        let est = estimate(&fc_stats(&b.finish()), &builtin::nmos25());
+        // exact: half of 42λ = 21λ at 6λ pitch -> 126λ².
+        assert_eq!(est.wire_area_exact, LambdaArea::new(126));
+        // average: ceil(3/2)=2 components × 14λ × 6λ = 168λ².
+        assert_eq!(est.wire_area_average, LambdaArea::new(168));
+        // device area: 3 × (14×8) = 336λ².
+        assert_eq!(est.device_area, LambdaArea::new(336));
+        assert_eq!(est.total_exact, LambdaArea::new(336 + 126));
+    }
+
+    #[test]
+    fn exact_and_average_agree_for_uniform_devices() {
+        // All devices identical -> W_av = Wi, so device areas agree and
+        // wire areas are close (rounding aside).
+        let mut b = ModuleBuilder::new("m");
+        let n = b.net("n");
+        let n2 = b.net("n2");
+        for i in 0..4 {
+            b.device(format!("q{i}"), "pd", [("d", n), ("g", n2)]);
+        }
+        let est = estimate(&fc_stats(&b.finish()), &builtin::nmos25());
+        assert_eq!(est.device_area, est.total_exact - est.wire_area_exact);
+        assert_eq!(est.wire_area_exact, est.wire_area_average);
+    }
+
+    #[test]
+    fn square_when_ports_fit() {
+        let m = library_circuits::nmos_full_adder();
+        let est = estimate(&fc_stats(&m), &builtin::nmos25());
+        // 5 ports × 8λ = 40λ of edge; a 27-transistor module is much wider.
+        assert_eq!(est.aspect_exact, AspectRatio::SQUARE);
+    }
+
+    #[test]
+    fn widens_when_ports_do_not_fit() {
+        // A tiny module with many ports must stretch.
+        let mut b = ModuleBuilder::new("porty");
+        let nets: Vec<_> = (0..12)
+            .map(|i| b.port(format!("p{i}"), maestro_netlist::PortDirection::InOut))
+            .collect();
+        b.device("q0", "pd", [("d", nets[0]), ("g", nets[1]), ("s", nets[2])]);
+        let est = estimate(&fc_stats(&b.finish()), &builtin::nmos25());
+        assert!(est.aspect_exact.as_f64() > 1.0);
+    }
+
+    #[test]
+    fn aspect_for_degenerate_area_is_square() {
+        let tech = builtin::nmos25();
+        assert_eq!(
+            aspect_for_area(LambdaArea::ZERO, 4, &tech),
+            AspectRatio::SQUARE
+        );
+    }
+
+    #[test]
+    fn table1_suite_estimates_are_positive_and_reasonable() {
+        let tech = builtin::nmos25();
+        for m in library_circuits::table1_suite() {
+            let est = estimate(&fc_stats(&m), &tech);
+            assert!(est.device_area.get() > 0, "{}", m.name());
+            assert!(est.total_exact >= est.device_area);
+            assert!(est.total_average.get() > 0);
+            // Wire is a minor fraction for small modules (minimum-area
+            // style), not a blow-up.
+            assert!(
+                est.wire_area_exact.get() <= est.device_area.get() * 3,
+                "{}: wire {} vs device {}",
+                m.name(),
+                est.wire_area_exact,
+                est.device_area
+            );
+        }
+    }
+
+    #[test]
+    fn random_nmos_estimates_deterministic() {
+        let m = generate::random_nmos_logic(11, 12);
+        let tech = builtin::nmos25();
+        let a = estimate(&fc_stats(&m), &tech);
+        let b = estimate(&fc_stats(&m), &tech);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "full-custom statistics")]
+    fn standard_cell_stats_rejected() {
+        let m = generate::ripple_adder(2);
+        let stats =
+            NetlistStats::resolve(&m, &builtin::nmos25(), LayoutStyle::StandardCell).unwrap();
+        let _ = estimate(&stats, &builtin::nmos25());
+    }
+}

@@ -1,0 +1,194 @@
+//! The Figure 1 dataflow: schematic + process database in, results
+//! database out.
+//!
+//! ```text
+//! Fabrication Process DB ──┐
+//!                          ├─> I/O interface ─> SC estimator ─┐
+//! Circuit schematic (.mnl)─┘                  └> FC estimator ├─> ResultsDb ─> floorplanner
+//! ```
+//!
+//! The pipeline tries each layout style a module's templates resolve
+//! against: a gate-level module estimates as standard cells, a
+//! transistor-level module as full custom, and a module whose templates
+//! appear in both tables gets both estimates — exactly the methodology
+//! comparison the paper motivates ("trial floor plans for comparing the
+//! various different layout methodologies").
+
+use maestro_netlist::{mnl, LayoutStyle, Module, NetlistError, NetlistStats};
+use maestro_tech::ProcessDb;
+
+use crate::report::{EstimateRecord, ResultsDb};
+use crate::standard_cell::ScParams;
+use crate::{full_custom, standard_cell};
+
+/// The module-area-estimation pipeline of the paper's Figure 1.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    tech: ProcessDb,
+    sc_params: ScParams,
+}
+
+impl Pipeline {
+    /// Creates a pipeline over a process database with default
+    /// standard-cell parameters.
+    pub fn new(tech: ProcessDb) -> Self {
+        Pipeline {
+            tech,
+            sc_params: ScParams::default(),
+        }
+    }
+
+    /// Overrides the standard-cell estimator parameters.
+    pub fn with_sc_params(mut self, params: ScParams) -> Self {
+        self.sc_params = params;
+        self
+    }
+
+    /// The process database in use.
+    pub fn tech(&self) -> &ProcessDb {
+        &self.tech
+    }
+
+    /// Estimates one module under every style its templates resolve for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownTemplate`] only when the module
+    /// resolves under *neither* style — a module that fits one table is
+    /// fine.
+    pub fn run_module(&self, module: &Module) -> Result<EstimateRecord, NetlistError> {
+        let (sc, sc_candidates) =
+            match NetlistStats::resolve(module, &self.tech, LayoutStyle::StandardCell) {
+                Ok(stats) if stats.device_count() > 0 => {
+                    let primary = standard_cell::estimate(&stats, &self.tech, &self.sc_params);
+                    let candidates = crate::multi_aspect::sc_candidates(
+                        &stats,
+                        &self.tech,
+                        crate::multi_aspect::DEFAULT_CANDIDATES,
+                    );
+                    (Some(primary), candidates)
+                }
+                _ => (None, Vec::new()),
+            };
+        let fc = match NetlistStats::resolve(module, &self.tech, LayoutStyle::FullCustom) {
+            Ok(stats) if stats.device_count() > 0 => {
+                Some(full_custom::estimate(&stats, &self.tech))
+            }
+            _ => None,
+        };
+        if sc.is_none() && fc.is_none() {
+            let first = module
+                .devices()
+                .next()
+                .map(|(_, d)| (d.name().to_owned(), d.template().to_owned()))
+                .unwrap_or_else(|| ("<none>".to_owned(), "<empty module>".to_owned()));
+            return Err(NetlistError::UnknownTemplate {
+                device: first.0,
+                template: first.1,
+            });
+        }
+        Ok(EstimateRecord {
+            module_name: module.name().to_owned(),
+            standard_cell: sc,
+            full_custom: fc,
+            standard_cell_candidates: sc_candidates,
+        })
+    }
+
+    /// Parses `.mnl` source and estimates the module.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors and [`Pipeline::run_module`] errors.
+    pub fn run_mnl(&self, source: &str) -> Result<EstimateRecord, NetlistError> {
+        let module = mnl::parse(source)?;
+        self.run_module(&module)
+    }
+
+    /// Estimates a set of modules into a results database — the chip-level
+    /// run that feeds the floorplanner.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first module that estimates under neither style.
+    pub fn run_all<'m, I>(&self, modules: I) -> Result<ResultsDb, NetlistError>
+    where
+        I: IntoIterator<Item = &'m Module>,
+    {
+        let mut db = ResultsDb::new();
+        for m in modules {
+            db.insert(self.run_module(m)?);
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_netlist::{generate, library_circuits};
+    use maestro_tech::builtin;
+
+    #[test]
+    fn gate_level_module_gets_sc_only() {
+        let p = Pipeline::new(builtin::nmos25());
+        let rec = p.run_module(&generate::ripple_adder(2)).expect("estimates");
+        assert!(rec.standard_cell.is_some());
+        assert!(rec.full_custom.is_none());
+    }
+
+    #[test]
+    fn transistor_module_gets_fc_only() {
+        let p = Pipeline::new(builtin::nmos25());
+        let rec = p
+            .run_module(&library_circuits::nmos_full_adder())
+            .expect("estimates");
+        assert!(rec.standard_cell.is_none());
+        assert!(rec.full_custom.is_some());
+    }
+
+    #[test]
+    fn unresolvable_module_is_an_error() {
+        let p = Pipeline::new(builtin::nmos25());
+        let mut b = maestro_netlist::ModuleBuilder::new("alien");
+        let n = b.net("n");
+        b.device("u1", "QUANTUM_GATE", [("A", n)]);
+        let err = p.run_module(&b.finish()).unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownTemplate { .. }));
+    }
+
+    #[test]
+    fn mnl_source_runs_end_to_end() {
+        let p = Pipeline::new(builtin::nmos25());
+        let rec = p
+            .run_mnl(
+                "module m;\ninput a;\noutput y;\n\
+                 device u1 INV (A=a, Y=t);\ndevice u2 INV (A=t, Y=y);\nendmodule\n",
+            )
+            .expect("estimates");
+        assert_eq!(rec.module_name, "m");
+        assert!(rec.standard_cell.is_some());
+    }
+
+    #[test]
+    fn run_all_builds_results_db() {
+        let p = Pipeline::new(builtin::nmos25());
+        let modules = [
+            generate::ripple_adder(2),
+            generate::counter(3),
+            library_circuits::pass_chain(4),
+        ];
+        let db = p.run_all(modules.iter()).expect("estimates all");
+        assert_eq!(db.len(), 3);
+        assert!(db.record("counter_3").is_some());
+        // Figure 1's "input to floor planner": serializable.
+        assert!(db.to_json().unwrap().contains("counter_3"));
+    }
+
+    #[test]
+    fn sc_params_override_flows_through() {
+        let p = Pipeline::new(builtin::nmos25()).with_sc_params(ScParams::with_rows(5));
+        let rec = p.run_module(&generate::ripple_adder(4)).unwrap();
+        assert_eq!(rec.standard_cell.unwrap().rows, 5);
+    }
+}

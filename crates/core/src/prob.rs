@@ -1,0 +1,406 @@
+//! Row-occupancy probability: the paper's Eqs. 2 and 3.
+//!
+//! For a net with `D` components placed independently and uniformly into
+//! `n` standard-cell rows, the estimator needs the probability that the
+//! components occupy *exactly* `i` distinct rows, because a net occupying
+//! `i` rows consumes (up to) `i` routing tracks.
+//!
+//! The paper defines (Eq. 2), with `k = min(n, D)`:
+//!
+//! ```text
+//! b[1] = 1
+//! b[i] = i^k − Σ_{j=1}^{i−1} C(i, j) · b[j]
+//! P_rows(i) = (1/n)^k · C(n, i) · b[i]
+//! ```
+//!
+//! `b[i]` is the number of ways `k` labeled components fill `i` labeled
+//! rows with none empty (an inclusion–exclusion surjection count), and the
+//! `k = min(n, D)` exponent is the paper's deliberate truncation: when a
+//! net has more components than there are rows, only `n` of them are
+//! modeled as free placements — the rest "are placed in any row". The
+//! expectation (Eq. 3) is
+//!
+//! ```text
+//! E(i) = Σ_{i=1}^{min(n,D)} i · P_rows(i)
+//! ```
+//!
+//! rounded **up** to the next integer when converted to a track count.
+//! The distribution sums to exactly 1 for any `n, D ≥ 1` (it is the exact
+//! occupancy law for `k` components in `n` rows).
+//!
+//! Two implementations are provided: a fast `f64` path used by the
+//! estimator, and an exact `u128` rational path ([`exact`]) used by the
+//! test-suite to validate the fast path digit-for-digit on small inputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported row count; beyond this the f64 binomials would lose
+/// integer precision.
+pub const MAX_ROWS: u32 = 64;
+
+/// Maximum supported net component count (larger nets are truncated by the
+/// paper's `k = min(n, D)` rule anyway).
+pub const MAX_COMPONENTS: u32 = 256;
+
+/// Binomial coefficient C(n, k) as `f64`.
+///
+/// Exact for all inputs the estimator reaches (n ≤ 64).
+fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for j in 0..k {
+        acc = acc * (n - j) as f64 / (j + 1) as f64;
+    }
+    acc.round()
+}
+
+/// The occupancy distribution of one net across rows.
+///
+/// # Examples
+///
+/// ```
+/// use maestro_estimator::prob::RowOccupancy;
+///
+/// // A two-component net in 4 rows: both in one row with p = 1/4.
+/// let occ = RowOccupancy::new(4, 2);
+/// assert!((occ.probability(1) - 0.25).abs() < 1e-12);
+/// assert!((occ.expected_rows() - (2.0 - 0.25)).abs() < 1e-12);
+/// assert_eq!(occ.expected_tracks(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowOccupancy {
+    rows: u32,
+    components: u32,
+    /// `probs[i-1]` = P(exactly i rows occupied), i = 1..=min(n, D).
+    probs: Vec<f64>,
+}
+
+impl RowOccupancy {
+    /// Computes the distribution for a `components`-component net in
+    /// `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is 0 or exceeds [`MAX_ROWS`], or `components` is 0
+    /// or exceeds [`MAX_COMPONENTS`].
+    pub fn new(rows: u32, components: u32) -> Self {
+        assert!(
+            (1..=MAX_ROWS).contains(&rows),
+            "row count {rows} outside 1..={MAX_ROWS}"
+        );
+        assert!(
+            (1..=MAX_COMPONENTS).contains(&components),
+            "component count {components} outside 1..={MAX_COMPONENTS}"
+        );
+        let k = rows.min(components);
+        // b[i] for i = 1..=k (index i-1), Eq. 2.
+        let mut b = vec![0.0f64; k as usize];
+        for i in 1..=k {
+            let mut val = (i as f64).powi(k as i32);
+            for j in 1..i {
+                val -= binomial(i, j) * b[(j - 1) as usize];
+            }
+            b[(i - 1) as usize] = val;
+        }
+        let n_pow_k = (rows as f64).powi(k as i32);
+        let probs = (1..=k)
+            .map(|i| binomial(rows, i) * b[(i - 1) as usize] / n_pow_k)
+            .collect();
+        RowOccupancy {
+            rows,
+            components,
+            probs,
+        }
+    }
+
+    /// Number of rows `n`.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of net components `D`.
+    pub fn components(&self) -> u32 {
+        self.components
+    }
+
+    /// P(exactly `i` rows occupied), Eq. 2. Zero outside `1..=min(n, D)`.
+    pub fn probability(&self, i: u32) -> f64 {
+        if i == 0 {
+            return 0.0;
+        }
+        self.probs.get((i - 1) as usize).copied().unwrap_or(0.0)
+    }
+
+    /// The full distribution as a slice: index `i-1` holds P(i).
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Eq. 3: `E(i) = Σ i · P_rows(i)`.
+    pub fn expected_rows(&self) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(idx, p)| (idx + 1) as f64 * p)
+            .sum()
+    }
+
+    /// The track count charged to this net: `⌈E(i)⌉` ("E(i) should be
+    /// rounded up to the next higher integer").
+    pub fn expected_tracks(&self) -> u32 {
+        // Guard against 2.0000000000000004-style noise before ceiling.
+        let e = self.expected_rows();
+        let snapped = (e * 1e9).round() / 1e9;
+        snapped.ceil() as u32
+    }
+}
+
+/// Convenience wrapper: `⌈E(i)⌉` for a `components`-component net in
+/// `rows` rows.
+///
+/// # Panics
+///
+/// Panics on the same inputs as [`RowOccupancy::new`].
+pub fn expected_tracks(rows: u32, components: u32) -> u32 {
+    RowOccupancy::new(rows, components).expected_tracks()
+}
+
+/// Eq. 3 as a real number, for callers that postpone rounding (the
+/// track-sharing extension).
+///
+/// # Panics
+///
+/// Panics on the same inputs as [`RowOccupancy::new`].
+pub fn expected_rows(rows: u32, components: u32) -> f64 {
+    RowOccupancy::new(rows, components).expected_rows()
+}
+
+/// Exact rational reference implementation over `u128`, used to validate
+/// the `f64` path. Only small inputs are representable (the test-suite
+/// stays within `n ≤ 8`, `D ≤ 10`).
+pub mod exact {
+    /// An unsigned rational number with `u128` parts.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Ratio {
+        /// Numerator.
+        pub num: u128,
+        /// Denominator (non-zero).
+        pub den: u128,
+    }
+
+    impl Ratio {
+        /// Creates `num / den`, reduced.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `den == 0`.
+        pub fn new(num: u128, den: u128) -> Self {
+            assert!(den != 0, "zero denominator");
+            let g = gcd(num, den);
+            Ratio {
+                num: num / g.max(1),
+                den: den / g.max(1),
+            }
+        }
+
+        /// The value as `f64`.
+        pub fn as_f64(self) -> f64 {
+            self.num as f64 / self.den as f64
+        }
+    }
+
+    fn gcd(a: u128, b: u128) -> u128 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+
+    fn binomial_u128(n: u32, k: u32) -> u128 {
+        if k > n {
+            return 0;
+        }
+        let k = k.min(n - k);
+        let mut acc: u128 = 1;
+        for j in 0..k {
+            acc = acc * (n - j) as u128 / (j + 1) as u128;
+        }
+        acc
+    }
+
+    /// Exact P(exactly `i` rows occupied) for Eq. 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are zero, or intermediate values overflow `u128`
+    /// (keep `n·min(n,D) ≲ 120` bits; `n ≤ 8, D ≤ 16` is safe).
+    pub fn probability(rows: u32, components: u32, i: u32) -> Ratio {
+        assert!(rows >= 1 && components >= 1 && i >= 1, "inputs must be ≥ 1");
+        let k = rows.min(components);
+        if i > k {
+            return Ratio::new(0, 1);
+        }
+        // b[i] via inclusion–exclusion, exact.
+        let mut b = vec![0u128; k as usize];
+        for m in 1..=k {
+            let mut val = (m as u128).pow(k);
+            for j in 1..m {
+                val -= binomial_u128(m, j) * b[(j - 1) as usize];
+            }
+            b[(m - 1) as usize] = val;
+        }
+        let num = binomial_u128(rows, i) * b[(i - 1) as usize];
+        let den = (rows as u128).pow(k);
+        Ratio::new(num, den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(3, 4), 0.0);
+        assert_eq!(binomial(52, 5), 2_598_960.0);
+    }
+
+    #[test]
+    fn two_component_net_matches_closed_form() {
+        // D = 2: P(1) = 1/n, P(2) = (n-1)/n, E = 2 - 1/n.
+        for n in 1..=20 {
+            let occ = RowOccupancy::new(n, 2);
+            assert!((occ.probability(1) - 1.0 / n as f64).abs() < 1e-12, "n={n}");
+            if n >= 2 {
+                assert!(
+                    (occ.probability(2) - (n as f64 - 1.0) / n as f64).abs() < 1e-12,
+                    "n={n}"
+                );
+            }
+            assert!(
+                (occ.expected_rows() - (2.0 - 1.0 / n as f64)).abs() < 1e-12,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_component_net_occupies_one_row() {
+        for n in 1..=10 {
+            let occ = RowOccupancy::new(n, 1);
+            assert!((occ.probability(1) - 1.0).abs() < 1e-12);
+            assert_eq!(occ.expected_tracks(), 1);
+        }
+    }
+
+    #[test]
+    fn single_row_pins_everything_to_one_track() {
+        for d in 1..=30 {
+            let occ = RowOccupancy::new(1, d);
+            assert!((occ.probability(1) - 1.0).abs() < 1e-12);
+            assert_eq!(occ.expected_tracks(), 1);
+        }
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        for n in 1..=12 {
+            for d in 1..=20 {
+                let occ = RowOccupancy::new(n, d);
+                let sum: f64 = occ.probabilities().iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "n={n} d={d}: Σ={sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_bounds() {
+        for n in 1..=12 {
+            for d in 1..=20 {
+                let e = expected_rows(n, d);
+                let k = n.min(d) as f64;
+                assert!(e >= 1.0 - 1e-12, "n={n} d={d}: {e}");
+                assert!(e <= k + 1e-12, "n={n} d={d}: {e}");
+                let t = expected_tracks(n, d);
+                assert!(t >= 1 && t as f64 <= k + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_grows_with_component_count() {
+        let n = 8;
+        let mut prev = 0.0;
+        for d in 1..=16 {
+            let e = expected_rows(n, d);
+            assert!(e >= prev - 1e-12, "E should be monotone in D: d={d}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn truncation_freezes_large_nets() {
+        // For D ≥ n, k = n: distribution is independent of D.
+        let a = RowOccupancy::new(5, 5);
+        let b = RowOccupancy::new(5, 50);
+        for i in 1..=5 {
+            assert!((a.probability(i) - b.probability(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_exact_rationals() {
+        for n in 1..=8u32 {
+            for d in 1..=10u32 {
+                let occ = RowOccupancy::new(n, d);
+                for i in 1..=n.min(d) {
+                    let e = exact::probability(n, d, i).as_f64();
+                    let f = occ.probability(i);
+                    assert!(
+                        (e - f).abs() < 1e-10,
+                        "n={n} d={d} i={i}: exact={e} fast={f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_ratio_reduces() {
+        let r = exact::Ratio::new(6, 8);
+        assert_eq!((r.num, r.den), (3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn exact_ratio_rejects_zero_denominator() {
+        let _ = exact::Ratio::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn zero_rows_rejected() {
+        let _ = RowOccupancy::new(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn zero_components_rejected() {
+        let _ = RowOccupancy::new(2, 0);
+    }
+
+    #[test]
+    fn tracks_round_up() {
+        // n=4, D=2: E = 1.75 -> 2 tracks.
+        assert_eq!(expected_tracks(4, 2), 2);
+        // n=1: E = 1 -> exactly 1 (no spurious round-up).
+        assert_eq!(expected_tracks(1, 7), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Track-sharing correction — the paper's first future-work item.
+//!
+//! §6 diagnoses the 42–70 % standard-cell overestimates: "the estimator
+//! ignores track sharing in routing channels, which is especially
+//! significant in larger designs", and §7 promises that "the estimator
+//! will be changed to account for routing channel track sharing". This
+//! module is that change.
+//!
+//! **Model.** Two nets can share a routing track when their horizontal
+//! spans do not overlap, so a net should be charged not a whole track but
+//! the *fraction of the row length its span covers*. For a net whose `D`
+//! components are placed uniformly along a row, the expected span is the
+//! expected range of `D` uniform samples:
+//!
+//! ```text
+//! E[span] = (D − 1) / (D + 1)
+//! ```
+//!
+//! The sharing-corrected track count replaces each net's `⌈E(i)⌉` whole
+//! tracks with `E(i) · (D−1)/(D+1)` fractional track-length demand, summed
+//! over all nets and rounded up once at the end:
+//!
+//! ```text
+//! T_shared = ⌈ Σ_D y_D · E(D) · (D−1)/(D+1) ⌉
+//! ```
+//!
+//! Single-component nets (pin-to-port stubs) have zero span and drop out,
+//! matching real channel routers that serve them from existing tracks.
+//! The corrected count is clamped to at least 1 track per channel when
+//! any net exists, since a channel with traffic cannot be empty.
+
+use maestro_netlist::NetlistStats;
+use maestro_tech::ProcessDb;
+use serde::{Deserialize, Serialize};
+
+use crate::prob::{expected_rows, MAX_COMPONENTS, MAX_ROWS};
+use crate::standard_cell::{estimate_with_rows, ScEstimate};
+
+/// A standard-cell estimate corrected for routing-track sharing, paired
+/// with the uncorrected upper bound it improves on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedTrackEstimate {
+    /// The original §4.1 upper-bound estimate.
+    pub upper_bound: ScEstimate,
+    /// The sharing-corrected track count.
+    pub shared_tracks: u32,
+    /// The estimate recomputed with the corrected track count.
+    pub corrected: ScEstimate,
+}
+
+/// Expected horizontal span fraction of a `D`-component net along its row:
+/// `(D − 1)/(D + 1)`, the expected range of `D` uniform points.
+pub fn expected_span_fraction(components: usize) -> f64 {
+    if components <= 1 {
+        return 0.0;
+    }
+    (components as f64 - 1.0) / (components as f64 + 1.0)
+}
+
+/// The sharing-corrected total track count at a given row count.
+///
+/// # Panics
+///
+/// Panics if `rows` is outside `1..=`[`MAX_ROWS`].
+pub fn shared_tracks(stats: &NetlistStats, rows: u32) -> u32 {
+    assert!(
+        (1..=MAX_ROWS).contains(&rows),
+        "row count {rows} outside 1..={MAX_ROWS}"
+    );
+    let demand: f64 = stats
+        .net_sizes()
+        .iter()
+        .map(|(d, y)| {
+            let dd = (d as u32).clamp(1, MAX_COMPONENTS);
+            y as f64 * expected_rows(rows, dd) * expected_span_fraction(d)
+        })
+        .sum();
+    let t = demand.ceil() as u32;
+    if stats.net_count() > 0 {
+        t.max(1)
+    } else {
+        t
+    }
+}
+
+/// Runs the §4.1 estimator and then recomputes module height and area with
+/// the sharing-corrected track count.
+///
+/// # Panics
+///
+/// Panics on the same inputs as [`estimate_with_rows`].
+pub fn estimate_with_sharing(
+    stats: &NetlistStats,
+    tech: &ProcessDb,
+    rows: u32,
+) -> SharedTrackEstimate {
+    let upper_bound = estimate_with_rows(stats, tech, rows);
+    let shared = shared_tracks(stats, rows);
+    // Rebuild height/area with the corrected count; width is unchanged
+    // (feed-through expectation is orthogonal to track sharing).
+    let height = tech.row_height() * rows as i64 + tech.track_pitch() * shared as i64;
+    let area = upper_bound.width * height;
+    let aspect_ratio = if upper_bound.width.is_positive() && height.is_positive() {
+        maestro_geom::AspectRatio::of(upper_bound.width, height)
+    } else {
+        maestro_geom::AspectRatio::SQUARE
+    };
+    let corrected = ScEstimate {
+        tracks: shared,
+        height,
+        area,
+        aspect_ratio,
+        ..upper_bound.clone()
+    };
+    SharedTrackEstimate {
+        upper_bound,
+        shared_tracks: shared,
+        corrected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_netlist::{generate, LayoutStyle};
+    use maestro_tech::builtin;
+
+    fn stats_of(module: &maestro_netlist::Module) -> NetlistStats {
+        NetlistStats::resolve(module, &builtin::nmos25(), LayoutStyle::StandardCell)
+            .expect("resolves")
+    }
+
+    #[test]
+    fn span_fraction_shape() {
+        assert_eq!(expected_span_fraction(1), 0.0);
+        assert!((expected_span_fraction(2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((expected_span_fraction(3) - 0.5).abs() < 1e-12);
+        // Approaches 1 for huge nets.
+        assert!(expected_span_fraction(100) > 0.97);
+    }
+
+    #[test]
+    fn sharing_never_exceeds_upper_bound() {
+        let tech = builtin::nmos25();
+        for m in [
+            generate::ripple_adder(4),
+            generate::counter(6),
+            generate::shift_register(10),
+        ] {
+            let stats = stats_of(&m);
+            for rows in [2, 4, 8] {
+                let e = estimate_with_sharing(&stats, &tech, rows);
+                assert!(
+                    e.shared_tracks <= e.upper_bound.tracks,
+                    "{} rows={rows}: shared {} > bound {}",
+                    m.name(),
+                    e.shared_tracks,
+                    e.upper_bound.tracks
+                );
+                assert!(e.corrected.area <= e.upper_bound.area);
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_reduces_area_substantially_for_local_netlists() {
+        // Nets in these structured circuits are mostly 2–3 components, so
+        // spans are ≤ 1/2 and sharing should cut track count at least 30 %.
+        let tech = builtin::nmos25();
+        let stats = stats_of(&generate::ripple_adder(4));
+        let e = estimate_with_sharing(&stats, &tech, 4);
+        assert!(
+            (e.shared_tracks as f64) < 0.7 * e.upper_bound.tracks as f64,
+            "shared {} vs bound {}",
+            e.shared_tracks,
+            e.upper_bound.tracks
+        );
+    }
+
+    #[test]
+    fn corrected_estimate_keeps_width() {
+        let tech = builtin::nmos25();
+        let stats = stats_of(&generate::counter(4));
+        let e = estimate_with_sharing(&stats, &tech, 3);
+        assert_eq!(e.corrected.width, e.upper_bound.width);
+        assert_eq!(e.corrected.rows, e.upper_bound.rows);
+        assert_eq!(e.corrected.tracks, e.shared_tracks);
+    }
+
+    #[test]
+    fn at_least_one_track_with_traffic() {
+        // A module of only 1-component nets still gets one track.
+        let mut b = maestro_netlist::ModuleBuilder::new("stubs");
+        for i in 0..3 {
+            let n = b.net(format!("n{i}"));
+            b.device(format!("u{i}"), "INV", [("A", n)]);
+        }
+        let stats = stats_of(&b.finish());
+        assert_eq!(shared_tracks(&stats, 4), 1);
+    }
+}

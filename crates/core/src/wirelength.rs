@@ -1,0 +1,175 @@
+//! Pre-layout wirelength estimation for standard-cell modules.
+//!
+//! §4.2 lists "minimum interconnection length" among the practical
+//! full-custom standards, and the same expectation machinery that prices
+//! routing *area* (Eqs. 2–3) also prices routing *length*: a net whose
+//! components land in `E(i)` of `n` rows needs
+//!
+//! * a **vertical** run crossing `E(i) − 1` row+channel pitches, and
+//! * a **horizontal** trunk spanning the expected range of its components
+//!   along the row, `(D−1)/(D+1)` of the row length (the same
+//!   order-statistics span the track-sharing extension uses).
+//!
+//! Summed over all nets this predicts the module's total wirelength
+//! before placement exists — directly comparable to the half-perimeter
+//! wirelength ([`maestro_place::PlacedModule::hpwl`]) the annealer
+//! reports after placement, which the E10 accuracy sweep exploits.
+
+use maestro_geom::Lambda;
+use maestro_netlist::NetlistStats;
+use maestro_tech::ProcessDb;
+use serde::{Deserialize, Serialize};
+
+use crate::prob::{expected_rows, MAX_COMPONENTS, MAX_ROWS};
+use crate::track_sharing::expected_span_fraction;
+
+/// The predicted wiring lengths of a module at a given row count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WirelengthEstimate {
+    /// Module name.
+    pub module_name: String,
+    /// Row count the prediction assumes.
+    pub rows: u32,
+    /// Predicted total horizontal trunk length.
+    pub horizontal: Lambda,
+    /// Predicted total vertical (row-crossing) length.
+    pub vertical: Lambda,
+}
+
+impl WirelengthEstimate {
+    /// Total predicted wirelength.
+    pub fn total(&self) -> Lambda {
+        self.horizontal + self.vertical
+    }
+}
+
+/// Predicts the module's total wirelength at `rows` rows.
+///
+/// # Panics
+///
+/// Panics if the module has no devices or `rows` is outside
+/// `1..=`[`MAX_ROWS`].
+pub fn estimate(stats: &NetlistStats, tech: &ProcessDb, rows: u32) -> WirelengthEstimate {
+    assert!(stats.device_count() > 0, "cannot estimate an empty module");
+    assert!(
+        (1..=MAX_ROWS).contains(&rows),
+        "row count {rows} outside 1..={MAX_ROWS}"
+    );
+    let row_length = stats.average_width() * stats.device_count() as f64 / rows as f64;
+    let row_pitch = (tech.row_height() + tech.track_pitch() * 3).as_f64();
+
+    let mut horizontal = 0.0f64;
+    let mut vertical = 0.0f64;
+    for (d, y) in stats.net_sizes().iter() {
+        if d < 2 {
+            continue;
+        }
+        let dd = (d as u32).clamp(1, MAX_COMPONENTS);
+        let e_rows = expected_rows(rows, dd);
+        horizontal += y as f64 * expected_span_fraction(d) * row_length;
+        vertical += y as f64 * (e_rows - 1.0).max(0.0) * row_pitch;
+    }
+    WirelengthEstimate {
+        module_name: stats.module_name().to_owned(),
+        rows,
+        horizontal: Lambda::from_f64_ceil(horizontal),
+        vertical: Lambda::from_f64_ceil(vertical),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_netlist::{generate, LayoutStyle, ModuleBuilder};
+    use maestro_tech::builtin;
+
+    fn stats_of(module: &maestro_netlist::Module) -> NetlistStats {
+        NetlistStats::resolve(module, &builtin::nmos25(), LayoutStyle::StandardCell)
+            .expect("resolves")
+    }
+
+    #[test]
+    fn single_row_has_no_vertical_length() {
+        let m = generate::ripple_adder(2);
+        let est = estimate(&stats_of(&m), &builtin::nmos25(), 1);
+        assert_eq!(est.vertical, Lambda::ZERO);
+        assert!(est.horizontal.is_positive());
+        assert_eq!(est.total(), est.horizontal);
+    }
+
+    #[test]
+    fn stub_only_modules_predict_zero() {
+        // Only 1-component nets: no wiring at all.
+        let mut b = ModuleBuilder::new("stubs");
+        for i in 0..3 {
+            let n = b.net(format!("n{i}"));
+            b.device(format!("u{i}"), "INV", [("A", n)]);
+        }
+        let est = estimate(&stats_of(&b.finish()), &builtin::nmos25(), 3);
+        assert_eq!(est.total(), Lambda::ZERO);
+    }
+
+    #[test]
+    fn vertical_grows_with_rows_horizontal_shrinks() {
+        let m = generate::counter(6);
+        let stats = stats_of(&m);
+        let tech = builtin::nmos25();
+        let e2 = estimate(&stats, &tech, 2);
+        let e6 = estimate(&stats, &tech, 6);
+        assert!(
+            e6.vertical > e2.vertical,
+            "{} vs {}",
+            e6.vertical,
+            e2.vertical
+        );
+        assert!(
+            e6.horizontal < e2.horizontal,
+            "{} vs {}",
+            e6.horizontal,
+            e2.horizontal
+        );
+    }
+
+    #[test]
+    fn prediction_brackets_placed_hpwl_within_a_small_factor() {
+        // Not a theorem — the annealer optimizes, the model averages — but
+        // on structured modules the prediction should land within ~4× of
+        // the optimized reality and never undershoot absurdly.
+        use maestro_place::{place, AnnealSchedule, PlaceParams};
+        let tech = builtin::nmos25();
+        for m in [
+            generate::ripple_adder(4),
+            generate::counter(6),
+            generate::shift_register(8),
+        ] {
+            let stats = stats_of(&m);
+            let rows = 3;
+            let est = estimate(&stats, &tech, rows);
+            let placed = place(
+                &m,
+                &tech,
+                &PlaceParams {
+                    rows,
+                    schedule: AnnealSchedule::quick(),
+                    ..PlaceParams::default()
+                },
+            )
+            .expect("places");
+            let real = placed.hpwl().as_f64().max(1.0);
+            let pred = est.total().as_f64();
+            let ratio = pred / real;
+            assert!(
+                (0.4..=6.0).contains(&ratio),
+                "{}: predicted {pred} vs placed {real} (ratio {ratio:.2})",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty module")]
+    fn empty_module_rejected() {
+        let b = ModuleBuilder::new("empty");
+        let _ = estimate(&stats_of(&b.finish()), &builtin::nmos25(), 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the estimator's probability models and the
+//! end-to-end estimators.
+
+use maestro_estimator::standard_cell::{estimate_with_rows, total_tracks};
+use maestro_estimator::track_sharing::shared_tracks;
+use maestro_estimator::{feedthrough, full_custom, prob};
+use maestro_netlist::{generate, LayoutStyle, NetlistStats};
+use proptest::prelude::*;
+
+fn sc_stats(module: &maestro_netlist::Module) -> NetlistStats {
+    NetlistStats::resolve(
+        module,
+        &maestro_tech::builtin::nmos25(),
+        LayoutStyle::StandardCell,
+    )
+    .expect("resolves")
+}
+
+proptest! {
+    #[test]
+    fn occupancy_distribution_sums_to_one(n in 1u32..32, d in 1u32..64) {
+        let occ = prob::RowOccupancy::new(n, d);
+        let sum: f64 = occ.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-8, "n={n} d={d}: {sum}");
+    }
+
+    #[test]
+    fn expected_rows_bounded_by_k(n in 1u32..32, d in 1u32..64) {
+        let e = prob::expected_rows(n, d);
+        prop_assert!(e >= 1.0 - 1e-9);
+        prop_assert!(e <= n.min(d) as f64 + 1e-9);
+    }
+
+    #[test]
+    fn expected_tracks_monotone_in_components(n in 2u32..16, d in 2u32..40) {
+        let smaller = prob::expected_rows(n, d - 1);
+        let larger = prob::expected_rows(n, d);
+        prop_assert!(larger + 1e-9 >= smaller);
+    }
+
+    #[test]
+    fn feedthrough_profile_peaks_centrally(n in 3u32..24, d in 2u32..16) {
+        let best = feedthrough::most_likely_row(n, d);
+        let center_lo = n / 2;           // lower-middle for even n
+        let center_hi = n / 2 + 1;       // center (odd) / upper-middle (even)
+        prop_assert!(
+            best == center_lo || best == center_hi,
+            "n={n} d={d}: best row {best}"
+        );
+    }
+
+    #[test]
+    fn feedthrough_probability_in_unit_interval(n in 1u32..32, d in 1u32..64, seed in 0u32..1000) {
+        let i = 1 + seed % n;
+        let p = feedthrough::feedthrough_probability(n, d, i);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn sharing_correction_never_exceeds_upper_bound(
+        seed in 0u64..50,
+        devices in 10usize..80,
+        rows in 2u32..12,
+    ) {
+        let cfg = maestro_netlist::generate::RandomLogicConfig {
+            device_count: devices,
+            ..Default::default()
+        };
+        let m = generate::random_logic(seed, &cfg);
+        let stats = sc_stats(&m);
+        prop_assert!(shared_tracks(&stats, rows) <= total_tracks(&stats, rows));
+    }
+
+    #[test]
+    fn sc_estimate_is_positive_and_consistent(
+        seed in 0u64..50,
+        devices in 10usize..60,
+        rows in 1u32..10,
+    ) {
+        let cfg = maestro_netlist::generate::RandomLogicConfig {
+            device_count: devices,
+            ..Default::default()
+        };
+        let m = generate::random_logic(seed, &cfg);
+        let stats = sc_stats(&m);
+        let tech = maestro_tech::builtin::nmos25();
+        let est = estimate_with_rows(&stats, &tech, rows);
+        prop_assert!(est.area.get() > 0);
+        prop_assert_eq!(est.area, est.width * est.height);
+        prop_assert!(est.height.get() >= rows as i64 * tech.row_height().get());
+        // Tracks include at least one per net in the single-row case.
+        if rows == 1 {
+            prop_assert_eq!(est.tracks as usize, stats.net_count());
+        }
+    }
+
+    #[test]
+    fn fc_estimate_wire_area_zero_iff_small_nets(stages in 1usize..20) {
+        let m = maestro_netlist::library_circuits::pass_chain(stages);
+        let tech = maestro_tech::builtin::nmos25();
+        let stats = NetlistStats::resolve(&m, &tech, LayoutStyle::FullCustom).unwrap();
+        let est = full_custom::estimate(&stats, &tech);
+        prop_assert_eq!(est.wire_area_exact.get(), 0);
+        prop_assert_eq!(est.total_exact, est.device_area);
+    }
+
+    #[test]
+    fn fc_exact_and_average_track_each_other(seed in 0u64..40, gates in 4usize..30) {
+        let m = generate::random_nmos_logic(seed, gates);
+        let tech = maestro_tech::builtin::nmos25();
+        let stats = NetlistStats::resolve(&m, &tech, LayoutStyle::FullCustom).unwrap();
+        let est = full_custom::estimate(&stats, &tech);
+        // The two variants agree within 2× on these small modules.
+        let e = est.total_exact.as_f64();
+        let a = est.total_average.as_f64();
+        prop_assert!(a > 0.0 && e > 0.0);
+        prop_assert!(e / a < 2.0 && a / e < 2.0, "exact {e} vs average {a}");
+    }
+}

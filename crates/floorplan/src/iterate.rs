@@ -1,0 +1,192 @@
+//! The floorplanning-iteration experiment (the paper's §7 claim).
+//!
+//! §1: "inaccurate aspect ratio estimates may lead to an unacceptable
+//! floor plan, requiring another design iteration. More accurate module
+//! aspect ratio estimates will significantly reduce the number of floor
+//! planning iterations." §7 promises to "determine the reduction in floor
+//! planning iterations due to the estimator". This module measures it
+//! under a simple, explicit designer model:
+//!
+//! 1. floorplan with the current belief about each module's size;
+//! 2. "lay out" the modules — their *true* sizes are revealed;
+//! 3. if some module's believed area is off by more than `tolerance`,
+//!    the designer fixes the **worst** one (replaces its belief with the
+//!    truth) and floorplans again — one module per iteration, the way
+//!    floorplan rework actually proceeds;
+//! 4. stop when every belief is within tolerance.
+//!
+//! The iteration count is therefore `1 + #modules whose initial estimate
+//! was outside tolerance` — directly comparable between estimator-seeded
+//! and naive (active-area-only) beliefs.
+
+use maestro_geom::{Lambda, LambdaArea};
+use serde::{Deserialize, Serialize};
+
+use crate::plan::{floorplan, Floorplan, PlanParams};
+use crate::Block;
+
+/// One module in the iteration experiment: the initial belief and the
+/// ground truth revealed by layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleTruth {
+    /// Module name.
+    pub name: String,
+    /// Believed (estimated) area before layout.
+    pub estimated: LambdaArea,
+    /// True width after layout.
+    pub true_width: Lambda,
+    /// True height after layout.
+    pub true_height: Lambda,
+}
+
+impl ModuleTruth {
+    /// True area.
+    pub fn true_area(&self) -> LambdaArea {
+        self.true_width * self.true_height
+    }
+
+    /// |estimate − truth| ÷ truth.
+    pub fn estimate_error(&self) -> f64 {
+        (self.estimated.as_f64() - self.true_area().as_f64()).abs() / self.true_area().as_f64()
+    }
+}
+
+/// Result of the iteration experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationOutcome {
+    /// Number of floorplanning runs until convergence.
+    pub iterations: u32,
+    /// Chip area after each run.
+    pub area_history: Vec<LambdaArea>,
+    /// The converged floorplan.
+    pub final_plan: Floorplan,
+}
+
+/// Runs the iterative floorplanning loop.
+///
+/// # Panics
+///
+/// Panics if `modules` is empty or `tolerance` is not positive.
+pub fn converge(modules: &[ModuleTruth], tolerance: f64, params: &PlanParams) -> IterationOutcome {
+    assert!(!modules.is_empty(), "need at least one module");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+
+    // Beliefs start at the estimates; fixed modules become hard blocks.
+    let mut fixed = vec![false; modules.len()];
+    let mut area_history = Vec::new();
+    let mut iterations = 0u32;
+    loop {
+        iterations += 1;
+        let blocks: Vec<Block> = modules
+            .iter()
+            .zip(&fixed)
+            .map(|(m, &is_fixed)| {
+                if is_fixed {
+                    Block::hard(m.name.clone(), m.true_width, m.true_height)
+                } else {
+                    Block::soft(m.name.clone(), m.estimated, 5)
+                }
+            })
+            .collect();
+        let plan = floorplan(&blocks, params);
+        area_history.push(plan.area());
+
+        // Layout reveals truth: find the worst unfixed mismatch.
+        let worst = modules
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !fixed[i])
+            .map(|(i, m)| (i, m.estimate_error()))
+            .filter(|&(_, err)| err > tolerance)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite errors"));
+        match worst {
+            Some((i, _)) if iterations <= modules.len() as u32 + 1 => {
+                fixed[i] = true;
+            }
+            _ => {
+                return IterationOutcome {
+                    iterations,
+                    area_history,
+                    final_plan: plan,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(name: &str, estimated: i64, w: i64, h: i64) -> ModuleTruth {
+        ModuleTruth {
+            name: name.to_owned(),
+            estimated: LambdaArea::new(estimated),
+            true_width: Lambda::new(w),
+            true_height: Lambda::new(h),
+        }
+    }
+
+    #[test]
+    fn accurate_estimates_converge_in_one_iteration() {
+        let modules = vec![
+            module("a", 5000, 70, 71), // ~0.6 % error
+            module("b", 2500, 50, 50), // exact
+            module("c", 1200, 40, 30), // exact
+        ];
+        let out = converge(&modules, 0.15, &PlanParams::quick());
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn bad_estimates_cost_one_iteration_each() {
+        let modules = vec![
+            module("a", 2000, 70, 70), // 4900 true: 59 % off
+            module("b", 1000, 50, 50), // 2500 true: 60 % off
+            module("c", 1200, 40, 30), // exact
+        ];
+        let out = converge(&modules, 0.15, &PlanParams::quick());
+        assert_eq!(out.iterations, 3, "two bad modules -> two extra runs");
+        assert_eq!(out.area_history.len(), 3);
+    }
+
+    #[test]
+    fn estimator_beats_naive_guessing() {
+        // Same truth; estimator beliefs within 10 %, naive beliefs are the
+        // bare device area (half the truth).
+        let truth = [(80i64, 60i64), (70, 70), (50, 40), (90, 30)];
+        let estimator: Vec<ModuleTruth> = truth
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, h))| module(&format!("m{i}"), w * h * 105 / 100, w, h))
+            .collect();
+        let naive: Vec<ModuleTruth> = truth
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, h))| module(&format!("m{i}"), w * h / 2, w, h))
+            .collect();
+        let p = PlanParams::quick();
+        let est_out = converge(&estimator, 0.15, &p);
+        let naive_out = converge(&naive, 0.15, &p);
+        assert!(
+            est_out.iterations < naive_out.iterations,
+            "estimator {} vs naive {}",
+            est_out.iterations,
+            naive_out.iterations
+        );
+        assert_eq!(naive_out.iterations, truth.len() as u32 + 1);
+    }
+
+    #[test]
+    fn estimate_error_is_relative() {
+        let m = module("x", 150, 10, 10);
+        assert!((m.estimate_error() - 0.5).abs() < 1e-12);
+        assert_eq!(m.true_area(), LambdaArea::new(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one module")]
+    fn empty_modules_rejected() {
+        let _ = converge(&[], 0.1, &PlanParams::quick());
+    }
+}

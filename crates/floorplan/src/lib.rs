@@ -1,0 +1,46 @@
+//! A slicing chip floorplanner consuming `maestro` estimates.
+//!
+//! Figure 1 of the paper ends with "Input to Floor Planner": the whole
+//! point of pre-layout area estimation is to give a floorplanner realistic
+//! module sizes before any layout exists, so that fewer floorplanning
+//! iterations are wasted on shapes that turn out wrong. This crate is
+//! that floorplanner plus the iteration experiment:
+//!
+//! * [`Block`] — a floorplan block carrying a [`maestro_geom::ShapeCurve`]
+//!   of feasible realizations, built from an estimator
+//!   [`maestro_estimator::EstimateRecord`] or directly;
+//! * [`plan`] — slicing floorplanning: normalized-Polish-expression
+//!   simulated annealing with Stockmeyer shape-curve combination, yielding
+//!   a packed [`Floorplan`] with concrete block placements;
+//! * [`iterate`] — the paper's §7 claim made measurable: floorplan with
+//!   estimated sizes, "lay out" the modules (reveal their true sizes),
+//!   re-floorplan where the estimates were wrong, and count iterations
+//!   until the plan stabilizes.
+//!
+//! # Examples
+//!
+//! ```
+//! use maestro_floorplan::{plan::floorplan, Block, PlanParams};
+//! use maestro_geom::{Lambda, LambdaArea};
+//!
+//! let blocks = vec![
+//!     Block::soft("alu", LambdaArea::new(10_000), 5),
+//!     Block::soft("regfile", LambdaArea::new(8_000), 5),
+//!     Block::hard("rom", Lambda::new(120), Lambda::new(60)),
+//! ];
+//! let plan = floorplan(&blocks, &PlanParams::quick());
+//! assert_eq!(plan.placements().len(), 3);
+//! assert!(plan.utilization() > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+pub mod connectivity;
+pub mod iterate;
+pub mod plan;
+
+pub use block::Block;
+pub use connectivity::{floorplan_connected, ChipNetlist, ConnectedPlanParams};
+pub use plan::{floorplan, Floorplan, PlanParams};

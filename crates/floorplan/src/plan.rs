@@ -1,0 +1,586 @@
+//! Slicing floorplanning: Polish-expression annealing with Stockmeyer
+//! shape-curve combination.
+
+use maestro_geom::{Lambda, LambdaArea, Point, Rect, ShapeCurve, ShapePoint};
+use maestro_place::{anneal, AnnealSchedule, AnnealState};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Block;
+
+/// Parameters of a floorplanning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanParams {
+    /// Annealing seed.
+    pub seed: u64,
+    /// Cooling schedule.
+    pub schedule: AnnealSchedule,
+    /// Optional chip aspect-ratio limit (long side ÷ short side). When
+    /// set, root realizations beyond the limit pay a quadratic area
+    /// penalty, steering the annealer toward packable near-rectangles the
+    /// way commercial floorplanners take a die-shape constraint.
+    pub aspect_limit: Option<f64>,
+}
+
+impl Default for PlanParams {
+    fn default() -> Self {
+        PlanParams {
+            seed: 1988,
+            schedule: AnnealSchedule::default(),
+            aspect_limit: None,
+        }
+    }
+}
+
+impl PlanParams {
+    /// A short schedule for tests and small block counts.
+    pub fn quick() -> Self {
+        PlanParams {
+            schedule: AnnealSchedule::quick(),
+            ..PlanParams::default()
+        }
+    }
+
+    /// Constrains the chip's normalized aspect ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit < 1.0`.
+    pub fn with_aspect_limit(mut self, limit: f64) -> Self {
+        assert!(limit >= 1.0, "aspect limit is a normalized ratio ≥ 1");
+        self.aspect_limit = Some(limit);
+        self
+    }
+}
+
+/// Scores one root realization: area times a quadratic penalty for
+/// exceeding the aspect limit.
+fn point_cost(p: ShapePoint, aspect_limit: Option<f64>) -> f64 {
+    let area = p.area().as_f64();
+    match aspect_limit {
+        None => area,
+        Some(limit) => {
+            let w = p.width.as_f64();
+            let h = p.height.as_f64();
+            let aspect = (w / h).max(h / w);
+            let excess = (aspect / limit).max(1.0);
+            area * excess * excess
+        }
+    }
+}
+
+/// The best root realization of a curve under the aspect policy.
+fn best_point(curve: &ShapeCurve, aspect_limit: Option<f64>) -> ShapePoint {
+    curve
+        .points()
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            point_cost(*a, aspect_limit)
+                .partial_cmp(&point_cost(*b, aspect_limit))
+                .expect("finite costs")
+        })
+        .expect("curves are non-empty")
+}
+
+/// A finished floorplan: chip bounding box and per-block placements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    width: Lambda,
+    height: Lambda,
+    placements: Vec<(String, Rect)>,
+    blocks_area: LambdaArea,
+}
+
+impl Floorplan {
+    /// Chip width.
+    pub fn width(&self) -> Lambda {
+        self.width
+    }
+
+    /// Chip height.
+    pub fn height(&self) -> Lambda {
+        self.height
+    }
+
+    /// Chip area.
+    pub fn area(&self) -> LambdaArea {
+        self.width * self.height
+    }
+
+    /// Per-block placements (name, rectangle) in block order.
+    pub fn placements(&self) -> &[(String, Rect)] {
+        &self.placements
+    }
+
+    /// Σ placed block areas ÷ chip area.
+    pub fn utilization(&self) -> f64 {
+        if self.area().get() == 0 {
+            return 0.0;
+        }
+        self.blocks_area.as_f64() / self.area().as_f64()
+    }
+
+    /// The placement rectangle of a named block.
+    pub fn placement(&self, name: &str) -> Option<Rect> {
+        self.placements
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, r)| r)
+    }
+
+    /// Renders the floorplan as an SVG sketch: one labelled rectangle per
+    /// block inside the chip outline.
+    pub fn to_svg(&self) -> String {
+        use maestro_geom::svg::SvgDocument;
+        let mut doc = SvgDocument::new(self.width.max(Lambda::ONE), self.height.max(Lambda::ONE))
+            .with_scale(1.0);
+        const PALETTE: [&str; 6] = [
+            "#9bc4e2", "#a3d9a5", "#e2d49b", "#d9a3c4", "#c4a3d9", "#a5c9c4",
+        ];
+        for (i, (name, rect)) in self.placements.iter().enumerate() {
+            doc.rect(*rect, PALETTE[i % PALETTE.len()], Some(name));
+        }
+        doc.finish()
+    }
+}
+
+/// Cut direction (same convention as the full-custom synthesizer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cut {
+    Horizontal,
+    Vertical,
+}
+
+impl Cut {
+    fn flipped(self) -> Cut {
+        match self {
+            Cut::Horizontal => Cut::Vertical,
+            Cut::Vertical => Cut::Horizontal,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Elem {
+    Leaf(u32),
+    Op(Cut),
+}
+
+/// The annealing state over block Polish expressions. The evaluation
+/// combines full shape curves (Stockmeyer), so each expression's cost is
+/// the best achievable chip area over all block realizations.
+struct PlanState<'b> {
+    blocks: &'b [Block],
+    elems: Vec<Elem>,
+    aspect_limit: Option<f64>,
+    cached_cost: f64,
+    undo: Option<(usize, usize, bool)>, // (i, j, is_chain) — chain stores range
+}
+
+impl PlanState<'_> {
+    fn is_valid(&self) -> bool {
+        let mut operands = 0usize;
+        let mut ops = 0usize;
+        for e in &self.elems {
+            match e {
+                Elem::Leaf(_) => operands += 1,
+                Elem::Op(_) => {
+                    ops += 1;
+                    if ops >= operands {
+                        return false;
+                    }
+                }
+            }
+        }
+        ops + 1 == operands
+    }
+
+    fn root_curve(&self) -> ShapeCurve {
+        let mut stack: Vec<ShapeCurve> = Vec::new();
+        for e in &self.elems {
+            match *e {
+                Elem::Leaf(b) => stack.push(self.blocks[b as usize].curve().clone()),
+                Elem::Op(cut) => {
+                    let right = stack.pop().expect("valid expression");
+                    let left = stack.pop().expect("valid expression");
+                    stack.push(match cut {
+                        Cut::Vertical => left.beside(&right),
+                        Cut::Horizontal => left.stacked(&right),
+                    });
+                }
+            }
+        }
+        stack.pop().expect("valid expression")
+    }
+
+    fn refresh(&mut self) {
+        let curve = self.root_curve();
+        self.cached_cost = point_cost(best_point(&curve, self.aspect_limit), self.aspect_limit);
+    }
+}
+
+impl AnnealState for PlanState<'_> {
+    fn cost(&self) -> f64 {
+        self.cached_cost
+    }
+
+    fn propose_and_apply(&mut self, rng: &mut StdRng) -> f64 {
+        let n = self.elems.len();
+        match rng.gen_range(0..3u8) {
+            0 => {
+                // M1: swap adjacent operands.
+                let leaves: Vec<usize> = (0..n)
+                    .filter(|&i| matches!(self.elems[i], Elem::Leaf(_)))
+                    .collect();
+                let k = rng.gen_range(0..leaves.len().max(2) - 1);
+                let (i, j) = (leaves[k], leaves[(k + 1).min(leaves.len() - 1)]);
+                self.elems.swap(i, j);
+                self.undo = Some((i, j, false));
+            }
+            1 => {
+                // M2: complement one operator chain.
+                let starts: Vec<usize> = (0..n)
+                    .filter(|&i| {
+                        matches!(self.elems[i], Elem::Op(_))
+                            && (i == 0 || matches!(self.elems[i - 1], Elem::Leaf(_)))
+                    })
+                    .collect();
+                if starts.is_empty() {
+                    self.undo = Some((0, 0, true));
+                } else {
+                    let start = starts[rng.gen_range(0..starts.len())];
+                    let mut end = start;
+                    while end < n {
+                        match self.elems[end] {
+                            Elem::Op(c) => {
+                                self.elems[end] = Elem::Op(c.flipped());
+                                end += 1;
+                            }
+                            Elem::Leaf(_) => break,
+                        }
+                    }
+                    self.undo = Some((start, end, true));
+                }
+            }
+            _ => {
+                // M3: swap an operand–operator boundary, keeping validity.
+                let boundaries: Vec<usize> = (0..n.saturating_sub(1))
+                    .filter(|&i| {
+                        matches!(self.elems[i], Elem::Leaf(_))
+                            && matches!(self.elems[i + 1], Elem::Op(_))
+                    })
+                    .collect();
+                let mut done = None;
+                if !boundaries.is_empty() {
+                    let offset = rng.gen_range(0..boundaries.len());
+                    for probe in 0..boundaries.len() {
+                        let i = boundaries[(offset + probe) % boundaries.len()];
+                        self.elems.swap(i, i + 1);
+                        if self.is_valid() {
+                            done = Some((i, i + 1, false));
+                            break;
+                        }
+                        self.elems.swap(i, i + 1);
+                    }
+                }
+                self.undo = Some(done.unwrap_or((0, 0, false)));
+                if done.is_none() {
+                    // No-op move.
+                    self.undo = Some((0, 0, true));
+                }
+            }
+        }
+        self.refresh();
+        self.cached_cost
+    }
+
+    fn revert(&mut self) {
+        match self.undo.take().expect("revert without move") {
+            (start, end, true) => {
+                for i in start..end {
+                    if let Elem::Op(c) = self.elems[i] {
+                        self.elems[i] = Elem::Op(c.flipped());
+                    }
+                }
+            }
+            (i, j, false) => {
+                self.elems.swap(i, j);
+            }
+        }
+        self.refresh();
+    }
+}
+
+/// Expression tree used for top-down realization selection: each node
+/// keeps its combined shape curve so placement can recover which child
+/// realizations produced the chosen root point.
+enum Tree {
+    Leaf(u32, ShapeCurve),
+    Node(Cut, Box<Tree>, Box<Tree>, ShapeCurve),
+}
+
+impl Tree {
+    fn curve(&self) -> &ShapeCurve {
+        match self {
+            Tree::Leaf(_, c) => c,
+            Tree::Node(_, _, _, c) => c,
+        }
+    }
+
+    fn place(&self, chosen: ShapePoint, origin: Point, out: &mut Vec<(u32, Rect)>) {
+        match self {
+            Tree::Leaf(b, _) => {
+                out.push((*b, Rect::new(origin, chosen.width, chosen.height)));
+            }
+            Tree::Node(cut, left, right, _) => {
+                // Find child realizations producing `chosen`.
+                let mut found = None;
+                'outer: for &a in left.curve().points() {
+                    for &b in right.curve().points() {
+                        let combined = match cut {
+                            Cut::Vertical => {
+                                ShapePoint::new(a.width + b.width, a.height.max(b.height))
+                            }
+                            Cut::Horizontal => {
+                                ShapePoint::new(a.width.max(b.width), a.height + b.height)
+                            }
+                        };
+                        if combined == chosen {
+                            found = Some((a, b));
+                            break 'outer;
+                        }
+                    }
+                }
+                let (a, b) = found.expect("chosen point originates from children");
+                match cut {
+                    Cut::Vertical => {
+                        left.place(a, origin, out);
+                        right.place(b, origin.translated(a.width, Lambda::ZERO), out);
+                    }
+                    Cut::Horizontal => {
+                        left.place(a, origin, out);
+                        right.place(b, origin.translated(Lambda::ZERO, a.height), out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn build_tree(blocks: &[Block], elems: &[Elem]) -> Tree {
+    let mut stack: Vec<Tree> = Vec::new();
+    for e in elems {
+        match *e {
+            Elem::Leaf(b) => stack.push(Tree::Leaf(b, blocks[b as usize].curve().clone())),
+            Elem::Op(cut) => {
+                let right = stack.pop().expect("valid expression");
+                let left = stack.pop().expect("valid expression");
+                let curve = match cut {
+                    Cut::Vertical => left.curve().beside(right.curve()),
+                    Cut::Horizontal => left.curve().stacked(right.curve()),
+                };
+                stack.push(Tree::Node(cut, Box::new(left), Box::new(right), curve));
+            }
+        }
+    }
+    stack.pop().expect("valid expression")
+}
+
+/// Floorplans a set of blocks into a minimum-area slicing arrangement.
+///
+/// # Panics
+///
+/// Panics if `blocks` is empty.
+pub fn floorplan(blocks: &[Block], params: &PlanParams) -> Floorplan {
+    assert!(!blocks.is_empty(), "cannot floorplan zero blocks");
+    // Initial expression: serpentine pairing like the synthesizer.
+    let n = blocks.len();
+    let per_row = (n as f64).sqrt().ceil() as usize;
+    let mut elems = Vec::with_capacity(n * 2);
+    let mut rows_emitted = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        let end = (i + per_row).min(n);
+        elems.push(Elem::Leaf(i as u32));
+        for t in i + 1..end {
+            elems.push(Elem::Leaf(t as u32));
+            elems.push(Elem::Op(Cut::Vertical));
+        }
+        rows_emitted += 1;
+        if rows_emitted >= 2 {
+            elems.push(Elem::Op(Cut::Horizontal));
+        }
+        i = end;
+    }
+
+    let mut state = PlanState {
+        blocks,
+        elems,
+        aspect_limit: params.aspect_limit,
+        cached_cost: 0.0,
+        undo: None,
+    };
+    state.refresh();
+    if n > 1 {
+        let initial_elems = state.elems.clone();
+        let initial_cost = state.cached_cost;
+        let schedule = params
+            .schedule
+            .clone()
+            .calibrated(&mut state, params.seed, 48);
+        let final_cost = anneal(&mut state, &schedule, params.seed);
+        if final_cost > initial_cost {
+            state.elems = initial_elems;
+            state.refresh();
+        }
+    }
+
+    let tree = build_tree(blocks, &state.elems);
+    let root_point = best_point(tree.curve(), params.aspect_limit);
+    let mut raw = Vec::with_capacity(n);
+    tree.place(root_point, Point::ORIGIN, &mut raw);
+    raw.sort_by_key(|&(b, _)| b);
+    let blocks_area: LambdaArea = raw.iter().map(|&(_, r)| r.area()).sum();
+    Floorplan {
+        width: root_point.width,
+        height: root_point.height,
+        placements: raw
+            .into_iter()
+            .map(|(b, r)| (blocks[b as usize].name().to_owned(), r))
+            .collect(),
+        blocks_area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soft(name: &str, area: i64) -> Block {
+        Block::soft(name, LambdaArea::new(area), 5)
+    }
+
+    #[test]
+    fn single_block_floorplan_is_the_block() {
+        let blocks = vec![Block::hard("only", Lambda::new(30), Lambda::new(20))];
+        let plan = floorplan(&blocks, &PlanParams::quick());
+        assert_eq!(plan.placements().len(), 1);
+        assert_eq!(plan.area(), LambdaArea::new(600));
+        assert!((plan.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocks_never_overlap() {
+        let blocks = vec![
+            soft("a", 4000),
+            soft("b", 2500),
+            Block::hard("c", Lambda::new(80), Lambda::new(25)),
+            soft("d", 1200),
+            soft("e", 900),
+        ];
+        let plan = floorplan(&blocks, &PlanParams::quick());
+        let rects: Vec<Rect> = plan.placements().iter().map(|&(_, r)| r).collect();
+        for i in 0..rects.len() {
+            for j in i + 1..rects.len() {
+                assert!(
+                    !rects[i].overlaps_strictly(rects[j]),
+                    "blocks {i} and {j} overlap: {} vs {}",
+                    rects[i],
+                    rects[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_stay_inside_the_chip() {
+        let blocks = vec![soft("a", 3000), soft("b", 3000), soft("c", 3000)];
+        let plan = floorplan(&blocks, &PlanParams::quick());
+        for (name, r) in plan.placements() {
+            assert!(
+                r.top_right().x <= plan.width() && r.top_right().y <= plan.height(),
+                "{name} escapes the chip: {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_is_high_for_compatible_blocks() {
+        // Four equal soft blocks pack near-perfectly.
+        let blocks: Vec<Block> = (0..4).map(|i| soft(&format!("b{i}"), 2500)).collect();
+        let plan = floorplan(&blocks, &PlanParams::default());
+        assert!(
+            plan.utilization() > 0.8,
+            "utilization {:.2} too low",
+            plan.utilization()
+        );
+    }
+
+    #[test]
+    fn floorplan_is_deterministic() {
+        let blocks = vec![soft("a", 1000), soft("b", 2000), soft("c", 1500)];
+        let p1 = floorplan(&blocks, &PlanParams::quick());
+        let p2 = floorplan(&blocks, &PlanParams::quick());
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn svg_labels_every_block() {
+        let blocks = vec![soft("alu", 1000), soft("rom", 800), soft("ram", 1200)];
+        let plan = floorplan(&blocks, &PlanParams::quick());
+        let svg = plan.to_svg();
+        for b in &blocks {
+            assert!(svg.contains(b.name()), "missing {}", b.name());
+        }
+        assert_eq!(svg.matches("<rect").count(), blocks.len() + 1);
+    }
+
+    #[test]
+    fn named_placement_lookup() {
+        let blocks = vec![soft("alu", 1000), soft("rom", 800)];
+        let plan = floorplan(&blocks, &PlanParams::quick());
+        assert!(plan.placement("alu").is_some());
+        assert!(plan.placement("cache").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero blocks")]
+    fn empty_block_list_rejected() {
+        let _ = floorplan(&[], &PlanParams::quick());
+    }
+
+    #[test]
+    fn aspect_limit_yields_squarer_chips() {
+        // Many identical blocks tempt the annealer into a tall stack; the
+        // limit must pull the chip toward a near-square.
+        let blocks: Vec<Block> = (0..8).map(|i| soft(&format!("b{i}"), 3000)).collect();
+        let free = floorplan(&blocks, &PlanParams::quick());
+        let limited = floorplan(&blocks, &PlanParams::quick().with_aspect_limit(1.5));
+        let norm = |p: &Floorplan| {
+            let w = p.width().as_f64();
+            let h = p.height().as_f64();
+            (w / h).max(h / w)
+        };
+        assert!(
+            norm(&limited) <= norm(&free) + 1e-9,
+            "limited {:.2} vs free {:.2}",
+            norm(&limited),
+            norm(&free)
+        );
+        assert!(
+            norm(&limited) <= 2.2,
+            "limited chip still {:.2}",
+            norm(&limited)
+        );
+        // Area cost of the constraint stays moderate.
+        assert!(limited.area().as_f64() <= free.area().as_f64() * 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalized ratio")]
+    fn sub_unity_aspect_limit_rejected() {
+        let _ = PlanParams::quick().with_aspect_limit(0.5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the slicing floorplanner.
+
+use maestro_floorplan::{floorplan, Block, PlanParams};
+use maestro_geom::{Lambda, LambdaArea, Rect};
+use maestro_place::AnnealSchedule;
+use proptest::prelude::*;
+
+fn quick_params(seed: u64) -> PlanParams {
+    PlanParams {
+        seed,
+        schedule: AnnealSchedule {
+            rounds: 6,
+            moves_per_round: 40,
+            ..AnnealSchedule::quick()
+        },
+        ..PlanParams::default()
+    }
+}
+
+fn blocks_from(specs: &[(i64, i64, bool)]) -> Vec<Block> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(w, h, soft))| {
+            if soft {
+                Block::soft(format!("s{i}"), LambdaArea::new(w * h), 4)
+            } else {
+                Block::hard(format!("h{i}"), Lambda::new(w), Lambda::new(h))
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn no_overlaps_and_all_inside(
+        specs in proptest::collection::vec((5i64..80, 5i64..80, any::<bool>()), 1..9),
+        seed in 0u64..50,
+    ) {
+        let blocks = blocks_from(&specs);
+        let plan = floorplan(&blocks, &quick_params(seed));
+        prop_assert_eq!(plan.placements().len(), blocks.len());
+        let rects: Vec<Rect> = plan.placements().iter().map(|&(_, r)| r).collect();
+        for (i, a) in rects.iter().enumerate() {
+            prop_assert!(a.top_right().x <= plan.width());
+            prop_assert!(a.top_right().y <= plan.height());
+            for b in &rects[i + 1..] {
+                prop_assert!(!a.overlaps_strictly(*b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn chip_area_bounds(
+        specs in proptest::collection::vec((5i64..80, 5i64..80, any::<bool>()), 1..9),
+        seed in 0u64..50,
+    ) {
+        let blocks = blocks_from(&specs);
+        let plan = floorplan(&blocks, &quick_params(seed));
+        let min_sum: i64 = blocks.iter().map(|b| b.min_area().get()).sum();
+        prop_assert!(plan.area().get() >= min_sum);
+        prop_assert!(plan.utilization() <= 1.0 + 1e-9);
+        prop_assert!(plan.utilization() > 0.0);
+    }
+
+    #[test]
+    fn hard_blocks_keep_their_shape(
+        specs in proptest::collection::vec((5i64..60, 5i64..60), 1..7),
+        seed in 0u64..50,
+    ) {
+        let blocks: Vec<Block> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, h))| Block::hard(format!("h{i}"), Lambda::new(w), Lambda::new(h)))
+            .collect();
+        let plan = floorplan(&blocks, &quick_params(seed));
+        for (i, &(w, h)) in specs.iter().enumerate() {
+            let rect = plan.placement(&format!("h{i}")).expect("placed");
+            let dims = (rect.width().get(), rect.height().get());
+            prop_assert!(
+                dims == (w, h) || dims == (h, w),
+                "block {i}: {dims:?} not a rotation of ({w}, {h})"
+            );
+        }
+    }
+
+    #[test]
+    fn aspect_limit_is_respected_within_slack(
+        specs in proptest::collection::vec((10i64..50, 10i64..50, any::<bool>()), 2..8),
+        seed in 0u64..30,
+    ) {
+        let blocks = blocks_from(&specs);
+        let plan = floorplan(&blocks, &quick_params(seed).with_aspect_limit(2.0));
+        let w = plan.width().as_f64();
+        let h = plan.height().as_f64();
+        let aspect = (w / h).max(h / w);
+        // Soft constraint: the penalty steers, it does not clamp — allow
+        // slack for incompatible hard blocks.
+        prop_assert!(aspect <= 5.0, "aspect {aspect:.2} far beyond the limit");
+    }
+}

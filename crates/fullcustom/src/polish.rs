@@ -1,0 +1,452 @@
+//! Polish-expression slicing floorplans over fixed rectangular tiles.
+//!
+//! A slicing floorplan is a recursive cut of a rectangle into two halves;
+//! its canonical encoding is a postfix ("Polish") expression over tile
+//! operands and the two cut operators. Annealing over expressions with
+//! the Wong–Liu move set explores the slicing-floorplan space without
+//! ever producing an invalid layout.
+
+use maestro_geom::{Lambda, LambdaArea, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A cut operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cut {
+    /// Horizontal cut: the two children stack vertically
+    /// (width = max, height = sum).
+    Horizontal,
+    /// Vertical cut: the two children sit side by side
+    /// (width = sum, height = max).
+    Vertical,
+}
+
+impl Cut {
+    /// The opposite cut direction.
+    pub fn flipped(self) -> Cut {
+        match self {
+            Cut::Horizontal => Cut::Vertical,
+            Cut::Vertical => Cut::Horizontal,
+        }
+    }
+}
+
+/// One element of a Polish expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Elem {
+    /// A tile operand (index into the tile list).
+    Tile(u32),
+    /// A cut operator combining the two sub-floorplans below it.
+    Op(Cut),
+}
+
+/// A slicing floorplan: a Polish expression plus a rotation flag per tile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolishExpr {
+    elems: Vec<Elem>,
+    rotated: Vec<bool>,
+}
+
+/// The evaluated floorplan: the bounding box and each tile's placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evaluated {
+    /// Overall bounding width.
+    pub width: Lambda,
+    /// Overall bounding height.
+    pub height: Lambda,
+    /// Placement of each tile, indexed like the tile list.
+    pub placements: Vec<Rect>,
+}
+
+impl Evaluated {
+    /// Bounding-box area.
+    pub fn area(&self) -> LambdaArea {
+        self.width * self.height
+    }
+}
+
+impl PolishExpr {
+    /// Builds an initial roughly-square floorplan: tiles are grouped into
+    /// `⌈√N⌉`-sized runs joined side-by-side, and the runs stacked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_count == 0`.
+    pub fn initial(tile_count: usize) -> Self {
+        assert!(tile_count > 0, "need at least one tile");
+        let per_row = (tile_count as f64).sqrt().ceil() as usize;
+        let mut elems = Vec::with_capacity(tile_count * 2);
+        let mut rows_emitted = 0usize;
+        let mut i = 0usize;
+        while i < tile_count {
+            let end = (i + per_row).min(tile_count);
+            elems.push(Elem::Tile(i as u32));
+            for t in i + 1..end {
+                elems.push(Elem::Tile(t as u32));
+                elems.push(Elem::Op(Cut::Vertical));
+            }
+            rows_emitted += 1;
+            if rows_emitted >= 2 {
+                elems.push(Elem::Op(Cut::Horizontal));
+            }
+            i = end;
+        }
+        PolishExpr {
+            elems,
+            rotated: vec![false; tile_count],
+        }
+    }
+
+    /// The expression elements (postfix order).
+    pub fn elems(&self) -> &[Elem] {
+        &self.elems
+    }
+
+    /// Rotation flags per tile.
+    pub fn rotations(&self) -> &[bool] {
+        &self.rotated
+    }
+
+    /// Number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.rotated.len()
+    }
+
+    /// `true` if `elems` is a valid postfix slicing expression over all
+    /// tiles (each exactly once, operators one fewer than operands, and
+    /// every prefix has more operands than operators).
+    pub fn is_valid(&self) -> bool {
+        let mut operands = 0usize;
+        let mut ops = 0usize;
+        let mut seen = vec![false; self.rotated.len()];
+        for e in &self.elems {
+            match e {
+                Elem::Tile(t) => {
+                    let idx = *t as usize;
+                    if idx >= seen.len() || seen[idx] {
+                        return false;
+                    }
+                    seen[idx] = true;
+                    operands += 1;
+                }
+                Elem::Op(_) => {
+                    ops += 1;
+                    if ops >= operands {
+                        return false;
+                    }
+                }
+            }
+        }
+        operands == self.rotated.len() && ops + 1 == operands
+    }
+
+    /// Evaluates the floorplan over tiles of the given sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression is invalid or `tile_sizes` is shorter than
+    /// the tile count.
+    pub fn evaluate(&self, tile_sizes: &[(Lambda, Lambda)]) -> Evaluated {
+        assert!(
+            tile_sizes.len() >= self.rotated.len(),
+            "a size per tile is required"
+        );
+        struct Node {
+            width: Lambda,
+            height: Lambda,
+            /// (tile, x-offset, y-offset) within this node.
+            tiles: Vec<(u32, Lambda, Lambda)>,
+        }
+        let mut stack: Vec<Node> = Vec::new();
+        for e in &self.elems {
+            match *e {
+                Elem::Tile(t) => {
+                    let (mut w, mut h) = tile_sizes[t as usize];
+                    if self.rotated[t as usize] {
+                        std::mem::swap(&mut w, &mut h);
+                    }
+                    stack.push(Node {
+                        width: w,
+                        height: h,
+                        tiles: vec![(t, Lambda::ZERO, Lambda::ZERO)],
+                    });
+                }
+                Elem::Op(cut) => {
+                    let right = stack.pop().expect("valid expression");
+                    let left = stack.pop().expect("valid expression");
+                    let node = match cut {
+                        Cut::Vertical => {
+                            let mut tiles = left.tiles;
+                            for (t, x, y) in right.tiles {
+                                tiles.push((t, x + left.width, y));
+                            }
+                            Node {
+                                width: left.width + right.width,
+                                height: left.height.max(right.height),
+                                tiles,
+                            }
+                        }
+                        Cut::Horizontal => {
+                            let mut tiles = left.tiles;
+                            for (t, x, y) in right.tiles {
+                                tiles.push((t, x, y + left.height));
+                            }
+                            Node {
+                                width: left.width.max(right.width),
+                                height: left.height + right.height,
+                                tiles,
+                            }
+                        }
+                    };
+                    stack.push(node);
+                }
+            }
+        }
+        let root = stack.pop().expect("valid expression");
+        assert!(stack.is_empty(), "valid expression leaves one root");
+        let mut placements = vec![Rect::from_size(Lambda::ONE, Lambda::ONE); self.rotated.len()];
+        for (t, x, y) in root.tiles {
+            let (mut w, mut h) = tile_sizes[t as usize];
+            if self.rotated[t as usize] {
+                std::mem::swap(&mut w, &mut h);
+            }
+            placements[t as usize] = Rect::new(maestro_geom::Point::new(x, y), w, h);
+        }
+        Evaluated {
+            width: root.width,
+            height: root.height,
+            placements,
+        }
+    }
+
+    /// Move M1: swaps two adjacent operands (tiles adjacent in the
+    /// expression, ignoring operators between them). Returns the two
+    /// element indices swapped, or `None` if fewer than two tiles.
+    pub fn swap_adjacent_operands(&mut self, nth_pair: usize) -> Option<(usize, usize)> {
+        let operand_positions: Vec<usize> = self
+            .elems
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, Elem::Tile(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if operand_positions.len() < 2 {
+            return None;
+        }
+        let pair = nth_pair % (operand_positions.len() - 1);
+        let (i, j) = (operand_positions[pair], operand_positions[pair + 1]);
+        self.elems.swap(i, j);
+        Some((i, j))
+    }
+
+    /// Move M2: complements a maximal chain of operators starting at the
+    /// `nth` operator position. Returns the range complemented.
+    pub fn complement_chain(&mut self, nth_chain: usize) -> Option<(usize, usize)> {
+        let chain_starts: Vec<usize> = self
+            .elems
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| {
+                matches!(e, Elem::Op(_)) && (*i == 0 || matches!(self.elems[i - 1], Elem::Tile(_)))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if chain_starts.is_empty() {
+            return None;
+        }
+        let start = chain_starts[nth_chain % chain_starts.len()];
+        let mut end = start;
+        while end < self.elems.len() {
+            match self.elems[end] {
+                Elem::Op(c) => {
+                    self.elems[end] = Elem::Op(c.flipped());
+                    end += 1;
+                }
+                Elem::Tile(_) => break,
+            }
+        }
+        Some((start, end))
+    }
+
+    /// Undoes a prior [`PolishExpr::complement_chain`] over the same range.
+    pub fn uncomplement(&mut self, range: (usize, usize)) {
+        for i in range.0..range.1 {
+            if let Elem::Op(c) = self.elems[i] {
+                self.elems[i] = Elem::Op(c.flipped());
+            }
+        }
+    }
+
+    /// Move M3: swaps an adjacent operand–operator pair at the `nth`
+    /// such boundary, if the result remains a valid expression. Returns
+    /// the swapped indices.
+    pub fn swap_operand_operator(&mut self, nth_boundary: usize) -> Option<(usize, usize)> {
+        let boundaries: Vec<usize> = (0..self.elems.len().saturating_sub(1))
+            .filter(|&i| {
+                matches!(self.elems[i], Elem::Tile(_)) && matches!(self.elems[i + 1], Elem::Op(_))
+            })
+            .collect();
+        if boundaries.is_empty() {
+            return None;
+        }
+        for probe in 0..boundaries.len() {
+            let i = boundaries[(nth_boundary + probe) % boundaries.len()];
+            self.elems.swap(i, i + 1);
+            if self.is_valid() {
+                return Some((i, i + 1));
+            }
+            self.elems.swap(i, i + 1);
+        }
+        None
+    }
+
+    /// Move M4: toggles one tile's rotation. Returns the tile index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn flip_rotation(&mut self, tile: usize) -> usize {
+        self.rotated[tile] = !self.rotated[tile];
+        tile
+    }
+
+    /// Swaps two elements back (undo for M1/M3).
+    pub fn unswap(&mut self, pair: (usize, usize)) {
+        self.elems.swap(pair.0, pair.1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes(list: &[(i64, i64)]) -> Vec<(Lambda, Lambda)> {
+        list.iter()
+            .map(|&(w, h)| (Lambda::new(w), Lambda::new(h)))
+            .collect()
+    }
+
+    #[test]
+    fn initial_expression_is_valid_for_many_sizes() {
+        for n in 1..=40 {
+            let e = PolishExpr::initial(n);
+            assert!(e.is_valid(), "n={n}: {:?}", e.elems());
+            assert_eq!(e.tile_count(), n);
+        }
+    }
+
+    #[test]
+    fn single_tile_evaluates_to_itself() {
+        let e = PolishExpr::initial(1);
+        let ev = e.evaluate(&sizes(&[(10, 4)]));
+        assert_eq!(ev.width, Lambda::new(10));
+        assert_eq!(ev.height, Lambda::new(4));
+        assert_eq!(ev.area(), LambdaArea::new(40));
+    }
+
+    #[test]
+    fn vertical_cut_adds_widths() {
+        let e = PolishExpr {
+            elems: vec![Elem::Tile(0), Elem::Tile(1), Elem::Op(Cut::Vertical)],
+            rotated: vec![false, false],
+        };
+        let ev = e.evaluate(&sizes(&[(10, 4), (6, 8)]));
+        assert_eq!(ev.width, Lambda::new(16));
+        assert_eq!(ev.height, Lambda::new(8));
+        // Right child offset by left width.
+        assert_eq!(ev.placements[1].origin().x, Lambda::new(10));
+    }
+
+    #[test]
+    fn horizontal_cut_adds_heights() {
+        let e = PolishExpr {
+            elems: vec![Elem::Tile(0), Elem::Tile(1), Elem::Op(Cut::Horizontal)],
+            rotated: vec![false, false],
+        };
+        let ev = e.evaluate(&sizes(&[(10, 4), (6, 8)]));
+        assert_eq!(ev.width, Lambda::new(10));
+        assert_eq!(ev.height, Lambda::new(12));
+        assert_eq!(ev.placements[1].origin().y, Lambda::new(4));
+    }
+
+    #[test]
+    fn rotation_swaps_tile_dimensions() {
+        let mut e = PolishExpr::initial(1);
+        e.flip_rotation(0);
+        let ev = e.evaluate(&sizes(&[(10, 4)]));
+        assert_eq!((ev.width, ev.height), (Lambda::new(4), Lambda::new(10)));
+    }
+
+    #[test]
+    fn placements_never_overlap() {
+        let tile_sizes = sizes(&[(10, 4), (6, 8), (5, 5), (7, 3), (2, 9)]);
+        let mut e = PolishExpr::initial(5);
+        // Shake the expression with every move type.
+        e.swap_adjacent_operands(1);
+        e.complement_chain(0);
+        e.swap_operand_operator(2);
+        e.flip_rotation(3);
+        assert!(e.is_valid());
+        let ev = e.evaluate(&tile_sizes);
+        for i in 0..5 {
+            for j in i + 1..5 {
+                assert!(
+                    !ev.placements[i].overlaps_strictly(ev.placements[j]),
+                    "tiles {i} and {j} overlap: {} vs {}",
+                    ev.placements[i],
+                    ev.placements[j]
+                );
+            }
+        }
+        // All inside the bounding box.
+        for p in &ev.placements {
+            assert!(p.top_right().x <= ev.width && p.top_right().y <= ev.height);
+        }
+    }
+
+    #[test]
+    fn moves_preserve_validity_and_are_undoable() {
+        let mut e = PolishExpr::initial(6);
+        let snapshot = e.clone();
+        if let Some(pair) = e.swap_adjacent_operands(2) {
+            assert!(e.is_valid());
+            e.unswap(pair);
+            assert_eq!(e, snapshot);
+        }
+        if let Some(range) = e.complement_chain(1) {
+            assert!(e.is_valid());
+            e.uncomplement(range);
+            assert_eq!(e, snapshot);
+        }
+        if let Some(pair) = e.swap_operand_operator(0) {
+            assert!(e.is_valid());
+            e.unswap(pair);
+            assert_eq!(e, snapshot);
+        }
+        let t = e.flip_rotation(4);
+        e.flip_rotation(t);
+        assert_eq!(e, snapshot);
+    }
+
+    #[test]
+    fn area_conservation_tiles_fit_in_bounding_box() {
+        let tile_sizes = sizes(&[(3, 3), (4, 2), (2, 5), (6, 1)]);
+        let e = PolishExpr::initial(4);
+        let ev = e.evaluate(&tile_sizes);
+        let tile_area: i64 = tile_sizes.iter().map(|(w, h)| w.get() * h.get()).sum();
+        assert!(ev.area().get() >= tile_area);
+    }
+
+    #[test]
+    fn invalid_expressions_detected() {
+        let bad = PolishExpr {
+            elems: vec![Elem::Op(Cut::Vertical), Elem::Tile(0), Elem::Tile(1)],
+            rotated: vec![false, false],
+        };
+        assert!(!bad.is_valid());
+        let dup = PolishExpr {
+            elems: vec![Elem::Tile(0), Elem::Tile(0), Elem::Op(Cut::Vertical)],
+            rotated: vec![false, false],
+        };
+        assert!(!dup.is_valid());
+    }
+}

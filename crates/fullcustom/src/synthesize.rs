@@ -1,0 +1,378 @@
+//! The layout-synthesis driver: tiles → annealed slicing floorplan →
+//! wiring allocation → the "real" full-custom module.
+
+use maestro_geom::{AspectRatio, Lambda, LambdaArea};
+use maestro_netlist::{DeviceId, LayoutStyle, Module, NetlistError, NetlistStats};
+use maestro_place::{anneal, AnnealSchedule, AnnealState};
+use maestro_tech::ProcessDb;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::polish::{Evaluated, PolishExpr};
+use crate::wiring;
+
+/// Parameters of a synthesis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisParams {
+    /// Annealing seed.
+    pub seed: u64,
+    /// Cooling schedule.
+    pub schedule: AnnealSchedule,
+    /// Weight of the wirelength term relative to bounding area
+    /// (λ of HPWL per λ² of area).
+    pub wire_weight: f64,
+}
+
+impl Default for SynthesisParams {
+    fn default() -> Self {
+        SynthesisParams {
+            seed: 1988,
+            schedule: AnnealSchedule::default(),
+            wire_weight: 2.0,
+        }
+    }
+}
+
+impl SynthesisParams {
+    /// A short schedule for tests.
+    pub fn quick() -> Self {
+        SynthesisParams {
+            schedule: AnnealSchedule::quick(),
+            ..SynthesisParams::default()
+        }
+    }
+}
+
+/// A synthesized full-custom layout: the "real" columns of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FcLayout {
+    module_name: String,
+    width: Lambda,
+    height: Lambda,
+    device_area: LambdaArea,
+    wire_area: LambdaArea,
+    placements: Vec<maestro_geom::Rect>,
+}
+
+impl FcLayout {
+    /// Module name.
+    pub fn module_name(&self) -> &str {
+        &self.module_name
+    }
+
+    /// Layout width (tile bounding box).
+    pub fn width(&self) -> Lambda {
+        self.width
+    }
+
+    /// Layout height (tile bounding box).
+    pub fn height(&self) -> Lambda {
+        self.height
+    }
+
+    /// Total "real" module area: tile bounding box plus allocated wiring.
+    pub fn area(&self) -> LambdaArea {
+        self.width * self.height + self.wire_area
+    }
+
+    /// Σ device tile areas.
+    pub fn device_area(&self) -> LambdaArea {
+        self.device_area
+    }
+
+    /// Wiring area allocated from placed net extents.
+    pub fn wire_area(&self) -> LambdaArea {
+        self.wire_area
+    }
+
+    /// Whitespace inside the bounding box (box − devices).
+    pub fn whitespace(&self) -> LambdaArea {
+        self.width * self.height - self.device_area
+    }
+
+    /// Real aspect ratio of the synthesized layout, wiring distributed
+    /// proportionally (the reported shape matches the placed bounding
+    /// box).
+    pub fn aspect_ratio(&self) -> AspectRatio {
+        AspectRatio::of(self.width, self.height)
+    }
+
+    /// Per-device tile placements, indexed like the module's devices.
+    pub fn placements(&self) -> &[maestro_geom::Rect] {
+        &self.placements
+    }
+
+    /// Renders the layout as an SVG sketch: one labelled rectangle per
+    /// transistor tile inside the bounding box.
+    pub fn to_svg(&self) -> String {
+        use maestro_geom::svg::SvgDocument;
+        let mut doc = SvgDocument::new(self.width.max(Lambda::ONE), self.height.max(Lambda::ONE))
+            .with_scale(4.0);
+        for (i, r) in self.placements.iter().enumerate() {
+            doc.rect(*r, "#a3d9a5", Some(&format!("q{i}")));
+        }
+        doc.finish()
+    }
+}
+
+/// The annealing state over Polish expressions.
+struct SynthState<'m> {
+    module: &'m Module,
+    tiles: Vec<(Lambda, Lambda)>,
+    expr: PolishExpr,
+    wire_weight: f64,
+    cached_cost: f64,
+    cached_eval: Evaluated,
+    undo: Option<Undo>,
+}
+
+enum Undo {
+    Swap((usize, usize)),
+    Chain((usize, usize)),
+    Rotation(usize),
+    None,
+}
+
+impl SynthState<'_> {
+    fn evaluate_cost(&self, eval: &Evaluated) -> f64 {
+        let mut hpwl = 0.0f64;
+        for (_, net) in self.module.nets() {
+            let comps = net.components();
+            if comps.len() < 2 {
+                continue;
+            }
+            let mut min_x = f64::MAX;
+            let mut max_x = f64::MIN;
+            let mut min_y = f64::MAX;
+            let mut max_y = f64::MIN;
+            for d in comps {
+                let r = eval.placements[d.index()];
+                let cx = r.origin().x.as_f64() + r.width().as_f64() / 2.0;
+                let cy = r.origin().y.as_f64() + r.height().as_f64() / 2.0;
+                min_x = min_x.min(cx);
+                max_x = max_x.max(cx);
+                min_y = min_y.min(cy);
+                max_y = max_y.max(cy);
+            }
+            hpwl += (max_x - min_x) + (max_y - min_y);
+        }
+        eval.area().as_f64() + self.wire_weight * hpwl
+    }
+
+    fn refresh(&mut self) {
+        self.cached_eval = self.expr.evaluate(&self.tiles);
+        self.cached_cost = self.evaluate_cost(&self.cached_eval);
+    }
+}
+
+impl AnnealState for SynthState<'_> {
+    fn cost(&self) -> f64 {
+        self.cached_cost
+    }
+
+    fn propose_and_apply(&mut self, rng: &mut StdRng) -> f64 {
+        let n = self.expr.tile_count();
+        let undo = match rng.gen_range(0..4u8) {
+            0 => self
+                .expr
+                .swap_adjacent_operands(rng.gen_range(0..n.max(2)))
+                .map(Undo::Swap)
+                .unwrap_or(Undo::None),
+            1 => self
+                .expr
+                .complement_chain(rng.gen_range(0..n.max(1)))
+                .map(Undo::Chain)
+                .unwrap_or(Undo::None),
+            2 => self
+                .expr
+                .swap_operand_operator(rng.gen_range(0..n.max(1)))
+                .map(Undo::Swap)
+                .unwrap_or(Undo::None),
+            _ => Undo::Rotation(self.expr.flip_rotation(rng.gen_range(0..n))),
+        };
+        self.undo = Some(undo);
+        self.refresh();
+        self.cached_cost
+    }
+
+    fn revert(&mut self) {
+        match self.undo.take().expect("revert without move") {
+            Undo::Swap(pair) => self.expr.unswap(pair),
+            Undo::Chain(range) => self.expr.uncomplement(range),
+            Undo::Rotation(tile) => {
+                self.expr.flip_rotation(tile);
+            }
+            Undo::None => {}
+        }
+        self.refresh();
+    }
+}
+
+/// Synthesizes a dense full-custom layout for a transistor-level module.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownTemplate`] if a device's template is not
+/// in the technology's transistor table, or [`NetlistError::Invalid`] for
+/// an empty module.
+pub fn synthesize(
+    module: &Module,
+    tech: &ProcessDb,
+    params: &SynthesisParams,
+) -> Result<FcLayout, NetlistError> {
+    if module.device_count() == 0 {
+        return Err(NetlistError::invalid("cannot lay out an empty module"));
+    }
+    let stats = NetlistStats::resolve(module, tech, LayoutStyle::FullCustom)?;
+    let tiles: Vec<(Lambda, Lambda)> = (0..module.device_count())
+        .map(|i| {
+            let d = module.device(DeviceId::new(i as u32));
+            let t = tech.device(d.template()).expect("resolved above");
+            (t.width(), t.height())
+        })
+        .collect();
+
+    let expr = PolishExpr::initial(tiles.len());
+    let initial_eval = expr.evaluate(&tiles);
+    let mut state = SynthState {
+        module,
+        tiles,
+        expr,
+        wire_weight: params.wire_weight,
+        cached_cost: 0.0,
+        cached_eval: initial_eval,
+        undo: None,
+    };
+    state.refresh();
+    let initial_expr = state.expr.clone();
+    let initial_cost = state.cached_cost;
+    let schedule = params
+        .schedule
+        .clone()
+        .calibrated(&mut state, params.seed, 64);
+    let final_cost = anneal(&mut state, &schedule, params.seed);
+    if final_cost > initial_cost {
+        state.expr = initial_expr;
+        state.refresh();
+    }
+
+    let eval = state.cached_eval.clone();
+    let wire_area = wiring::wiring_area(
+        module,
+        &eval,
+        tech.rules()
+            .wire_pitch(maestro_geom::design_rules::Layer::Metal1),
+    );
+    Ok(FcLayout {
+        module_name: module.name().to_owned(),
+        width: eval.width,
+        height: eval.height,
+        device_area: stats.total_device_area(),
+        wire_area,
+        placements: eval.placements,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_netlist::{generate, library_circuits};
+    use maestro_tech::builtin;
+
+    #[test]
+    fn layout_contains_all_devices() {
+        let m = library_circuits::nmos_decoder2to4();
+        let l = synthesize(&m, &builtin::nmos25(), &SynthesisParams::quick()).unwrap();
+        assert!(l.area() >= l.device_area());
+        assert!(l.whitespace().get() >= 0);
+        assert!(l.width().is_positive() && l.height().is_positive());
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let m = library_circuits::nmos_full_adder();
+        let tech = builtin::nmos25();
+        let a = synthesize(&m, &tech, &SynthesisParams::quick()).unwrap();
+        let b = synthesize(&m, &tech, &SynthesisParams::quick()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn annealed_layout_is_reasonably_dense() {
+        // A competent manual-style layout packs ≥ 40 % device utilization
+        // inside the bounding box for these small regular circuits.
+        let tech = builtin::nmos25();
+        for m in library_circuits::table1_suite() {
+            let l = synthesize(&m, &tech, &SynthesisParams::default()).unwrap();
+            let util = l.device_area().as_f64() / (l.width() * l.height()).as_f64();
+            assert!(
+                util >= 0.4,
+                "{}: utilization {util:.2} too low ({} × {})",
+                m.name(),
+                l.width(),
+                l.height()
+            );
+        }
+    }
+
+    #[test]
+    fn aspect_ratio_is_moderate_after_annealing() {
+        // Manual layouts fall "in the range from 1:1 to 1:2" (paper §6);
+        // the annealer should land within a generous version of that band.
+        let tech = builtin::nmos25();
+        let m = library_circuits::nmos_shift_register(3);
+        let l = synthesize(&m, &tech, &SynthesisParams::default()).unwrap();
+        assert!(
+            l.aspect_ratio().normalized().as_f64() <= 3.0,
+            "aspect {} too extreme",
+            l.aspect_ratio()
+        );
+    }
+
+    #[test]
+    fn two_component_chain_has_minimal_wire_area() {
+        // The pass chain's nets connect abutting devices, so synthesized
+        // wiring is small relative to device area.
+        let tech = builtin::nmos25();
+        let m = library_circuits::pass_chain(8);
+        let l = synthesize(&m, &tech, &SynthesisParams::default()).unwrap();
+        assert!(
+            l.wire_area().as_f64() <= 0.6 * l.device_area().as_f64(),
+            "wire {} vs devices {}",
+            l.wire_area(),
+            l.device_area()
+        );
+    }
+
+    #[test]
+    fn svg_has_one_tile_per_device() {
+        let m = library_circuits::nmos_decoder2to4();
+        let l = synthesize(&m, &builtin::nmos25(), &SynthesisParams::quick()).unwrap();
+        assert_eq!(l.placements().len(), m.device_count());
+        let svg = l.to_svg();
+        // Background rect + one per tile.
+        assert_eq!(svg.matches("<rect").count(), m.device_count() + 1);
+        // Tiles stay disjoint in the rendered layout too.
+        for (i, a) in l.placements().iter().enumerate() {
+            for b in &l.placements()[i + 1..] {
+                assert!(!a.overlaps_strictly(*b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_module_is_an_error() {
+        let b = maestro_netlist::ModuleBuilder::new("empty");
+        let err =
+            synthesize(&b.finish(), &builtin::nmos25(), &SynthesisParams::quick()).unwrap_err();
+        assert!(matches!(err, NetlistError::Invalid { .. }));
+    }
+
+    #[test]
+    fn gate_level_module_is_rejected() {
+        let m = generate::ripple_adder(2);
+        let err = synthesize(&m, &builtin::nmos25(), &SynthesisParams::quick()).unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownTemplate { .. }));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the slicing-floorplan machinery: any sequence
+//! of annealing moves must preserve expression validity, and every
+//! evaluation must be a packing (disjoint tiles inside the bounding box).
+
+use maestro_fullcustom::polish::PolishExpr;
+use maestro_geom::Lambda;
+use proptest::prelude::*;
+
+fn tile_sizes(dims: &[(i64, i64)]) -> Vec<(Lambda, Lambda)> {
+    dims.iter()
+        .map(|&(w, h)| (Lambda::new(w), Lambda::new(h)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_move_sequences_preserve_validity(
+        dims in proptest::collection::vec((2i64..40, 2i64..40), 1..12),
+        moves in proptest::collection::vec((0u8..4, 0usize..64), 0..40),
+    ) {
+        let mut expr = PolishExpr::initial(dims.len());
+        for &(kind, arg) in &moves {
+            match kind {
+                0 => {
+                    expr.swap_adjacent_operands(arg);
+                }
+                1 => {
+                    expr.complement_chain(arg);
+                }
+                2 => {
+                    expr.swap_operand_operator(arg);
+                }
+                _ => {
+                    expr.flip_rotation(arg % dims.len());
+                }
+            }
+            prop_assert!(expr.is_valid(), "invalid after {kind}/{arg}: {:?}", expr.elems());
+        }
+    }
+
+    #[test]
+    fn every_evaluation_is_a_packing(
+        dims in proptest::collection::vec((2i64..40, 2i64..40), 1..12),
+        moves in proptest::collection::vec((0u8..4, 0usize..64), 0..30),
+    ) {
+        let sizes = tile_sizes(&dims);
+        let mut expr = PolishExpr::initial(dims.len());
+        for &(kind, arg) in &moves {
+            match kind {
+                0 => {
+                    expr.swap_adjacent_operands(arg);
+                }
+                1 => {
+                    expr.complement_chain(arg);
+                }
+                2 => {
+                    expr.swap_operand_operator(arg);
+                }
+                _ => {
+                    expr.flip_rotation(arg % dims.len());
+                }
+            }
+        }
+        let ev = expr.evaluate(&sizes);
+        // Disjoint tiles…
+        for i in 0..dims.len() {
+            for j in i + 1..dims.len() {
+                prop_assert!(
+                    !ev.placements[i].overlaps_strictly(ev.placements[j]),
+                    "tiles {i}/{j} overlap: {} vs {}",
+                    ev.placements[i],
+                    ev.placements[j]
+                );
+            }
+        }
+        // …inside the bounding box…
+        for p in &ev.placements {
+            prop_assert!(p.top_right().x <= ev.width);
+            prop_assert!(p.top_right().y <= ev.height);
+        }
+        // …whose area is at least the tile sum.
+        let tile_area: i64 = ev.placements.iter().map(|p| p.area().get()).sum();
+        prop_assert!(ev.area().get() >= tile_area);
+        // Rotation flags preserve per-tile area.
+        for (i, &(w, h)) in dims.iter().enumerate() {
+            prop_assert_eq!(ev.placements[i].area().get(), w * h);
+        }
+    }
+
+    #[test]
+    fn moves_are_exactly_undoable(
+        dims in proptest::collection::vec((2i64..20, 2i64..20), 2..10),
+        seed in 0usize..64,
+    ) {
+        let mut expr = PolishExpr::initial(dims.len());
+        let snapshot = expr.clone();
+        if let Some(pair) = expr.swap_adjacent_operands(seed) {
+            expr.unswap(pair);
+            prop_assert_eq!(&expr, &snapshot);
+        }
+        if let Some(range) = expr.complement_chain(seed) {
+            expr.uncomplement(range);
+            prop_assert_eq!(&expr, &snapshot);
+        }
+        if let Some(pair) = expr.swap_operand_operator(seed) {
+            expr.unswap(pair);
+            prop_assert_eq!(&expr, &snapshot);
+        }
+        let t = expr.flip_rotation(seed % dims.len());
+        expr.flip_rotation(t);
+        prop_assert_eq!(&expr, &snapshot);
+    }
+}

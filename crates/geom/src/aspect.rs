@@ -1,0 +1,169 @@
+//! Module aspect ratios as reported in the paper's Tables 1 and 2.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Lambda;
+
+/// A width : height aspect ratio.
+///
+/// The paper reports module shapes as ratios like `1.6` (width ÷ height) and
+/// notes that "most manually laid out modules fall in the range from 1:1 to
+/// 1:2" — i.e. between 0.5 and 2.0 in this normalized form. The estimator's
+/// §5 control criterion accepts a shape when every I/O port fits along one
+/// module edge.
+///
+/// # Examples
+///
+/// ```
+/// use maestro_geom::{AspectRatio, Lambda};
+///
+/// let ar = AspectRatio::of(Lambda::new(120), Lambda::new(80));
+/// assert!((ar.as_f64() - 1.5).abs() < 1e-12);
+/// assert!(ar.is_typical());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AspectRatio(f64);
+
+impl AspectRatio {
+    /// The square shape 1:1.
+    pub const SQUARE: AspectRatio = AspectRatio(1.0);
+
+    /// Creates a ratio from a raw `width / height` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not finite and positive.
+    pub fn new(ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "aspect ratio must be finite and positive: {ratio}"
+        );
+        AspectRatio(ratio)
+    }
+
+    /// Ratio of a concrete width and height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is non-positive.
+    pub fn of(width: Lambda, height: Lambda) -> Self {
+        assert!(
+            width.is_positive() && height.is_positive(),
+            "aspect ratio of degenerate shape: {width} × {height}"
+        );
+        AspectRatio(width.as_f64() / height.as_f64())
+    }
+
+    /// The raw `width / height` value.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// The reciprocal shape (module rotated 90°).
+    #[inline]
+    pub fn inverted(self) -> AspectRatio {
+        AspectRatio(1.0 / self.0)
+    }
+
+    /// The ratio normalized to ≥ 1 (long side ÷ short side), useful when
+    /// orientation is free.
+    #[inline]
+    pub fn normalized(self) -> AspectRatio {
+        if self.0 >= 1.0 {
+            self
+        } else {
+            self.inverted()
+        }
+    }
+
+    /// `true` if the normalized ratio falls in the paper's typical
+    /// manual-layout range 1:1 … 1:2.
+    #[inline]
+    pub fn is_typical(self) -> bool {
+        self.normalized().0 <= 2.0 + 1e-9
+    }
+
+    /// Multiplicative distance to another ratio: `max(a/b, b/a) − 1`.
+    ///
+    /// Zero when equal; symmetric; insensitive to which module is wider.
+    /// Used to score estimated vs. real shapes in the experiment harness.
+    #[inline]
+    pub fn mismatch(self, other: AspectRatio) -> f64 {
+        let q = self.normalized().0 / other.normalized().0;
+        if q >= 1.0 {
+            q - 1.0
+        } else {
+            1.0 / q - 1.0
+        }
+    }
+}
+
+impl Default for AspectRatio {
+    fn default() -> Self {
+        AspectRatio::SQUARE
+    }
+}
+
+impl fmt::Display for AspectRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_value() {
+        assert!((AspectRatio::new(1.6).as_f64() - 1.6).abs() < 1e-12);
+        let ar = AspectRatio::of(Lambda::new(10), Lambda::new(40));
+        assert!((ar.as_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_ratio_rejected() {
+        let _ = AspectRatio::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_shape_rejected() {
+        let _ = AspectRatio::of(Lambda::ZERO, Lambda::new(5));
+    }
+
+    #[test]
+    fn normalization_and_typical_range() {
+        assert!((AspectRatio::new(0.5).normalized().as_f64() - 2.0).abs() < 1e-12);
+        assert!(AspectRatio::new(0.5).is_typical());
+        assert!(AspectRatio::new(2.0).is_typical());
+        assert!(!AspectRatio::new(2.5).is_typical());
+        assert!(AspectRatio::SQUARE.is_typical());
+    }
+
+    #[test]
+    fn mismatch_is_symmetric_and_orientation_free() {
+        let a = AspectRatio::new(1.5);
+        let b = AspectRatio::new(2.0);
+        assert!((a.mismatch(b) - b.mismatch(a)).abs() < 1e-12);
+        assert!(a.mismatch(a) < 1e-12);
+        // 1.5 wide vs 1/1.5 tall are the same shape rotated.
+        assert!(a.mismatch(a.inverted()) < 1e-12);
+        assert!((a.mismatch(b) - (2.0 / 1.5 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_square() {
+        assert_eq!(AspectRatio::default(), AspectRatio::SQUARE);
+    }
+
+    #[test]
+    fn display_two_decimals() {
+        assert_eq!(AspectRatio::new(1.625).to_string(), "1.62");
+    }
+}

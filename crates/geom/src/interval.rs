@@ -1,0 +1,175 @@
+//! Closed 1-D intervals in λ, used by the channel router's zone analysis.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Lambda;
+
+/// A closed interval `[lo, hi]` on one axis, in λ.
+///
+/// The left-edge channel-routing algorithm reasons about horizontal net
+/// spans and their overlaps; `Interval` is that span.
+///
+/// # Examples
+///
+/// ```
+/// use maestro_geom::{Interval, Lambda};
+///
+/// let a = Interval::new(Lambda::new(0), Lambda::new(10));
+/// let b = Interval::new(Lambda::new(5), Lambda::new(15));
+/// assert!(a.overlaps(b));
+/// assert_eq!(a.union(b).len(), Lambda::new(15));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    lo: Lambda,
+    hi: Lambda,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`, normalizing the endpoint order.
+    #[inline]
+    pub fn new(lo: Lambda, hi: Lambda) -> Self {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// A degenerate single-point interval.
+    #[inline]
+    pub fn point(at: Lambda) -> Self {
+        Interval { lo: at, hi: at }
+    }
+
+    /// Lower endpoint.
+    #[inline]
+    pub const fn lo(self) -> Lambda {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub const fn hi(self) -> Lambda {
+        self.hi
+    }
+
+    /// Interval length `hi − lo`.
+    #[inline]
+    pub fn len(self) -> Lambda {
+        self.hi - self.lo
+    }
+
+    /// `true` if the interval is a single point.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// `true` if the closed intervals share at least one point.
+    #[inline]
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// `true` if the *open* interiors overlap — endpoint abutment does not
+    /// count. Two nets whose spans merely touch at a column can share a
+    /// routing track, so the router uses this strict test.
+    #[inline]
+    pub fn overlaps_strictly(self, other: Interval) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// `true` if `x` lies within the closed interval.
+    #[inline]
+    pub fn contains(self, x: Lambda) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Smallest interval covering both operands.
+    #[inline]
+    pub fn union(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Extends the interval to cover `x`.
+    #[inline]
+    pub fn expanded_to(self, x: Lambda) -> Interval {
+        Interval {
+            lo: self.lo.min(x),
+            hi: self.hi.max(x),
+        }
+    }
+
+    /// Overlap region, if the closed intervals intersect.
+    #[inline]
+    pub fn intersection(self, other: Interval) -> Option<Interval> {
+        if self.overlaps(other) {
+            Some(Interval {
+                lo: self.lo.max(other.lo),
+                hi: self.hi.min(other.hi),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::new(Lambda::new(lo), Lambda::new(hi))
+    }
+
+    #[test]
+    fn construction_normalizes_order() {
+        assert_eq!(iv(10, 2), iv(2, 10));
+        assert_eq!(iv(10, 2).lo(), Lambda::new(2));
+        assert_eq!(iv(10, 2).hi(), Lambda::new(10));
+    }
+
+    #[test]
+    fn point_interval_is_empty() {
+        let p = Interval::point(Lambda::new(4));
+        assert!(p.is_empty());
+        assert_eq!(p.len(), Lambda::ZERO);
+        assert!(p.contains(Lambda::new(4)));
+        assert!(!p.contains(Lambda::new(5)));
+    }
+
+    #[test]
+    fn closed_vs_strict_overlap() {
+        // Abutting at 10: closed overlap yes, strict no.
+        assert!(iv(0, 10).overlaps(iv(10, 20)));
+        assert!(!iv(0, 10).overlaps_strictly(iv(10, 20)));
+        assert!(iv(0, 10).overlaps_strictly(iv(9, 20)));
+        assert!(!iv(0, 10).overlaps(iv(11, 20)));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        assert_eq!(iv(0, 5).union(iv(3, 9)), iv(0, 9));
+        assert_eq!(iv(0, 5).intersection(iv(3, 9)), Some(iv(3, 5)));
+        assert_eq!(iv(0, 5).intersection(iv(6, 9)), None);
+        assert_eq!(iv(0, 5).expanded_to(Lambda::new(-2)), iv(-2, 5));
+        assert_eq!(iv(0, 5).expanded_to(Lambda::new(3)), iv(0, 5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(iv(1, 2).to_string(), "[1λ, 2λ]");
+    }
+}

@@ -1,0 +1,451 @@
+//! Integer λ (lambda) length and λ² area quantities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A length measured in Mead–Conway λ units.
+///
+/// λ is the scalable design-rule unit: half the minimum feature size, or in
+/// the paper's words "the maximum allowable mask misalignment". All layout
+/// dimensions in `maestro` are integer multiples of λ; conversion to physical
+/// microns happens only at display time via [`Lambda::to_microns`].
+///
+/// `Lambda` is a transparent `i64` newtype. Negative values are permitted
+/// (they arise as intermediate coordinates), but most consumers expect
+/// non-negative lengths and validate at their boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use maestro_geom::Lambda;
+///
+/// let w = Lambda::new(7);
+/// let h = Lambda::new(3);
+/// assert_eq!((w + h).get(), 10);
+/// assert_eq!((w * h).get(), 21); // Lambda × Lambda = LambdaArea
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Lambda(i64);
+
+impl Lambda {
+    /// The zero length.
+    pub const ZERO: Lambda = Lambda(0);
+    /// One λ.
+    pub const ONE: Lambda = Lambda(1);
+
+    /// Creates a length of `value` λ.
+    #[inline]
+    pub const fn new(value: i64) -> Self {
+        Lambda(value)
+    }
+
+    /// Returns the raw λ count.
+    #[inline]
+    pub const fn get(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the length as `f64` λ (for probability/expectation math).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Rounds a real-valued λ quantity *up* to the next integer λ.
+    ///
+    /// The paper's estimator rounds every expectation value "up to the next
+    /// higher integer" (after Eq. 3 and Eq. 11); this is the shared helper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    #[inline]
+    pub fn from_f64_ceil(value: f64) -> Self {
+        assert!(value.is_finite(), "non-finite lambda value: {value}");
+        Lambda(value.ceil() as i64)
+    }
+
+    /// Converts to physical microns given the process λ.
+    #[inline]
+    pub fn to_microns(self, lambda_microns: f64) -> Micron {
+        Micron(self.0 as f64 * lambda_microns)
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub const fn abs(self) -> Self {
+        Lambda(self.0.abs())
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Lambda(self.0.min(other.0))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Lambda(self.0.max(other.0))
+    }
+
+    /// `true` if the length is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+}
+
+impl fmt::Display for Lambda {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}λ", self.0)
+    }
+}
+
+impl From<i64> for Lambda {
+    fn from(value: i64) -> Self {
+        Lambda(value)
+    }
+}
+
+impl Add for Lambda {
+    type Output = Lambda;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Lambda(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Lambda {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Lambda {
+    type Output = Lambda;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Lambda(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Lambda {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Lambda {
+    type Output = Lambda;
+    #[inline]
+    fn neg(self) -> Self {
+        Lambda(-self.0)
+    }
+}
+
+impl Mul<i64> for Lambda {
+    type Output = Lambda;
+    #[inline]
+    fn mul(self, rhs: i64) -> Self {
+        Lambda(self.0 * rhs)
+    }
+}
+
+impl Mul<Lambda> for i64 {
+    type Output = Lambda;
+    #[inline]
+    fn mul(self, rhs: Lambda) -> Lambda {
+        Lambda(self * rhs.0)
+    }
+}
+
+impl MulAssign<i64> for Lambda {
+    #[inline]
+    fn mul_assign(&mut self, rhs: i64) {
+        self.0 *= rhs;
+    }
+}
+
+impl Div<i64> for Lambda {
+    type Output = Lambda;
+    #[inline]
+    fn div(self, rhs: i64) -> Self {
+        Lambda(self.0 / rhs)
+    }
+}
+
+impl Rem<i64> for Lambda {
+    type Output = Lambda;
+    #[inline]
+    fn rem(self, rhs: i64) -> Self {
+        Lambda(self.0 % rhs)
+    }
+}
+
+/// `Lambda × Lambda = LambdaArea`.
+impl Mul for Lambda {
+    type Output = LambdaArea;
+    #[inline]
+    fn mul(self, rhs: Self) -> LambdaArea {
+        LambdaArea(self.0 * rhs.0)
+    }
+}
+
+impl Sum for Lambda {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Lambda::ZERO, Add::add)
+    }
+}
+
+/// An area measured in λ² units, as reported in the paper's Table 1 and 2.
+///
+/// # Examples
+///
+/// ```
+/// use maestro_geom::{Lambda, LambdaArea};
+///
+/// let a = Lambda::new(100) * Lambda::new(50);
+/// assert_eq!(a, LambdaArea::new(5000));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct LambdaArea(i64);
+
+impl LambdaArea {
+    /// The zero area.
+    pub const ZERO: LambdaArea = LambdaArea(0);
+
+    /// Creates an area of `value` λ².
+    #[inline]
+    pub const fn new(value: i64) -> Self {
+        LambdaArea(value)
+    }
+
+    /// Returns the raw λ² count.
+    #[inline]
+    pub const fn get(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the area as `f64` λ².
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Rounds a real-valued λ² quantity up to the next integer λ².
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    #[inline]
+    pub fn from_f64_ceil(value: f64) -> Self {
+        assert!(value.is_finite(), "non-finite lambda-area value: {value}");
+        LambdaArea(value.ceil() as i64)
+    }
+
+    /// The side of the square with this area, rounded up to integer λ.
+    ///
+    /// Used by both aspect-ratio algorithms in §5 of the paper, which start
+    /// from a 1:1 floorplan whose side is `sqrt(area)`.
+    #[inline]
+    pub fn isqrt_ceil(self) -> Lambda {
+        assert!(self.0 >= 0, "negative area has no square side: {}", self.0);
+        let mut side = (self.0 as f64).sqrt().floor() as i64;
+        while side * side < self.0 {
+            side += 1;
+        }
+        while side > 0 && (side - 1) * (side - 1) >= self.0 {
+            side -= 1;
+        }
+        Lambda(side)
+    }
+
+    /// Relative error of `self` against a reference area, as a signed
+    /// fraction (`+0.26` means a 26 % overestimate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is zero.
+    #[inline]
+    pub fn relative_error(self, reference: LambdaArea) -> f64 {
+        assert!(reference.0 != 0, "relative error against zero reference");
+        (self.0 - reference.0) as f64 / reference.0 as f64
+    }
+
+    /// Converts to physical µm² given the process λ in microns.
+    #[inline]
+    pub fn to_square_microns(self, lambda_microns: f64) -> f64 {
+        self.0 as f64 * lambda_microns * lambda_microns
+    }
+}
+
+impl fmt::Display for LambdaArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}λ²", self.0)
+    }
+}
+
+impl Add for LambdaArea {
+    type Output = LambdaArea;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        LambdaArea(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for LambdaArea {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for LambdaArea {
+    type Output = LambdaArea;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        LambdaArea(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for LambdaArea {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<i64> for LambdaArea {
+    type Output = LambdaArea;
+    #[inline]
+    fn mul(self, rhs: i64) -> Self {
+        LambdaArea(self.0 * rhs)
+    }
+}
+
+impl Div<Lambda> for LambdaArea {
+    type Output = Lambda;
+    #[inline]
+    fn div(self, rhs: Lambda) -> Lambda {
+        Lambda(self.0 / rhs.0)
+    }
+}
+
+impl Sum for LambdaArea {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(LambdaArea::ZERO, Add::add)
+    }
+}
+
+/// A physical length in microns, produced by [`Lambda::to_microns`].
+///
+/// Display-only; no arithmetic is provided so that computation cannot
+/// silently drift out of λ space.
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Micron(pub f64);
+
+impl fmt::Display for Micron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}µm", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_arithmetic() {
+        let a = Lambda::new(5);
+        let b = Lambda::new(3);
+        assert_eq!(a + b, Lambda::new(8));
+        assert_eq!(a - b, Lambda::new(2));
+        assert_eq!(-a, Lambda::new(-5));
+        assert_eq!(a * 4, Lambda::new(20));
+        assert_eq!(4 * a, Lambda::new(20));
+        assert_eq!(Lambda::new(20) / 4, a);
+        assert_eq!(Lambda::new(22) % 4, Lambda::new(2));
+        assert_eq!(a * b, LambdaArea::new(15));
+    }
+
+    #[test]
+    fn lambda_assign_ops() {
+        let mut a = Lambda::new(5);
+        a += Lambda::new(2);
+        assert_eq!(a, Lambda::new(7));
+        a -= Lambda::new(3);
+        assert_eq!(a, Lambda::new(4));
+        a *= 3;
+        assert_eq!(a, Lambda::new(12));
+    }
+
+    #[test]
+    fn lambda_min_max_abs() {
+        assert_eq!(Lambda::new(-4).abs(), Lambda::new(4));
+        assert_eq!(Lambda::new(2).min(Lambda::new(7)), Lambda::new(2));
+        assert_eq!(Lambda::new(2).max(Lambda::new(7)), Lambda::new(7));
+        assert!(Lambda::new(1).is_positive());
+        assert!(!Lambda::ZERO.is_positive());
+    }
+
+    #[test]
+    fn from_f64_ceil_rounds_up() {
+        assert_eq!(Lambda::from_f64_ceil(2.001), Lambda::new(3));
+        assert_eq!(Lambda::from_f64_ceil(2.0), Lambda::new(2));
+        assert_eq!(LambdaArea::from_f64_ceil(10.5), LambdaArea::new(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn from_f64_ceil_rejects_nan() {
+        let _ = Lambda::from_f64_ceil(f64::NAN);
+    }
+
+    #[test]
+    fn area_sums_and_errors() {
+        let total: LambdaArea = [LambdaArea::new(10), LambdaArea::new(32)].into_iter().sum();
+        assert_eq!(total, LambdaArea::new(42));
+        let err = LambdaArea::new(126).relative_error(LambdaArea::new(100));
+        assert!((err - 0.26).abs() < 1e-12);
+        let err = LambdaArea::new(83).relative_error(LambdaArea::new(100));
+        assert!((err + 0.17).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isqrt_ceil_exact_and_inexact() {
+        assert_eq!(LambdaArea::new(49).isqrt_ceil(), Lambda::new(7));
+        assert_eq!(LambdaArea::new(50).isqrt_ceil(), Lambda::new(8));
+        assert_eq!(LambdaArea::new(0).isqrt_ceil(), Lambda::ZERO);
+        assert_eq!(LambdaArea::new(1).isqrt_ceil(), Lambda::new(1));
+        assert_eq!(LambdaArea::new(2).isqrt_ceil(), Lambda::new(2));
+    }
+
+    #[test]
+    fn micron_conversion() {
+        // λ = 2.5 µm, the Table 1 process.
+        let m = Lambda::new(10).to_microns(2.5);
+        assert!((m.0 - 25.0).abs() < 1e-12);
+        let a = LambdaArea::new(4).to_square_microns(2.5);
+        assert!((a - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Lambda::new(12).to_string(), "12λ");
+        assert_eq!(LambdaArea::new(12).to_string(), "12λ²");
+        assert_eq!(Micron(2.5).to_string(), "2.50µm");
+    }
+}

@@ -1,0 +1,267 @@
+//! Layout orientations: four rotations with optional mirroring.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Lambda, Point};
+
+/// One of the eight axis-aligned layout orientations.
+///
+/// Standard-cell placers flip cells about the Y axis to shorten wires and
+/// flip alternate rows about X to share supply rails; the full-custom
+/// annealer additionally rotates transistors. `R0` is the identity.
+///
+/// Naming follows the usual EDA convention: `R<degrees>` counter-clockwise
+/// rotation, `M` prefix for a mirror about the Y axis applied *before* the
+/// rotation.
+///
+/// # Examples
+///
+/// ```
+/// use maestro_geom::Orientation;
+///
+/// let o = Orientation::R90;
+/// assert!(o.swaps_axes());
+/// assert_eq!(o.compose(Orientation::R270), Orientation::R0);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Orientation {
+    /// Identity.
+    #[default]
+    R0,
+    /// 90° counter-clockwise.
+    R90,
+    /// 180°.
+    R180,
+    /// 270° counter-clockwise.
+    R270,
+    /// Mirror about Y.
+    MY,
+    /// Mirror about Y, then rotate 90°.
+    MYR90,
+    /// Mirror about Y, then rotate 180° (= mirror about X).
+    MX,
+    /// Mirror about Y, then rotate 270°.
+    MXR90,
+}
+
+impl Orientation {
+    /// All eight orientations, in a fixed order.
+    pub const ALL: [Orientation; 8] = [
+        Orientation::R0,
+        Orientation::R90,
+        Orientation::R180,
+        Orientation::R270,
+        Orientation::MY,
+        Orientation::MYR90,
+        Orientation::MX,
+        Orientation::MXR90,
+    ];
+
+    /// The four pure rotations.
+    pub const ROTATIONS: [Orientation; 4] = [
+        Orientation::R0,
+        Orientation::R90,
+        Orientation::R180,
+        Orientation::R270,
+    ];
+
+    /// `true` if the orientation exchanges width and height.
+    #[inline]
+    pub const fn swaps_axes(self) -> bool {
+        matches!(
+            self,
+            Orientation::R90 | Orientation::R270 | Orientation::MYR90 | Orientation::MXR90
+        )
+    }
+
+    /// `true` if the orientation includes a reflection.
+    #[inline]
+    pub const fn is_mirrored(self) -> bool {
+        matches!(
+            self,
+            Orientation::MY | Orientation::MYR90 | Orientation::MX | Orientation::MXR90
+        )
+    }
+
+    /// Applies the orientation to a point inside a `w × h` box, keeping the
+    /// result in the first quadrant of the (possibly axis-swapped) box.
+    ///
+    /// This is how pin offsets transform when a cell is placed with a
+    /// non-identity orientation.
+    pub fn apply(self, p: Point, w: Lambda, h: Lambda) -> Point {
+        let (x, y) = (p.x, p.y);
+        match self {
+            Orientation::R0 => Point::new(x, y),
+            Orientation::R90 => Point::new(h - y, x),
+            Orientation::R180 => Point::new(w - x, h - y),
+            Orientation::R270 => Point::new(y, w - x),
+            Orientation::MY => Point::new(w - x, y),
+            Orientation::MYR90 => Point::new(h - y, w - x),
+            Orientation::MX => Point::new(x, h - y),
+            Orientation::MXR90 => Point::new(y, x),
+        }
+    }
+
+    /// The size of a `w × h` box after this orientation.
+    #[inline]
+    pub fn apply_size(self, w: Lambda, h: Lambda) -> (Lambda, Lambda) {
+        if self.swaps_axes() {
+            (h, w)
+        } else {
+            (w, h)
+        }
+    }
+
+    /// Group composition: the orientation equivalent to applying `self`
+    /// first, then `then`.
+    pub fn compose(self, then: Orientation) -> Orientation {
+        // Encode as (mirror, rotation quarter-turns): p = m ? (x -> -x) then
+        // rotate r. Composition in the dihedral group D4.
+        let (m1, r1) = self.decompose();
+        let (m2, r2) = then.decompose();
+        // then ∘ self: first mirror m1, rotate r1, then mirror m2, rotate r2.
+        // Moving m2 left past r1: m2 ∘ rot(r1) = rot(-r1) ∘ m2.
+        let (m, r) = if m2 {
+            (!m1, (r2 + 4 - r1) % 4)
+        } else {
+            (m1, (r2 + r1) % 4)
+        };
+        Orientation::recompose(m, r)
+    }
+
+    /// The inverse orientation.
+    pub fn inverse(self) -> Orientation {
+        let (m, r) = self.decompose();
+        if m {
+            // Mirrors are involutions in this encoding.
+            Orientation::recompose(m, r)
+        } else {
+            Orientation::recompose(false, (4 - r) % 4)
+        }
+    }
+
+    fn decompose(self) -> (bool, u8) {
+        match self {
+            Orientation::R0 => (false, 0),
+            Orientation::R90 => (false, 1),
+            Orientation::R180 => (false, 2),
+            Orientation::R270 => (false, 3),
+            Orientation::MY => (true, 0),
+            Orientation::MYR90 => (true, 1),
+            Orientation::MX => (true, 2),
+            Orientation::MXR90 => (true, 3),
+        }
+    }
+
+    fn recompose(mirror: bool, rot: u8) -> Orientation {
+        match (mirror, rot % 4) {
+            (false, 0) => Orientation::R0,
+            (false, 1) => Orientation::R90,
+            (false, 2) => Orientation::R180,
+            (false, 3) => Orientation::R270,
+            (true, 0) => Orientation::MY,
+            (true, 1) => Orientation::MYR90,
+            (true, 2) => Orientation::MX,
+            (true, 3) => Orientation::MXR90,
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Orientation::R0 => "R0",
+            Orientation::R90 => "R90",
+            Orientation::R180 => "R180",
+            Orientation::R270 => "R270",
+            Orientation::MY => "MY",
+            Orientation::MYR90 => "MYR90",
+            Orientation::MX => "MX",
+            Orientation::MXR90 => "MXR90",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: i64, y: i64) -> Point {
+        Point::new(Lambda::new(x), Lambda::new(y))
+    }
+
+    const W: Lambda = Lambda::new(10);
+    const H: Lambda = Lambda::new(4);
+
+    #[test]
+    fn identity_leaves_points() {
+        assert_eq!(Orientation::R0.apply(pt(3, 1), W, H), pt(3, 1));
+        assert_eq!(Orientation::R0.apply_size(W, H), (W, H));
+    }
+
+    #[test]
+    fn rotations_move_corners_correctly() {
+        // Lower-left corner of the box under each rotation.
+        assert_eq!(Orientation::R90.apply(pt(0, 0), W, H), pt(4, 0));
+        assert_eq!(Orientation::R180.apply(pt(0, 0), W, H), pt(10, 4));
+        assert_eq!(Orientation::R270.apply(pt(0, 0), W, H), pt(0, 10));
+        assert!(Orientation::R90.swaps_axes());
+        assert_eq!(Orientation::R90.apply_size(W, H), (H, W));
+    }
+
+    #[test]
+    fn mirror_about_y_flips_x_only() {
+        assert_eq!(Orientation::MY.apply(pt(3, 1), W, H), pt(7, 1));
+        assert_eq!(Orientation::MX.apply(pt(3, 1), W, H), pt(3, 3));
+        assert!(Orientation::MY.is_mirrored());
+        assert!(!Orientation::R180.is_mirrored());
+    }
+
+    #[test]
+    fn apply_keeps_points_inside_box() {
+        for o in Orientation::ALL {
+            for p in [pt(0, 0), pt(10, 4), pt(3, 2)] {
+                let q = o.apply(p, W, H);
+                let (w2, h2) = o.apply_size(W, H);
+                assert!(q.x >= Lambda::ZERO && q.x <= w2, "{o}: {p} -> {q}");
+                assert!(q.y >= Lambda::ZERO && q.y <= h2, "{o}: {p} -> {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        // Only square boxes keep dimensions stable across all compositions,
+        // which keeps the check simple.
+        let s = Lambda::new(6);
+        for a in Orientation::ALL {
+            for b in Orientation::ALL {
+                let c = a.compose(b);
+                for p in [pt(1, 2), pt(0, 0), pt(6, 3)] {
+                    let seq = b.apply(a.apply(p, s, s), s, s);
+                    let direct = c.apply(p, s, s);
+                    assert_eq!(seq, direct, "{a} then {b} = {c} at {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        for o in Orientation::ALL {
+            assert_eq!(o.compose(o.inverse()), Orientation::R0, "{o}");
+            assert_eq!(o.inverse().compose(o), Orientation::R0, "{o}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Orientation::MYR90.to_string(), "MYR90");
+    }
+}

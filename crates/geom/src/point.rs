@@ -1,0 +1,113 @@
+//! Planar points in λ coordinates.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Lambda;
+
+/// A point in the layout plane, in λ coordinates.
+///
+/// The origin is the lower-left corner of the enclosing module; `x` grows to
+/// the right and `y` grows upward, matching the paper's convention that
+/// standard-cell rows are numbered from the top.
+///
+/// # Examples
+///
+/// ```
+/// use maestro_geom::{Lambda, Point};
+///
+/// let p = Point::new(Lambda::new(3), Lambda::new(4));
+/// let q = Point::new(Lambda::new(6), Lambda::new(8));
+/// assert_eq!(p.manhattan_distance(q), Lambda::new(7));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Lambda,
+    /// Vertical coordinate.
+    pub y: Lambda,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point {
+        x: Lambda::ZERO,
+        y: Lambda::ZERO,
+    };
+
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: Lambda, y: Lambda) -> Self {
+        Point { x, y }
+    }
+
+    /// The L1 (Manhattan) distance to `other` — the natural wire-length
+    /// metric for channel-routed layouts.
+    #[inline]
+    pub fn manhattan_distance(self, other: Point) -> Lambda {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Translates the point by `(dx, dy)`.
+    #[inline]
+    pub fn translated(self, dx: Lambda, dy: Lambda) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: i64, y: i64) -> Point {
+        Point::new(Lambda::new(x), Lambda::new(y))
+    }
+
+    #[test]
+    fn manhattan_distance_is_symmetric() {
+        assert_eq!(pt(0, 0).manhattan_distance(pt(3, -4)), Lambda::new(7));
+        assert_eq!(pt(3, -4).manhattan_distance(pt(0, 0)), Lambda::new(7));
+        assert_eq!(pt(5, 5).manhattan_distance(pt(5, 5)), Lambda::ZERO);
+    }
+
+    #[test]
+    fn translation_and_vector_ops() {
+        assert_eq!(
+            pt(1, 2).translated(Lambda::new(3), Lambda::new(-1)),
+            pt(4, 1)
+        );
+        assert_eq!(pt(1, 2) + pt(3, 4), pt(4, 6));
+        assert_eq!(pt(5, 5) - pt(2, 3), pt(3, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(pt(1, 2).to_string(), "(1λ, 2λ)");
+    }
+}

@@ -1,0 +1,358 @@
+//! `maestro-cli` — command-line front end for the module area estimator.
+//!
+//! ```text
+//! maestro-cli estimate  <file.mnl|file.sp> [--tech nmos|cmos|<db.json>] [--rows N] [--json]
+//! maestro-cli expand    <file.mnl>                 # gate-level -> nMOS transistor .mnl
+//! maestro-cli layout    <file.mnl|file.sp> [--tech ...] [--rows N]
+//! maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT]
+//! ```
+//!
+//! File type is chosen by extension: `.mnl` is the native structural
+//! format; `.sp`/`.spice`/`.cir` are SPICE-subset decks.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use maestro::estimator::pipeline::Pipeline;
+use maestro::estimator::standard_cell::ScParams;
+use maestro::netlist::{expand, mnl, spice};
+use maestro::prelude::*;
+use maestro::tech::io as tech_io;
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     maestro-cli estimate  <file> [--tech nmos|cmos|<db.json>] [--rows N] [--json]\n  \
+     maestro-cli expand    <file.mnl>\n  \
+     maestro-cli depth     <file.mnl>\n  \
+     maestro-cli report    <file...> [--tech ...] [--aspect LIMIT] [--svg out.svg]\n  \
+     maestro-cli layout    <file> [--tech ...] [--rows N] [--svg out.svg]\n  \
+     maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT] [--svg out.svg]"
+}
+
+fn load_tech(spec: &str) -> Result<ProcessDb, String> {
+    match spec {
+        "nmos" => Ok(builtin::nmos25()),
+        "cmos" => Ok(builtin::cmos_generic()),
+        path => tech_io::load(path).map_err(|e| e.to_string()),
+    }
+}
+
+fn load_modules(path: &str) -> Result<Vec<Module>, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    match ext {
+        "mnl" => mnl::parse_design(&source).map_err(|e| format!("{path}: {e}")),
+        "sp" | "spice" | "cir" => spice::parse(&source)
+            .map(|m| vec![m])
+            .map_err(|e| format!("{path}: {e}")),
+        other => Err(format!(
+            "{path}: unknown extension `.{other}` (expected .mnl, .sp, .spice or .cir)"
+        )),
+    }
+}
+
+struct Options {
+    files: Vec<String>,
+    tech: String,
+    rows: Option<u32>,
+    aspect: Option<f64>,
+    json: bool,
+    svg: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        tech: "nmos".to_owned(),
+        rows: None,
+        aspect: None,
+        json: false,
+        svg: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tech" => {
+                opts.tech = it.next().ok_or("--tech needs a value")?.clone();
+            }
+            "--rows" => {
+                let v = it.next().ok_or("--rows needs a value")?;
+                opts.rows = Some(v.parse().map_err(|_| format!("bad row count `{v}`"))?);
+            }
+            "--aspect" => {
+                let v = it.next().ok_or("--aspect needs a value")?;
+                opts.aspect = Some(v.parse().map_err(|_| format!("bad aspect `{v}`"))?);
+            }
+            "--json" => opts.json = true,
+            "--svg" => {
+                opts.svg = Some(it.next().ok_or("--svg needs a path")?.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            file => opts.files.push(file.to_owned()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("no input files".to_owned());
+    }
+    Ok(opts)
+}
+
+fn cmd_estimate(opts: &Options) -> Result<(), String> {
+    let tech = load_tech(&opts.tech)?;
+    let mut pipeline = Pipeline::new(tech);
+    if let Some(rows) = opts.rows {
+        pipeline = pipeline.with_sc_params(ScParams::with_rows(rows));
+    }
+    let mut db = ResultsDb::new();
+    for file in &opts.files {
+        for module in load_modules(file)? {
+            let record = pipeline.run_module(&module).map_err(|e| e.to_string())?;
+            db.insert(record);
+        }
+    }
+    if opts.json {
+        println!("{}", db.to_json().map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    for rec in db.records() {
+        println!("module `{}`", rec.module_name);
+        if let Some(sc) = &rec.standard_cell {
+            println!(
+                "  standard-cell: {} ({} rows, {} tracks, {} feed-throughs, aspect {})",
+                sc.area, sc.rows, sc.tracks, sc.feedthroughs, sc.aspect_ratio
+            );
+        }
+        if let Some(fc) = &rec.full_custom {
+            println!(
+                "  full-custom  : {} exact / {} average (aspect {})",
+                fc.total_exact, fc.total_average, fc.aspect_exact
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_expand(opts: &Options) -> Result<(), String> {
+    for file in &opts.files {
+        for module in load_modules(file)? {
+            let xt = expand::to_nmos_transistors(&module).map_err(|e| e.to_string())?;
+            print!("{}", mnl::to_mnl(&xt));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_layout(opts: &Options) -> Result<(), String> {
+    let tech = load_tech(&opts.tech)?;
+    for file in &opts.files {
+        for module in load_modules(file)? {
+            // Gate-level modules go through place & route; transistor-level
+            // through the synthesizer — decided by which table resolves.
+            if NetlistStats::resolve(&module, &tech, LayoutStyle::StandardCell).is_ok() {
+                let rows = opts.rows.unwrap_or(2);
+                let placed = place(
+                    &module,
+                    &tech,
+                    &PlaceParams {
+                        rows,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                let routed = route(&placed);
+                if let Some(path) = &opts.svg {
+                    let svg = maestro::route::assemble::render_svg(&placed, &routed);
+                    std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
+                    println!("wrote {path}");
+                }
+                println!(
+                    "`{}` standard-cell P&R: {} × {} = {} ({} tracks, {} feed-throughs, aspect {})",
+                    module.name(),
+                    routed.width(),
+                    routed.height(),
+                    routed.area(),
+                    routed.total_tracks(),
+                    routed.feedthroughs(),
+                    routed.aspect_ratio()
+                );
+            } else {
+                let layout = synthesize(&module, &tech, &SynthesisParams::default())
+                    .map_err(|e| e.to_string())?;
+                if let Some(path) = &opts.svg {
+                    std::fs::write(path, layout.to_svg()).map_err(|e| format!("{path}: {e}"))?;
+                    println!("wrote {path}");
+                }
+                println!(
+                    "`{}` full-custom synthesis: {} × {} + {} wire = {} (aspect {})",
+                    module.name(),
+                    layout.width(),
+                    layout.height(),
+                    layout.wire_area(),
+                    layout.area(),
+                    layout.aspect_ratio()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_report(opts: &Options) -> Result<(), String> {
+    let tech = load_tech(&opts.tech)?;
+    let pipeline = Pipeline::new(tech.clone());
+    println!("# maestro design report\n");
+    println!("process: `{tech}`\n");
+    let mut blocks = Vec::new();
+    for file in &opts.files {
+        for module in load_modules(file)? {
+            let record = pipeline.run_module(&module).map_err(|e| e.to_string())?;
+            println!("## module `{}`\n", record.module_name);
+            println!(
+                "- devices: {}, nets: {}, ports: {}",
+                module.device_count(),
+                module.net_count(),
+                module.port_count()
+            );
+            if let Ok(depth) = maestro::netlist::depth::logic_depth(&module) {
+                println!("- logic depth: {} stages", depth.depth);
+            }
+            if let Some(sc) = &record.standard_cell {
+                println!(
+                    "- standard-cell estimate: {} ({} rows, {} tracks, aspect {})",
+                    sc.area, sc.rows, sc.tracks, sc.aspect_ratio
+                );
+                if !record.standard_cell_candidates.is_empty() {
+                    println!("- shape candidates:");
+                    for c in &record.standard_cell_candidates {
+                        println!(
+                            "    - {} rows: {} × {} = {} (aspect {})",
+                            c.rows, c.width, c.height, c.area, c.aspect_ratio
+                        );
+                    }
+                }
+            }
+            if let Some(fc) = &record.full_custom {
+                println!(
+                    "- full-custom estimate: {} exact / {} average (aspect {})",
+                    fc.total_exact, fc.total_average, fc.aspect_exact
+                );
+            }
+            println!();
+            if let Some(block) = Block::from_record(&record, 5) {
+                blocks.push(block);
+            }
+        }
+    }
+    if blocks.len() > 1 {
+        let mut params = PlanParams::default();
+        if let Some(limit) = opts.aspect {
+            params = params.with_aspect_limit(limit);
+        }
+        let plan = floorplan(&blocks, &params);
+        println!("## chip floorplan\n");
+        println!(
+            "- chip: {} × {} = {} (utilization {:.0}%)",
+            plan.width(),
+            plan.height(),
+            plan.area(),
+            plan.utilization() * 100.0
+        );
+        for (name, rect) in plan.placements() {
+            println!("- `{name}` at {rect}");
+        }
+        if let Some(path) = &opts.svg {
+            std::fs::write(path, plan.to_svg()).map_err(|e| format!("{path}: {e}"))?;
+            println!("\n(floorplan drawing written to {path})");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_depth(opts: &Options) -> Result<(), String> {
+    for file in &opts.files {
+        for module in load_modules(file)? {
+            let report =
+                maestro::netlist::depth::logic_depth(&module).map_err(|e| e.to_string())?;
+            let path: Vec<String> = report
+                .critical_path
+                .iter()
+                .map(|&d| module.device(d).name().to_owned())
+                .collect();
+            println!(
+                "`{}`: logic depth {} ({})",
+                module.name(),
+                report.depth,
+                path.join(" -> ")
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_floorplan(opts: &Options) -> Result<(), String> {
+    let tech = load_tech(&opts.tech)?;
+    let pipeline = Pipeline::new(tech);
+    let mut blocks = Vec::new();
+    for file in &opts.files {
+        for module in load_modules(file)? {
+            let record = pipeline.run_module(&module).map_err(|e| e.to_string())?;
+            if let Some(block) = Block::from_record(&record, 5) {
+                blocks.push(block);
+            }
+        }
+    }
+    let mut params = PlanParams::default();
+    if let Some(limit) = opts.aspect {
+        params = params.with_aspect_limit(limit);
+    }
+    let plan = floorplan(&blocks, &params);
+    if let Some(path) = &opts.svg {
+        std::fs::write(path, plan.to_svg()).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    println!(
+        "chip {} × {} = {} (utilization {:.0}%)",
+        plan.width(),
+        plan.height(),
+        plan.area(),
+        plan.utilization() * 100.0
+    );
+    for (name, rect) in plan.placements() {
+        println!("  {name:<24} {rect}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "estimate" => cmd_estimate(&opts),
+        "expand" => cmd_expand(&opts),
+        "depth" => cmd_depth(&opts),
+        "report" => cmd_report(&opts),
+        "layout" => cmd_layout(&opts),
+        "floorplan" => cmd_floorplan(&opts),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

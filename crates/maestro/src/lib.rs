@@ -1,0 +1,80 @@
+//! `maestro` — a from-scratch Rust reproduction of Chen & Bushnell,
+//! *"A Module Area Estimator for VLSI Layout"*, DAC 1988.
+//!
+//! This facade re-exports the whole workspace under one roof:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`geom`] | `maestro-geom` | λ-unit geometry, shape curves, design rules |
+//! | [`tech`] | `maestro-tech` | process databases (Mead–Conway nMOS, generic CMOS) |
+//! | [`netlist`] | `maestro-netlist` | schematic graph, `.mnl`/SPICE parsers, generators, statistics |
+//! | [`estimator`] | `maestro-estimator` | **the paper's contribution**: SC + FC area/aspect estimation |
+//! | [`place`] | `maestro-place` | SA row placement (TimberWolf stand-in) |
+//! | [`route`] | `maestro-route` | channel routing + layout assembly (TimberWolf stand-in) |
+//! | [`fullcustom`] | `maestro-fullcustom` | transistor-level layout synthesis (manual-layout stand-in) |
+//! | [`floorplan`] | `maestro-floorplan` | slicing floorplanner consuming the estimates |
+//!
+//! # Quick start
+//!
+//! ```
+//! use maestro::estimator::pipeline::Pipeline;
+//! use maestro::tech::builtin;
+//!
+//! let pipeline = Pipeline::new(builtin::nmos25());
+//! let record = pipeline.run_mnl(
+//!     "module buf2;\n\
+//!      input a;\n\
+//!      output y;\n\
+//!      device u1 INV (A=a, Y=t);\n\
+//!      device u2 INV (A=t, Y=y);\n\
+//!      endmodule\n",
+//! )?;
+//! let sc = record.standard_cell.expect("gate-level module");
+//! assert!(sc.area.get() > 0);
+//! # Ok::<(), maestro::netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use maestro_estimator as estimator;
+pub use maestro_floorplan as floorplan;
+pub use maestro_fullcustom as fullcustom;
+pub use maestro_geom as geom;
+pub use maestro_netlist as netlist;
+pub use maestro_place as place;
+pub use maestro_route as route;
+pub use maestro_tech as tech;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use maestro_estimator::pipeline::Pipeline;
+    pub use maestro_estimator::standard_cell::{self, ScParams};
+    pub use maestro_estimator::{full_custom, EstimateRecord, FcEstimate, ResultsDb, ScEstimate};
+    pub use maestro_floorplan::{floorplan, Block, PlanParams};
+    pub use maestro_fullcustom::{synthesize, FcLayout, SynthesisParams};
+    pub use maestro_geom::{AspectRatio, Lambda, LambdaArea};
+    pub use maestro_netlist::{
+        LayoutStyle, Module, ModuleBuilder, NetlistError, NetlistStats, PortDirection,
+    };
+    pub use maestro_place::{place, PlaceParams, PlacedModule};
+    pub use maestro_route::{route, RoutedModule};
+    pub use maestro_tech::{builtin, ProcessDb};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_links_all_crates() {
+        use crate::prelude::*;
+        let tech = builtin::nmos25();
+        let mut b = ModuleBuilder::new("smoke");
+        let a = b.port("a", PortDirection::Input);
+        let y = b.port("y", PortDirection::Output);
+        b.device("u1", "INV", [("A", a), ("Y", y)]);
+        let m = b.finish();
+        let stats = NetlistStats::resolve(&m, &tech, LayoutStyle::StandardCell).unwrap();
+        let est = standard_cell::estimate(&stats, &tech, &ScParams::default());
+        assert!(est.area.get() > 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Circuit schematic substrate for the `maestro` VLSI area estimator.
+//!
+//! The paper's estimator consumes "the circuit schematic expressed in a
+//! standard hardware description language", then "translated into a
+//! mathematical representation for numerical analysis" (§3). This crate is
+//! both halves:
+//!
+//! * [`Module`] / [`Device`] / [`Net`] / [`Port`] — the in-memory schematic
+//!   graph, built through [`ModuleBuilder`];
+//! * [`mnl`] — a small structural netlist language (`.mnl`) with a
+//!   line-accurate parser;
+//! * [`spice`] — a SPICE-subset reader (`M` transistor cards and `X`
+//!   subcircuit-instance cards inside one `.subckt`);
+//! * [`NetlistStats`] — the "mathematical representation": the paper's
+//!   `N`, `H`, `Wi`/`Xi`, `yi` and port statistics, resolved against a
+//!   [`maestro_tech::ProcessDb`];
+//! * [`generate`] — seeded synthetic circuit generators (random logic plus
+//!   structured shift registers, adders, decoders, counters, mux trees);
+//! * [`library_circuits`] — the re-created Table 1 and Table 2 experiment
+//!   suites;
+//! * [`validate`] — structural sanity checks against a technology.
+//!
+//! # Examples
+//!
+//! ```
+//! use maestro_netlist::{ModuleBuilder, PortDirection};
+//!
+//! let mut b = ModuleBuilder::new("buffer");
+//! let a = b.port("a", PortDirection::Input);
+//! let y = b.port("y", PortDirection::Output);
+//! let mid = b.net("mid");
+//! b.device("u1", "INV", [("A", a), ("Y", mid)]);
+//! b.device("u2", "INV", [("A", mid), ("Y", y)]);
+//! let module = b.finish();
+//! assert_eq!(module.device_count(), 2);
+//! assert_eq!(module.net_count(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod depth;
+mod error;
+pub mod expand;
+pub mod generate;
+mod ids;
+pub mod library_circuits;
+pub mod mnl;
+mod module;
+pub mod spice;
+mod stats;
+pub mod validate;
+
+pub use error::{NetlistError, ParseErrorKind};
+pub use ids::{DeviceId, NetId, PortId};
+pub use module::{Device, Module, ModuleBuilder, Net, PinRef, Port, PortDirection};
+pub use stats::{LayoutStyle, NetSizeHistogram, NetlistStats, WidthHistogram};

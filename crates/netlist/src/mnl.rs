@@ -1,0 +1,634 @@
+//! The `.mnl` structural netlist language.
+//!
+//! The paper requires "the circuit schematic expressed in a standard
+//! hardware description language" (§3). `.mnl` (maestro netlist) is the
+//! minimal structural format carrying exactly what the estimator consumes:
+//!
+//! ```text
+//! # a full adder on standard cells
+//! module full_adder;
+//! input a, b, cin;
+//! output sum, cout;
+//! net t1, t2, t3;
+//! device x1 XOR2 (A=a, B=b, Y=t1);
+//! device x2 XOR2 (A=t1, B=cin, Y=sum);
+//! device a1 AND2 (A=a, B=b, Y=t2);
+//! device a2 AND2 (A=t1, B=cin, Y=t3);
+//! device o1 OR2 (A=t2, B=t3, Y=cout);
+//! endmodule
+//! ```
+//!
+//! Identifiers are `[A-Za-z_][A-Za-z0-9_]*`; `#` starts a line comment;
+//! nets may be declared lazily by first use inside a `device` binding.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::{Module, ModuleBuilder, NetlistError, ParseErrorKind, PortDirection};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Semi,
+    Comma,
+    LParen,
+    RParen,
+    Equals,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    token: Token,
+    line: usize,
+}
+
+fn lex(source: &str) -> Result<Vec<Spanned>, NetlistError> {
+    let mut out = Vec::new();
+    for (lineno, line) in source.lines().enumerate() {
+        let line_no = lineno + 1;
+        let code = match line.find('#') {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let mut chars = code.char_indices().peekable();
+        while let Some(&(i, c)) = chars.peek() {
+            match c {
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                ';' => {
+                    chars.next();
+                    out.push(Spanned {
+                        token: Token::Semi,
+                        line: line_no,
+                    });
+                }
+                ',' => {
+                    chars.next();
+                    out.push(Spanned {
+                        token: Token::Comma,
+                        line: line_no,
+                    });
+                }
+                '(' => {
+                    chars.next();
+                    out.push(Spanned {
+                        token: Token::LParen,
+                        line: line_no,
+                    });
+                }
+                ')' => {
+                    chars.next();
+                    out.push(Spanned {
+                        token: Token::RParen,
+                        line: line_no,
+                    });
+                }
+                '=' => {
+                    chars.next();
+                    out.push(Spanned {
+                        token: Token::Equals,
+                        line: line_no,
+                    });
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    let mut end = i + c.len_utf8();
+                    chars.next();
+                    while let Some(&(j, d)) = chars.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            end = j + d.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Spanned {
+                        token: Token::Ident(code[start..end].to_owned()),
+                        line: line_no,
+                    });
+                }
+                other => {
+                    return Err(NetlistError::parse(
+                        ParseErrorKind::UnexpectedToken,
+                        line_no,
+                        format!("unexpected character `{other}`"),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn last_line(&self) -> usize {
+        self.tokens.last().map_or(1, |t| t.line)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, usize), NetlistError> {
+        match self.next() {
+            Some(Spanned {
+                token: Token::Ident(s),
+                line,
+            }) => Ok((s, line)),
+            Some(Spanned { token, line }) => Err(NetlistError::parse(
+                ParseErrorKind::UnexpectedToken,
+                line,
+                format!("expected {what}, found {token:?}"),
+            )),
+            None => Err(NetlistError::parse(
+                ParseErrorKind::UnexpectedEof,
+                self.last_line(),
+                format!("expected {what}"),
+            )),
+        }
+    }
+
+    fn expect(&mut self, token: Token, what: &str) -> Result<usize, NetlistError> {
+        match self.next() {
+            Some(Spanned { token: t, line }) if t == token => Ok(line),
+            Some(Spanned { token: t, line }) => Err(NetlistError::parse(
+                ParseErrorKind::UnexpectedToken,
+                line,
+                format!("expected {what}, found {t:?}"),
+            )),
+            None => Err(NetlistError::parse(
+                ParseErrorKind::UnexpectedEof,
+                self.last_line(),
+                format!("expected {what}"),
+            )),
+        }
+    }
+
+    fn name_list(&mut self) -> Result<Vec<(String, usize)>, NetlistError> {
+        let mut names = vec![self.expect_ident("a name")?];
+        while let Some(Spanned {
+            token: Token::Comma,
+            ..
+        }) = self.peek()
+        {
+            self.next();
+            names.push(self.expect_ident("a name")?);
+        }
+        self.expect(Token::Semi, "`;`")?;
+        Ok(names)
+    }
+}
+
+/// Parses a single `.mnl` module.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a 1-based line number on any
+/// lexical or syntactic problem, duplicate declaration, or missing
+/// `endmodule`.
+///
+/// # Examples
+///
+/// ```
+/// let m = maestro_netlist::mnl::parse(
+///     "module inv_pair;\n\
+///      input a;\n\
+///      output y;\n\
+///      device u1 INV (A=a, Y=t);\n\
+///      device u2 INV (A=t, Y=y);\n\
+///      endmodule\n",
+/// )?;
+/// assert_eq!(m.device_count(), 2);
+/// assert_eq!(m.net_count(), 3); // a, y, t (lazily declared)
+/// # Ok::<(), maestro_netlist::NetlistError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Module, NetlistError> {
+    let modules = parse_design(source)?;
+    match <[Module; 1]>::try_from(modules) {
+        Ok([module]) => Ok(module),
+        Err(modules) => Err(NetlistError::parse(
+            ParseErrorKind::Malformed,
+            1,
+            format!(
+                "expected exactly one module, found {} (use parse_design for multi-module files)",
+                modules.len()
+            ),
+        )),
+    }
+}
+
+/// Parses a multi-module `.mnl` design: a sequence of
+/// `module … endmodule` blocks in one file — the "global module
+/// descriptions … for the whole chip" of the paper's Figure 1 database.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on any syntax problem, or a
+/// [`ParseErrorKind::DuplicateName`] error when two modules share a name.
+///
+/// # Examples
+///
+/// ```
+/// let design = maestro_netlist::mnl::parse_design(
+///     "module a;\ninput x;\ndevice u INV (A=x, Y=y);\nendmodule\n\
+///      module b;\ninput x;\ndevice u BUF (A=x, Y=y);\nendmodule\n",
+/// )?;
+/// assert_eq!(design.len(), 2);
+/// # Ok::<(), maestro_netlist::NetlistError>(())
+/// ```
+pub fn parse_design(source: &str) -> Result<Vec<Module>, NetlistError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut modules: Vec<Module> = Vec::new();
+    while p.peek().is_some() {
+        let module = parse_one(&mut p)?;
+        if modules.iter().any(|m| m.name() == module.name()) {
+            return Err(NetlistError::parse(
+                ParseErrorKind::DuplicateName,
+                p.last_line(),
+                format!("module `{}` defined twice", module.name()),
+            ));
+        }
+        modules.push(module);
+    }
+    if modules.is_empty() {
+        return Err(NetlistError::parse(
+            ParseErrorKind::Malformed,
+            1,
+            "source contains no modules",
+        ));
+    }
+    Ok(modules)
+}
+
+fn parse_one(p: &mut Parser) -> Result<Module, NetlistError> {
+    let line = p.expect(Token::Ident("module".to_owned()), "keyword `module`");
+    // Better message when the first token isn't `module`.
+    let line = match line {
+        Ok(l) => l,
+        Err(NetlistError::Parse { line, .. }) => {
+            return Err(NetlistError::parse(
+                ParseErrorKind::Malformed,
+                line,
+                "netlist must start with `module <name>;`",
+            ));
+        }
+        Err(e) => return Err(e),
+    };
+    let _ = line;
+    let (module_name, _) = p.expect_ident("module name")?;
+    p.expect(Token::Semi, "`;`")?;
+
+    let mut b = ModuleBuilder::new(module_name);
+    let mut declared_ports: BTreeSet<String> = BTreeSet::new();
+    let mut declared_devices: BTreeSet<String> = BTreeSet::new();
+
+    loop {
+        let (kw, line) = p.expect_ident("a statement keyword")?;
+        match kw.as_str() {
+            "endmodule" => break,
+            "input" | "output" | "inout" => {
+                let dir = match kw.as_str() {
+                    "input" => PortDirection::Input,
+                    "output" => PortDirection::Output,
+                    _ => PortDirection::InOut,
+                };
+                for (name, line) in p.name_list()? {
+                    if !declared_ports.insert(name.clone()) {
+                        return Err(NetlistError::parse(
+                            ParseErrorKind::DuplicateName,
+                            line,
+                            format!("port `{name}` declared twice"),
+                        ));
+                    }
+                    b.port(name, dir);
+                }
+            }
+            "net" => {
+                for (name, _) in p.name_list()? {
+                    b.net(name);
+                }
+            }
+            "device" => {
+                let (inst, line) = p.expect_ident("device instance name")?;
+                if !declared_devices.insert(inst.clone()) {
+                    return Err(NetlistError::parse(
+                        ParseErrorKind::DuplicateName,
+                        line,
+                        format!("device `{inst}` declared twice"),
+                    ));
+                }
+                let (template, _) = p.expect_ident("device template name")?;
+                p.expect(Token::LParen, "`(`")?;
+                let mut bindings: Vec<(String, String)> = Vec::new();
+                if !matches!(
+                    p.peek(),
+                    Some(Spanned {
+                        token: Token::RParen,
+                        ..
+                    })
+                ) {
+                    loop {
+                        let (pin, line) = p.expect_ident("pin name")?;
+                        p.expect(Token::Equals, "`=`")?;
+                        let (net, _) = p.expect_ident("net name")?;
+                        if bindings.iter().any(|(existing, _)| *existing == pin) {
+                            return Err(NetlistError::parse(
+                                ParseErrorKind::DuplicateName,
+                                line,
+                                format!("pin `{pin}` bound twice on `{inst}`"),
+                            ));
+                        }
+                        bindings.push((pin, net));
+                        match p.peek() {
+                            Some(Spanned {
+                                token: Token::Comma,
+                                ..
+                            }) => {
+                                p.next();
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                p.expect(Token::RParen, "`)`")?;
+                p.expect(Token::Semi, "`;`")?;
+                let resolved: Vec<(String, crate::NetId)> = bindings
+                    .into_iter()
+                    .map(|(pin, net)| {
+                        let id = b.net(net);
+                        (pin, id)
+                    })
+                    .collect();
+                b.device(
+                    inst,
+                    template,
+                    resolved.iter().map(|(p, n)| (p.as_str(), *n)),
+                );
+            }
+            other => {
+                return Err(NetlistError::parse(
+                    ParseErrorKind::UnexpectedToken,
+                    line,
+                    format!("unknown statement `{other}`"),
+                ));
+            }
+        }
+    }
+
+    Ok(b.finish())
+}
+
+/// Serializes a module back to `.mnl` text.
+///
+/// The output parses back to a structurally identical module (same device,
+/// net and port order), which the round-trip tests rely on.
+pub fn to_mnl(module: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "module {};", module.name());
+    for dir in [
+        PortDirection::Input,
+        PortDirection::Output,
+        PortDirection::InOut,
+    ] {
+        let names: Vec<&str> = module
+            .ports()
+            .filter(|(_, p)| p.direction() == dir)
+            .map(|(_, p)| p.name())
+            .collect();
+        if !names.is_empty() {
+            let kw = match dir {
+                PortDirection::Input => "input",
+                PortDirection::Output => "output",
+                PortDirection::InOut => "inout",
+            };
+            let _ = writeln!(s, "{kw} {};", names.join(", "));
+        }
+    }
+    let internal: Vec<&str> = module
+        .nets()
+        .filter(|(_, n)| !n.is_external())
+        .map(|(_, n)| n.name())
+        .collect();
+    if !internal.is_empty() {
+        let _ = writeln!(s, "net {};", internal.join(", "));
+    }
+    for (_, d) in module.devices() {
+        let pins: Vec<String> = d
+            .pins()
+            .iter()
+            .map(|(pin, net)| format!("{pin}={}", module.net(*net).name()))
+            .collect();
+        let _ = writeln!(
+            s,
+            "device {} {} ({});",
+            d.name(),
+            d.template(),
+            pins.join(", ")
+        );
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL_ADDER: &str = "\
+# a full adder on standard cells
+module full_adder;
+input a, b, cin;
+output sum, cout;
+net t1, t2, t3;
+device x1 XOR2 (A=a, B=b, Y=t1);
+device x2 XOR2 (A=t1, B=cin, Y=sum);
+device a1 AND2 (A=a, B=b, Y=t2);
+device a2 AND2 (A=t1, B=cin, Y=t3);
+device o1 OR2 (A=t2, B=t3, Y=cout);
+endmodule
+";
+
+    #[test]
+    fn parses_full_adder() {
+        let m = parse(FULL_ADDER).expect("parses");
+        assert_eq!(m.name(), "full_adder");
+        assert_eq!(m.device_count(), 5);
+        assert_eq!(m.port_count(), 5);
+        assert_eq!(m.net_count(), 8); // 5 port nets + t1, t2, t3
+        let t1 = m.find_net("t1").expect("t1 exists");
+        assert_eq!(m.net(t1).component_count(), 3);
+    }
+
+    #[test]
+    fn lazily_declared_nets_work() {
+        let m = parse(
+            "module m;\ninput a;\noutput y;\ndevice u INV (A=a, Y=y);\n\
+             device v INV (A=y, Y=hidden);\nendmodule\n",
+        )
+        .expect("parses");
+        assert!(m.find_net("hidden").is_some());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let m = parse("module m; # trailing comment\n\n# full line\nendmodule").expect("parses");
+        assert_eq!(m.device_count(), 0);
+    }
+
+    #[test]
+    fn device_with_no_pins_parses() {
+        let m = parse("module m;\ndevice u INV ();\nendmodule").expect("parses");
+        assert_eq!(m.device(m.find_device("u").unwrap()).pins().len(), 0);
+    }
+
+    #[test]
+    fn error_unknown_statement_carries_line() {
+        let err = parse("module m;\nfrobnicate x;\nendmodule").unwrap_err();
+        match err {
+            NetlistError::Parse { kind, line, .. } => {
+                assert_eq!(kind, ParseErrorKind::UnexpectedToken);
+                assert_eq!(line, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_duplicate_port() {
+        let err = parse("module m;\ninput a;\ninput a;\nendmodule").unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::Parse {
+                kind: ParseErrorKind::DuplicateName,
+                line: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_duplicate_device() {
+        let err = parse("module m;\ndevice u INV ();\ndevice u INV ();\nendmodule").unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::Parse {
+                kind: ParseErrorKind::DuplicateName,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_missing_endmodule() {
+        let err = parse("module m;\ninput a;\n").unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::Parse {
+                kind: ParseErrorKind::UnexpectedEof,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_bad_character() {
+        let err = parse("module m;\ninput a$;\nendmodule").unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::Parse {
+                kind: ParseErrorKind::UnexpectedToken,
+                line: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_not_starting_with_module() {
+        let err = parse("input a;\n").unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::Parse {
+                kind: ParseErrorKind::Malformed,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let m = parse(FULL_ADDER).expect("parses");
+        let text = to_mnl(&m);
+        let m2 = parse(&text).expect("round-trip parses");
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn design_with_multiple_modules_parses() {
+        let src = format!("{FULL_ADDER}\nmodule buf1;\ninput a;\noutput y;\ndevice u BUF (A=a, Y=y);\nendmodule\n");
+        let design = parse_design(&src).expect("parses");
+        assert_eq!(design.len(), 2);
+        assert_eq!(design[0].name(), "full_adder");
+        assert_eq!(design[1].name(), "buf1");
+    }
+
+    #[test]
+    fn single_module_parse_rejects_designs() {
+        let src = "module a;\nendmodule\nmodule b;\nendmodule\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("parse_design"), "{err}");
+        assert_eq!(parse_design(src).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_module_names_rejected() {
+        let src = "module a;\nendmodule\nmodule a;\nendmodule\n";
+        let err = parse_design(src).unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::Parse {
+                kind: ParseErrorKind::DuplicateName,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_design_rejected() {
+        let err = parse_design("# nothing here\n").unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::Parse {
+                kind: ParseErrorKind::Malformed,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn duplicate_pin_binding_rejected() {
+        let err = parse("module m;\ndevice u INV (A=x, A=y);\nendmodule").unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::Parse {
+                kind: ParseErrorKind::DuplicateName,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the netlist substrate: format round-trips,
+//! generator invariants and statistics consistency.
+
+use maestro_netlist::generate::{self, RandomLogicConfig};
+use maestro_netlist::{expand, mnl, spice, LayoutStyle, NetlistStats};
+use maestro_tech::builtin;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mnl_round_trip_reaches_a_fixed_point(seed in 0u64..500, devices in 3usize..50) {
+        // Net ids may be renumbered by the writer's ports-then-internals
+        // ordering, so the invariant is: one round trip is a *textual*
+        // fixed point, and every estimator-relevant statistic survives.
+        let cfg = RandomLogicConfig { device_count: devices, ..Default::default() };
+        let module = generate::random_logic(seed, &cfg);
+        let text = mnl::to_mnl(&module);
+        let back = mnl::parse(&text).expect("round-trip parses");
+        prop_assert_eq!(&text, &mnl::to_mnl(&back), "writer not a fixed point");
+
+        let tech = builtin::nmos25();
+        let s1 = NetlistStats::resolve(&module, &tech, LayoutStyle::StandardCell).unwrap();
+        let s2 = NetlistStats::resolve(&back, &tech, LayoutStyle::StandardCell).unwrap();
+        prop_assert_eq!(s1.device_count(), s2.device_count());
+        prop_assert_eq!(s1.net_count(), s2.net_count());
+        prop_assert_eq!(s1.port_count(), s2.port_count());
+        prop_assert_eq!(s1.total_device_area(), s2.total_device_area());
+        let h1: Vec<_> = s1.net_sizes().iter().collect();
+        let h2: Vec<_> = s2.net_sizes().iter().collect();
+        prop_assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn spice_round_trip_preserves_connectivity(seed in 0u64..200, gates in 2usize..20) {
+        let module = generate::random_nmos_logic(seed, gates);
+        let deck = spice::to_spice(&module);
+        let back = spice::parse(&deck).expect("round-trip parses");
+        prop_assert_eq!(back.device_count(), module.device_count());
+        prop_assert_eq!(back.port_count(), module.port_count());
+        // Per-net component counts survive.
+        for (_, net) in module.nets() {
+            if net.component_count() == 0 {
+                continue;
+            }
+            let n2 = back.find_net(net.name());
+            prop_assert!(n2.is_some(), "net {} lost", net.name());
+            prop_assert_eq!(
+                back.net(n2.unwrap()).component_count(),
+                net.component_count(),
+                "net {}", net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent_with_module(seed in 0u64..300, devices in 3usize..60) {
+        let cfg = RandomLogicConfig { device_count: devices, ..Default::default() };
+        let module = generate::random_logic(seed, &cfg);
+        let tech = builtin::nmos25();
+        let stats = NetlistStats::resolve(&module, &tech, LayoutStyle::StandardCell).unwrap();
+        prop_assert_eq!(stats.device_count(), module.device_count());
+        prop_assert_eq!(stats.port_count(), module.port_count());
+        // H counts exactly the nets with components.
+        let connected = module.nets().filter(|(_, n)| n.component_count() > 0).count();
+        prop_assert_eq!(stats.net_count(), connected);
+        // Width histogram covers every device.
+        prop_assert_eq!(stats.widths().total_count(), module.device_count());
+        // Eq. 1 is a convex combination of observed widths.
+        let widths: Vec<f64> = stats.widths().iter().map(|(w, _)| w.as_f64()).collect();
+        let wav = stats.average_width();
+        let lo = widths.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = widths.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(wav >= lo - 1e-9 && wav <= hi + 1e-9);
+    }
+
+    #[test]
+    fn expansion_multiplies_devices_and_keeps_ports(seed in 0u64..200, devices in 3usize..30) {
+        let cfg = RandomLogicConfig { device_count: devices, ..Default::default() };
+        let module = generate::random_logic(seed, &cfg);
+        let xt = expand::to_nmos_transistors(&module).expect("expands");
+        prop_assert!(xt.device_count() >= module.device_count());
+        prop_assert_eq!(xt.port_count(), module.port_count());
+        // Expanded module resolves against the transistor table.
+        let tech = builtin::nmos25();
+        let stats = NetlistStats::resolve(&xt, &tech, LayoutStyle::FullCustom).unwrap();
+        prop_assert!(stats.total_device_area().get() > 0);
+    }
+
+    #[test]
+    fn generated_modules_validate_cleanly(seed in 0u64..200, devices in 3usize..40) {
+        let cfg = RandomLogicConfig { device_count: devices, ..Default::default() };
+        let module = generate::random_logic(seed, &cfg);
+        let warnings = maestro_netlist::validate::check(
+            &module,
+            &builtin::nmos25(),
+            LayoutStyle::StandardCell,
+        )
+        .expect("validates");
+        prop_assert!(warnings.is_empty(), "{warnings:?}");
+    }
+}

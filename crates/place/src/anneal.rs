@@ -1,0 +1,221 @@
+//! A generic simulated-annealing engine.
+//!
+//! TimberWolf, the full-custom synthesizer and the slicing floorplanner
+//! all anneal over different state spaces; this module factors out the
+//! Metropolis loop. States implement [`AnnealState`]: propose-and-apply a
+//! random move, report the new cost, and be able to revert exactly one
+//! applied move.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A state space that simulated annealing can explore.
+pub trait AnnealState {
+    /// The current cost (lower is better). Must reflect every applied,
+    /// un-reverted move.
+    fn cost(&self) -> f64;
+
+    /// Applies one random move and returns the new cost. The move must be
+    /// revertible by the next [`AnnealState::revert`] call.
+    fn propose_and_apply(&mut self, rng: &mut StdRng) -> f64;
+
+    /// Undoes the single most recently applied move.
+    fn revert(&mut self);
+}
+
+/// Cooling-schedule parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealSchedule {
+    /// Starting temperature. Chosen so that early uphill moves are mostly
+    /// accepted; [`AnnealSchedule::calibrated`] derives it from the state.
+    pub initial_temp: f64,
+    /// Geometric cooling factor per round, in `(0, 1)`.
+    pub cooling: f64,
+    /// Number of cooling rounds.
+    pub rounds: usize,
+    /// Moves attempted per round.
+    pub moves_per_round: usize,
+}
+
+impl Default for AnnealSchedule {
+    fn default() -> Self {
+        AnnealSchedule {
+            initial_temp: 100.0,
+            cooling: 0.92,
+            rounds: 60,
+            moves_per_round: 400,
+        }
+    }
+}
+
+impl AnnealSchedule {
+    /// A short schedule for tests and tiny problems.
+    pub fn quick() -> Self {
+        AnnealSchedule {
+            initial_temp: 50.0,
+            cooling: 0.85,
+            rounds: 25,
+            moves_per_round: 120,
+        }
+    }
+
+    /// Calibrates the initial temperature from the state: samples `probes`
+    /// random moves (each immediately reverted) and sets `T₀` to twice the
+    /// mean uphill delta, the classic rule of thumb.
+    pub fn calibrated<S: AnnealState>(mut self, state: &mut S, seed: u64, probes: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CA11B7A7E5);
+        let mut uphill_sum = 0.0;
+        let mut uphill_count = 0usize;
+        let current = state.cost();
+        for _ in 0..probes {
+            let new = state.propose_and_apply(&mut rng);
+            let delta = new - current;
+            state.revert();
+            if delta > 0.0 {
+                uphill_sum += delta;
+                uphill_count += 1;
+            }
+        }
+        if uphill_count > 0 {
+            self.initial_temp = (2.0 * uphill_sum / uphill_count as f64).max(1e-6);
+        }
+        self
+    }
+}
+
+/// Runs the Metropolis loop, mutating `state` toward lower cost; returns
+/// the final cost. Deterministic for a given seed.
+///
+/// # Panics
+///
+/// Panics if the schedule's cooling factor is outside `(0, 1)`.
+pub fn anneal<S: AnnealState>(state: &mut S, schedule: &AnnealSchedule, seed: u64) -> f64 {
+    assert!(
+        schedule.cooling > 0.0 && schedule.cooling < 1.0,
+        "cooling factor {} outside (0, 1)",
+        schedule.cooling
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut temp = schedule.initial_temp.max(1e-9);
+    let mut current = state.cost();
+    for _ in 0..schedule.rounds {
+        for _ in 0..schedule.moves_per_round {
+            let new = state.propose_and_apply(&mut rng);
+            let delta = new - current;
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
+            if accept {
+                current = new;
+            } else {
+                state.revert();
+            }
+        }
+        temp *= schedule.cooling;
+    }
+    // Final greedy descent: quench at zero temperature so the run never
+    // ends on an uphill excursion.
+    let greedy_moves = schedule.moves_per_round * 2;
+    for _ in 0..greedy_moves {
+        let new = state.propose_and_apply(&mut rng);
+        if new < current {
+            current = new;
+        } else {
+            state.revert();
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy state: a permutation whose cost is the number of inversions.
+    struct SortState {
+        values: Vec<u32>,
+        last_swap: Option<(usize, usize)>,
+    }
+
+    impl SortState {
+        fn new(n: usize, seed: u64) -> Self {
+            use rand::seq::SliceRandom;
+            let mut values: Vec<u32> = (0..n as u32).collect();
+            values.shuffle(&mut StdRng::seed_from_u64(seed));
+            SortState {
+                values,
+                last_swap: None,
+            }
+        }
+
+        fn inversions(&self) -> usize {
+            let mut inv = 0;
+            for i in 0..self.values.len() {
+                for j in i + 1..self.values.len() {
+                    if self.values[i] > self.values[j] {
+                        inv += 1;
+                    }
+                }
+            }
+            inv
+        }
+    }
+
+    impl AnnealState for SortState {
+        fn cost(&self) -> f64 {
+            self.inversions() as f64
+        }
+
+        fn propose_and_apply(&mut self, rng: &mut StdRng) -> f64 {
+            let i = rng.gen_range(0..self.values.len());
+            let j = rng.gen_range(0..self.values.len());
+            self.values.swap(i, j);
+            self.last_swap = Some((i, j));
+            self.cost()
+        }
+
+        fn revert(&mut self) {
+            let (i, j) = self.last_swap.take().expect("revert without move");
+            self.values.swap(i, j);
+        }
+    }
+
+    #[test]
+    fn anneal_sorts_a_permutation() {
+        let mut state = SortState::new(12, 7);
+        let start = state.cost();
+        assert!(start > 0.0);
+        let end = anneal(&mut state, &AnnealSchedule::default(), 42);
+        assert_eq!(end, 0.0, "12 elements should fully sort");
+        assert!(state.values.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn anneal_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = SortState::new(20, 3);
+            anneal(&mut s, &AnnealSchedule::quick(), seed);
+            s.values
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn calibration_sets_positive_temperature() {
+        let mut s = SortState::new(15, 9);
+        let before_cost = s.cost();
+        let sched = AnnealSchedule::default().calibrated(&mut s, 5, 50);
+        assert!(sched.initial_temp > 0.0);
+        // Calibration must leave the state untouched.
+        assert_eq!(s.cost(), before_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling factor")]
+    fn bad_cooling_rejected() {
+        let mut s = SortState::new(4, 0);
+        let sched = AnnealSchedule {
+            cooling: 1.5,
+            ..AnnealSchedule::default()
+        };
+        let _ = anneal(&mut s, &sched, 0);
+    }
+}

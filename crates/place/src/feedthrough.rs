@@ -1,0 +1,131 @@
+//! Post-placement feed-through insertion.
+//!
+//! A net whose pins sit in rows `r_min..r_max` must physically cross every
+//! intermediate row; where it has no pin in a crossed row, a feed-through
+//! cell is inserted (paper §4.1: "a net with any number of components can
+//! contribute only one feed-through in any cell row"). Each inserted
+//! feed-through widens its row by the process feed-through width and gives
+//! the net a crossing point the channel router can use.
+
+use maestro_geom::Lambda;
+
+use crate::placement::PlacedModule;
+
+/// Inserts feed-throughs into `placed` for every net that crosses a row
+/// without a pin there. Updates per-row feed-through counts and per-net
+/// topologies in place.
+///
+/// The feed-through's x coordinate is the mean of the net's pin
+/// x-positions — the column a router would naturally choose.
+pub fn insert_feedthroughs(placed: &mut PlacedModule) {
+    let row_count = placed.rows().len() as u32;
+    if row_count <= 1 {
+        return;
+    }
+    // Collect insertions first (borrow rules: topologies and rows are both
+    // fields of `placed`).
+    let mut insertions: Vec<(usize, u32, Lambda)> = Vec::new(); // (topology idx, row, x)
+    for (t_idx, topo) in placed.topologies().iter().enumerate() {
+        if topo.pins.len() < 2 {
+            continue;
+        }
+        let rows: Vec<u32> = topo.pins.iter().map(|&(r, _)| r).collect();
+        let r_min = *rows.iter().min().expect("non-empty");
+        let r_max = *rows.iter().max().expect("non-empty");
+        if r_max == r_min {
+            continue;
+        }
+        let mean_x = Lambda::new(
+            topo.pins.iter().map(|&(_, x)| x.get()).sum::<i64>() / topo.pins.len() as i64,
+        );
+        for r in r_min + 1..r_max {
+            if !rows.contains(&r) {
+                insertions.push((t_idx, r, mean_x));
+            }
+        }
+    }
+    for (t_idx, row, x) in insertions {
+        placed.rows_mut()[row as usize].feedthroughs += 1;
+        placed.topologies_mut()[t_idx].feedthroughs.push((row, x));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::anneal::AnnealSchedule;
+    use crate::placement::{place, PlaceParams};
+    use maestro_netlist::generate;
+    use maestro_tech::builtin;
+
+    fn quick_params(rows: u32, seed: u64) -> PlaceParams {
+        PlaceParams {
+            rows,
+            seed,
+            schedule: AnnealSchedule::quick(),
+            ..PlaceParams::default()
+        }
+    }
+
+    #[test]
+    fn single_row_has_no_feedthroughs() {
+        let m = generate::ripple_adder(2);
+        let placed = place(&m, &builtin::nmos25(), &quick_params(1, 1)).unwrap();
+        assert_eq!(placed.total_feedthroughs(), 0);
+    }
+
+    #[test]
+    fn every_crossed_row_without_pin_gets_a_feedthrough() {
+        let m = generate::shift_register(16);
+        let placed = place(&m, &builtin::nmos25(), &quick_params(4, 2)).unwrap();
+        for topo in placed.topologies() {
+            if topo.pins.len() < 2 {
+                continue;
+            }
+            let touched = topo.rows_touched();
+            let lo = *touched.first().unwrap();
+            let hi = *touched.last().unwrap();
+            // After insertion the net touches every row in its span.
+            assert_eq!(
+                touched,
+                (lo..=hi).collect::<Vec<_>>(),
+                "net {:?} should touch a contiguous row range",
+                topo.net
+            );
+        }
+    }
+
+    #[test]
+    fn row_counts_match_topology_entries() {
+        let m = generate::counter(8);
+        let placed = place(&m, &builtin::nmos25(), &quick_params(4, 3)).unwrap();
+        let from_topo: u32 = placed
+            .topologies()
+            .iter()
+            .map(|t| t.feedthroughs.len() as u32)
+            .sum();
+        assert_eq!(placed.total_feedthroughs(), from_topo);
+    }
+
+    #[test]
+    fn more_rows_tend_to_need_feedthroughs() {
+        // The clock net of a shift register spans every row, guaranteeing
+        // crossings once there are ≥3 rows.
+        let m = generate::shift_register(12);
+        let placed = place(&m, &builtin::nmos25(), &quick_params(4, 4)).unwrap();
+        // Feed-throughs may be zero if every crossed row has a pin; the
+        // deterministic seed here yields at least one crossing row overall.
+        let spans: Vec<_> = placed
+            .topologies()
+            .iter()
+            .filter(|t| t.pins.len() >= 2)
+            .map(|t| {
+                let rows = t.rows_touched();
+                (*rows.first().unwrap(), *rows.last().unwrap())
+            })
+            .collect();
+        assert!(
+            spans.iter().any(|&(lo, hi)| hi - lo >= 2),
+            "some net spans ≥3 rows: {spans:?}"
+        );
+    }
+}

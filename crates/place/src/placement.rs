@@ -1,0 +1,616 @@
+//! Simulated-annealing standard-cell placement and the placed-module
+//! output consumed by the channel router.
+
+use maestro_geom::{Lambda, Point};
+use maestro_netlist::{DeviceId, LayoutStyle, Module, NetId, NetlistError, NetlistStats};
+use maestro_tech::ProcessDb;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::anneal::{anneal, AnnealSchedule, AnnealState};
+use crate::feedthrough;
+use crate::row_model;
+
+/// Parameters of a placement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaceParams {
+    /// Number of standard-cell rows.
+    pub rows: u32,
+    /// Annealing seed (placements are deterministic per seed).
+    pub seed: u64,
+    /// Cooling schedule.
+    pub schedule: AnnealSchedule,
+    /// Weight of the row-width-imbalance penalty relative to wirelength.
+    pub balance_weight: f64,
+}
+
+impl Default for PlaceParams {
+    fn default() -> Self {
+        PlaceParams {
+            rows: 2,
+            seed: 1988,
+            schedule: AnnealSchedule::default(),
+            balance_weight: 0.5,
+        }
+    }
+}
+
+/// One placed cell: a device at a concrete row offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedCell {
+    /// The placed device.
+    pub device: DeviceId,
+    /// Left edge within the row.
+    pub x: Lambda,
+    /// Cell width.
+    pub width: Lambda,
+}
+
+/// One placed row: cells in left-to-right order plus the feed-throughs
+/// inserted after placement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedRow {
+    /// Cells in left-to-right order.
+    pub cells: Vec<PlacedCell>,
+    /// Feed-throughs inserted in this row.
+    pub feedthroughs: u32,
+}
+
+impl PlacedRow {
+    /// Total cell width of the row (excluding feed-throughs).
+    pub fn cell_width(&self) -> Lambda {
+        self.cells.iter().map(|c| c.width).sum()
+    }
+}
+
+/// Where one net touches the placed rows: cell pins plus the feed-through
+/// crossings inserted for it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetTopology {
+    /// The net.
+    pub net: NetId,
+    /// Cell pin locations as (row index, x).
+    pub pins: Vec<(u32, Lambda)>,
+    /// Feed-through crossings as (row index, x).
+    pub feedthroughs: Vec<(u32, Lambda)>,
+    /// `true` if the net reaches a module port.
+    pub external: bool,
+}
+
+impl NetTopology {
+    /// The rows this net touches (pins and feed-throughs), ascending and
+    /// deduplicated.
+    pub fn rows_touched(&self) -> Vec<u32> {
+        let mut rows: Vec<u32> = self
+            .pins
+            .iter()
+            .chain(&self.feedthroughs)
+            .map(|&(r, _)| r)
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+}
+
+/// A fully placed module: the "real layout" input for channel routing and
+/// area assembly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacedModule {
+    module_name: String,
+    row_height: Lambda,
+    feedthrough_width: Lambda,
+    track_pitch: Lambda,
+    rows: Vec<PlacedRow>,
+    topologies: Vec<NetTopology>,
+    hpwl: Lambda,
+}
+
+impl PlacedModule {
+    /// Module name.
+    pub fn module_name(&self) -> &str {
+        &self.module_name
+    }
+
+    /// Cell/row height.
+    pub fn row_height(&self) -> Lambda {
+        self.row_height
+    }
+
+    /// Width of one feed-through column.
+    pub fn feedthrough_width(&self) -> Lambda {
+        self.feedthrough_width
+    }
+
+    /// Routing-track pitch of the process.
+    pub fn track_pitch(&self) -> Lambda {
+        self.track_pitch
+    }
+
+    /// Placed rows, top (index 0) to bottom.
+    pub fn rows(&self) -> &[PlacedRow] {
+        &self.rows
+    }
+
+    /// Per-net placement topology (indexed alongside the module's nets,
+    /// but only nets with at least one component appear).
+    pub fn topologies(&self) -> &[NetTopology] {
+        &self.topologies
+    }
+
+    /// Total half-perimeter wirelength of the placement.
+    pub fn hpwl(&self) -> Lambda {
+        self.hpwl
+    }
+
+    /// Module width: the widest row including feed-through columns.
+    pub fn width(&self) -> Lambda {
+        self.rows
+            .iter()
+            .map(|r| r.cell_width() + self.feedthrough_width * r.feedthroughs as i64)
+            .max()
+            .unwrap_or(Lambda::ZERO)
+    }
+
+    /// Total feed-throughs across all rows.
+    pub fn total_feedthroughs(&self) -> u32 {
+        self.rows.iter().map(|r| r.feedthroughs).sum()
+    }
+
+    pub(crate) fn rows_mut(&mut self) -> &mut Vec<PlacedRow> {
+        &mut self.rows
+    }
+
+    pub(crate) fn topologies_mut(&mut self) -> &mut Vec<NetTopology> {
+        &mut self.topologies
+    }
+}
+
+/// The annealing state: device-to-row assignment with order within rows.
+struct PlaceState {
+    /// Device widths by device index.
+    widths: Vec<i64>,
+    /// For each net: participating device indices (deduplicated).
+    nets: Vec<Vec<u32>>,
+    /// Rows of device indices.
+    rows: Vec<Vec<u32>>,
+    /// Inverse map: device -> row.
+    row_of: Vec<u32>,
+    /// Vertical distance between adjacent row centerlines.
+    y_pitch: f64,
+    balance_weight: f64,
+    target_row_width: f64,
+    cached_cost: f64,
+    undo: Option<UndoMove>,
+}
+
+enum UndoMove {
+    Swap { a: u32, b: u32 },
+    Relocate { device: u32, row: u32, index: usize },
+}
+
+impl PlaceState {
+    fn x_centers(&self) -> Vec<f64> {
+        let mut x = vec![0.0f64; self.widths.len()];
+        for row in &self.rows {
+            let mut acc = 0.0;
+            for &d in row {
+                let w = self.widths[d as usize] as f64;
+                x[d as usize] = acc + w / 2.0;
+                acc += w;
+            }
+        }
+        x
+    }
+
+    fn compute_cost(&self) -> f64 {
+        let x = self.x_centers();
+        let mut hpwl = 0.0;
+        for net in &self.nets {
+            if net.len() < 2 {
+                continue;
+            }
+            let mut min_x = f64::MAX;
+            let mut max_x = f64::MIN;
+            let mut min_y = f64::MAX;
+            let mut max_y = f64::MIN;
+            for &d in net {
+                let cx = x[d as usize];
+                let cy = self.row_of[d as usize] as f64 * self.y_pitch;
+                min_x = min_x.min(cx);
+                max_x = max_x.max(cx);
+                min_y = min_y.min(cy);
+                max_y = max_y.max(cy);
+            }
+            hpwl += (max_x - min_x) + (max_y - min_y);
+        }
+        let balance: f64 = self
+            .rows
+            .iter()
+            .map(|row| {
+                let w: i64 = row.iter().map(|&d| self.widths[d as usize]).sum();
+                (w as f64 - self.target_row_width).abs()
+            })
+            .sum();
+        hpwl + self.balance_weight * balance
+    }
+
+    fn refresh_cost(&mut self) {
+        self.cached_cost = self.compute_cost();
+    }
+}
+
+impl AnnealState for PlaceState {
+    fn cost(&self) -> f64 {
+        self.cached_cost
+    }
+
+    fn propose_and_apply(&mut self, rng: &mut StdRng) -> f64 {
+        let n = self.widths.len() as u32;
+        if rng.gen_bool(0.5) || self.rows.len() == 1 {
+            // Swap two distinct devices.
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n);
+            while b == a && n > 1 {
+                b = rng.gen_range(0..n);
+            }
+            let (ra, rb) = (self.row_of[a as usize], self.row_of[b as usize]);
+            let ia = self.rows[ra as usize]
+                .iter()
+                .position(|&d| d == a)
+                .expect("a placed");
+            let ib = self.rows[rb as usize]
+                .iter()
+                .position(|&d| d == b)
+                .expect("b placed");
+            self.rows[ra as usize][ia] = b;
+            self.rows[rb as usize][ib] = a;
+            self.row_of[a as usize] = rb;
+            self.row_of[b as usize] = ra;
+            self.undo = Some(UndoMove::Swap { a, b });
+        } else {
+            // Relocate a device to a random position in a random row.
+            let d = rng.gen_range(0..n);
+            let from_row = self.row_of[d as usize];
+            let from_idx = self.rows[from_row as usize]
+                .iter()
+                .position(|&x| x == d)
+                .expect("device placed");
+            self.rows[from_row as usize].remove(from_idx);
+            let to_row = rng.gen_range(0..self.rows.len()) as u32;
+            let to_idx = rng.gen_range(0..=self.rows[to_row as usize].len());
+            self.rows[to_row as usize].insert(to_idx, d);
+            self.row_of[d as usize] = to_row;
+            self.undo = Some(UndoMove::Relocate {
+                device: d,
+                row: from_row,
+                index: from_idx,
+            });
+        }
+        self.refresh_cost();
+        self.cached_cost
+    }
+
+    fn revert(&mut self) {
+        match self.undo.take().expect("revert without move") {
+            UndoMove::Swap { a, b } => {
+                let (ra, rb) = (self.row_of[a as usize], self.row_of[b as usize]);
+                let ia = self.rows[ra as usize]
+                    .iter()
+                    .position(|&d| d == a)
+                    .expect("a placed");
+                let ib = self.rows[rb as usize]
+                    .iter()
+                    .position(|&d| d == b)
+                    .expect("b placed");
+                self.rows[ra as usize][ia] = b;
+                self.rows[rb as usize][ib] = a;
+                self.row_of[a as usize] = rb;
+                self.row_of[b as usize] = ra;
+            }
+            UndoMove::Relocate { device, row, index } => {
+                let cur_row = self.row_of[device as usize];
+                let cur_idx = self.rows[cur_row as usize]
+                    .iter()
+                    .position(|&x| x == device)
+                    .expect("device placed");
+                self.rows[cur_row as usize].remove(cur_idx);
+                self.rows[row as usize].insert(index, device);
+                self.row_of[device as usize] = row;
+            }
+        }
+        self.refresh_cost();
+    }
+}
+
+/// Places `module` into `params.rows` rows: one-row model, folding, then
+/// simulated annealing; finally inserts feed-throughs for every net that
+/// crosses a row without a pin there.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownTemplate`] if a device's template is
+/// missing from the cell library, or [`NetlistError::Invalid`] for an
+/// empty module or a zero row count.
+pub fn place(
+    module: &Module,
+    tech: &ProcessDb,
+    params: &PlaceParams,
+) -> Result<PlacedModule, NetlistError> {
+    if module.device_count() == 0 {
+        return Err(NetlistError::invalid("cannot place an empty module"));
+    }
+    if params.rows == 0 {
+        return Err(NetlistError::invalid("row count must be positive"));
+    }
+    // Resolve templates (errors early, uniform with the estimator).
+    let stats = NetlistStats::resolve(module, tech, LayoutStyle::StandardCell)?;
+    let widths: Vec<Lambda> = (0..module.device_count())
+        .map(|i| {
+            let d = module.device(DeviceId::new(i as u32));
+            tech.cell_library()
+                .cell(d.template())
+                .expect("resolved above")
+                .width()
+        })
+        .collect();
+
+    // Initial placement: one-row model folded into n rows.
+    let order = row_model::one_row_order(module);
+    let folded = row_model::fold(&order, &widths, params.rows);
+
+    let nets: Vec<Vec<u32>> = module
+        .nets()
+        .map(|(_, net)| net.components().iter().map(|d| d.index() as u32).collect())
+        .collect();
+    let mut row_of = vec![0u32; module.device_count()];
+    let rows: Vec<Vec<u32>> = folded
+        .iter()
+        .enumerate()
+        .map(|(r, row)| {
+            row.iter()
+                .map(|d| {
+                    row_of[d.index()] = r as u32;
+                    d.index() as u32
+                })
+                .collect()
+        })
+        .collect();
+
+    let total_width: i64 = widths.iter().map(|w| w.get()).sum();
+    let mut state = PlaceState {
+        widths: widths.iter().map(|w| w.get()).collect(),
+        nets,
+        rows,
+        row_of,
+        y_pitch: (tech.row_height() + tech.track_pitch() * 3).as_f64(),
+        balance_weight: params.balance_weight,
+        target_row_width: total_width as f64 / params.rows as f64,
+        cached_cost: 0.0,
+        undo: None,
+    };
+    state.refresh_cost();
+    // Keep the folded initial placement as a fallback: annealing must
+    // never hand the router something worse than the one-row model.
+    let initial_rows_snapshot = state.rows.clone();
+    let initial_row_of = state.row_of.clone();
+    let initial_cost = state.cached_cost;
+    let schedule = params
+        .schedule
+        .clone()
+        .calibrated(&mut state, params.seed, 64);
+    let annealed_cost = anneal(&mut state, &schedule, params.seed);
+    if annealed_cost > initial_cost {
+        state.rows = initial_rows_snapshot;
+        state.row_of = initial_row_of;
+        state.refresh_cost();
+    }
+
+    // Materialize coordinates.
+    let mut placed_rows = Vec::with_capacity(state.rows.len());
+    let mut device_pos: Vec<(u32, Lambda)> = vec![(0, Lambda::ZERO); module.device_count()];
+    for (r, row) in state.rows.iter().enumerate() {
+        let mut cells = Vec::with_capacity(row.len());
+        let mut acc = Lambda::ZERO;
+        for &d in row {
+            let width = widths[d as usize];
+            cells.push(PlacedCell {
+                device: DeviceId::new(d),
+                x: acc,
+                width,
+            });
+            device_pos[d as usize] = (r as u32, acc);
+            acc += width;
+        }
+        placed_rows.push(PlacedRow {
+            cells,
+            feedthroughs: 0,
+        });
+    }
+
+    // Net topologies from placed pin locations.
+    let mut topologies = Vec::new();
+    for (id, net) in module.nets() {
+        if net.component_count() == 0 {
+            continue;
+        }
+        let mut pins = Vec::new();
+        for pin in net.pins() {
+            let dev = module.device(pin.device);
+            let (row, base_x) = device_pos[pin.device.index()];
+            let cell = tech
+                .cell_library()
+                .cell(dev.template())
+                .expect("resolved above");
+            let offset = cell
+                .pin_location(&pin.pin)
+                .map(|p: Point| p.x)
+                .unwrap_or(cell.width() / 2);
+            pins.push((row, base_x + offset));
+        }
+        pins.sort_unstable();
+        pins.dedup();
+        topologies.push(NetTopology {
+            net: id,
+            pins,
+            feedthroughs: Vec::new(),
+            external: net.is_external(),
+        });
+    }
+
+    // Final wirelength for reporting (pure HPWL, no balance term).
+    let hpwl = {
+        let mut total = 0i64;
+        for t in &topologies {
+            if t.pins.len() < 2 {
+                continue;
+            }
+            let xs: Vec<i64> = t.pins.iter().map(|&(_, x)| x.get()).collect();
+            let rs: Vec<i64> = t.pins.iter().map(|&(r, _)| r as i64).collect();
+            let dx = xs.iter().max().unwrap() - xs.iter().min().unwrap();
+            let dr = rs.iter().max().unwrap() - rs.iter().min().unwrap();
+            total += dx + dr * (tech.row_height() + tech.track_pitch() * 3).get();
+        }
+        Lambda::new(total)
+    };
+
+    let mut placed = PlacedModule {
+        module_name: module.name().to_owned(),
+        row_height: tech.row_height(),
+        feedthrough_width: tech.feedthrough_width(),
+        track_pitch: tech.track_pitch(),
+        rows: placed_rows,
+        topologies,
+        hpwl,
+    };
+    feedthrough::insert_feedthroughs(&mut placed);
+    let _ = stats; // resolved for validation only
+    Ok(placed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_netlist::generate;
+    use maestro_tech::builtin;
+
+    fn quick_params(rows: u32) -> PlaceParams {
+        PlaceParams {
+            rows,
+            schedule: AnnealSchedule::quick(),
+            ..PlaceParams::default()
+        }
+    }
+
+    #[test]
+    fn places_all_devices_exactly_once() {
+        let m = generate::ripple_adder(3);
+        let placed = place(&m, &builtin::nmos25(), &quick_params(3)).expect("places");
+        let mut seen: Vec<u32> = placed
+            .rows()
+            .iter()
+            .flat_map(|r| r.cells.iter().map(|c| c.device.index() as u32))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), m.device_count());
+    }
+
+    #[test]
+    fn cells_do_not_overlap_within_rows() {
+        let m = generate::counter(5);
+        let placed = place(&m, &builtin::nmos25(), &quick_params(2)).expect("places");
+        for row in placed.rows() {
+            let mut edge = Lambda::ZERO;
+            for c in &row.cells {
+                assert!(
+                    c.x >= edge,
+                    "cell at {} overlaps previous ending {edge}",
+                    c.x
+                );
+                edge = c.x + c.width;
+            }
+        }
+    }
+
+    #[test]
+    fn annealing_beats_or_matches_initial_hpwl() {
+        // Run with a *degenerate* schedule (no moves) vs a real one; the
+        // annealed result must not be worse.
+        let m = generate::ripple_adder(4);
+        let tech = builtin::nmos25();
+        let frozen = PlaceParams {
+            rows: 3,
+            schedule: AnnealSchedule {
+                rounds: 0,
+                ..AnnealSchedule::quick()
+            },
+            ..PlaceParams::default()
+        };
+        let initial = place(&m, &tech, &frozen).expect("places");
+        let annealed = place(&m, &tech, &quick_params(3)).expect("places");
+        assert!(
+            annealed.hpwl() <= initial.hpwl(),
+            "annealed {} vs initial {}",
+            annealed.hpwl(),
+            initial.hpwl()
+        );
+    }
+
+    #[test]
+    fn placement_is_deterministic_per_seed() {
+        let m = generate::counter(4);
+        let tech = builtin::nmos25();
+        let a = place(&m, &tech, &quick_params(2)).expect("places");
+        let b = place(&m, &tech, &quick_params(2)).expect("places");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn width_includes_feedthrough_columns() {
+        let m = generate::shift_register(12);
+        let placed = place(&m, &builtin::nmos25(), &quick_params(4)).expect("places");
+        let max_cells = placed.rows().iter().map(|r| r.cell_width()).max().unwrap();
+        assert!(placed.width() >= max_cells);
+        if placed.total_feedthroughs() > 0 {
+            assert!(
+                placed.width() > max_cells || placed.rows().iter().all(|r| r.feedthroughs == 0)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_module_is_an_error() {
+        let b = maestro_netlist::ModuleBuilder::new("empty");
+        let err = place(&b.finish(), &builtin::nmos25(), &quick_params(2)).unwrap_err();
+        assert!(matches!(err, NetlistError::Invalid { .. }));
+    }
+
+    #[test]
+    fn zero_rows_is_an_error() {
+        let m = generate::counter(2);
+        let err = place(&m, &builtin::nmos25(), &quick_params(0)).unwrap_err();
+        assert!(matches!(err, NetlistError::Invalid { .. }));
+    }
+
+    #[test]
+    fn unknown_template_propagates() {
+        let mut b = maestro_netlist::ModuleBuilder::new("alien");
+        let n = b.net("n");
+        b.device("u1", "WARP_GATE", [("A", n)]);
+        let err = place(&b.finish(), &builtin::nmos25(), &quick_params(1)).unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownTemplate { .. }));
+    }
+
+    #[test]
+    fn topologies_cover_all_connected_nets() {
+        let m = generate::ripple_adder(2);
+        let placed = place(&m, &builtin::nmos25(), &quick_params(2)).expect("places");
+        let connected = m.nets().filter(|(_, n)| n.component_count() > 0).count();
+        assert_eq!(placed.topologies().len(), connected);
+        for t in placed.topologies() {
+            assert!(!t.pins.is_empty());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the placement substrate.
+
+use maestro_netlist::generate::{self, RandomLogicConfig};
+use maestro_place::{place, AnnealSchedule, PlaceParams};
+use maestro_tech::builtin;
+use proptest::prelude::*;
+
+fn params(rows: u32, seed: u64) -> PlaceParams {
+    PlaceParams {
+        rows,
+        seed,
+        schedule: AnnealSchedule {
+            rounds: 8,
+            moves_per_round: 60,
+            ..AnnealSchedule::quick()
+        },
+        ..PlaceParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_device_placed_exactly_once(
+        seed in 0u64..200,
+        devices in 5usize..40,
+        rows in 1u32..6,
+    ) {
+        let cfg = RandomLogicConfig { device_count: devices, ..Default::default() };
+        let module = generate::random_logic(seed, &cfg);
+        let placed = place(&module, &builtin::nmos25(), &params(rows, seed)).unwrap();
+        let mut ids: Vec<usize> = placed
+            .rows()
+            .iter()
+            .flat_map(|r| r.cells.iter().map(|c| c.device.index()))
+            .collect();
+        ids.sort_unstable();
+        let expected: Vec<usize> = (0..module.device_count()).collect();
+        prop_assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn cells_are_left_to_right_disjoint(
+        seed in 0u64..200,
+        devices in 5usize..40,
+        rows in 1u32..6,
+    ) {
+        let cfg = RandomLogicConfig { device_count: devices, ..Default::default() };
+        let module = generate::random_logic(seed, &cfg);
+        let placed = place(&module, &builtin::nmos25(), &params(rows, seed)).unwrap();
+        for row in placed.rows() {
+            let mut edge = 0i64;
+            for c in &row.cells {
+                prop_assert!(c.x.get() >= edge);
+                edge = (c.x + c.width).get();
+            }
+        }
+    }
+
+    #[test]
+    fn feedthrough_topologies_are_contiguous(
+        seed in 0u64..100,
+        devices in 8usize..40,
+        rows in 2u32..6,
+    ) {
+        let cfg = RandomLogicConfig { device_count: devices, ..Default::default() };
+        let module = generate::random_logic(seed, &cfg);
+        let placed = place(&module, &builtin::nmos25(), &params(rows, seed)).unwrap();
+        for topo in placed.topologies() {
+            if topo.pins.len() < 2 {
+                continue;
+            }
+            let touched = topo.rows_touched();
+            let lo = *touched.first().unwrap();
+            let hi = *touched.last().unwrap();
+            prop_assert_eq!(&touched, &(lo..=hi).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn placement_deterministic_per_seed(seed in 0u64..50, rows in 1u32..4) {
+        let module = generate::counter(4);
+        let a = place(&module, &builtin::nmos25(), &params(rows, seed)).unwrap();
+        let b = place(&module, &builtin::nmos25(), &params(rows, seed)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

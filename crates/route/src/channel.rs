@@ -1,0 +1,249 @@
+//! Channel-routing problems extracted from a placed module.
+//!
+//! A module with `n` rows has `n + 1` horizontal channels: channel `c`
+//! lies above row `c` (so channel `n` is below the last row). Each net
+//! contributes, per channel it must cross or connect in, one horizontal
+//! **segment** — an interval spanning the net's access columns on the
+//! channel's two shores — plus the sets of columns where it descends from
+//! the top shore or rises from the bottom shore.
+
+use maestro_geom::{Interval, Lambda};
+use maestro_netlist::NetId;
+use maestro_place::PlacedModule;
+use serde::{Deserialize, Serialize};
+
+/// One net's demand inside one channel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// The net this segment belongs to.
+    pub net: NetId,
+    /// Horizontal span the net's trunk must cover in this channel.
+    pub span: Interval,
+    /// Columns where the net connects to the channel's top shore (bottom
+    /// edge of the row above).
+    pub top_columns: Vec<Lambda>,
+    /// Columns where the net connects to the channel's bottom shore (top
+    /// edge of the row below).
+    pub bottom_columns: Vec<Lambda>,
+}
+
+/// One channel's routing problem.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChannelProblem {
+    /// Segments, one per net present in the channel.
+    pub segments: Vec<Segment>,
+}
+
+impl ChannelProblem {
+    /// The classic channel **local density**: the maximum number of
+    /// segments whose spans strictly overlap any single column. This is a
+    /// lower bound on the routable track count.
+    pub fn density(&self) -> u32 {
+        let mut events: Vec<(i64, i32)> = Vec::with_capacity(self.segments.len() * 2);
+        for s in &self.segments {
+            // Closed intervals: a point interval still occupies its column.
+            events.push((s.span.lo().get(), 1));
+            events.push((s.span.hi().get() + 1, -1));
+        }
+        events.sort_unstable();
+        let mut cur = 0i32;
+        let mut max = 0i32;
+        for (_, delta) in events {
+            cur += delta;
+            max = max.max(cur);
+        }
+        max.max(0) as u32
+    }
+
+    /// `true` if the channel has no traffic.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+/// Builds the `rows + 1` channel problems for a placed module.
+///
+/// Per net (whose touched rows are contiguous after feed-through
+/// insertion):
+///
+/// * between each pair of adjacent touched rows `r, r+1`, the net needs a
+///   segment in channel `r + 1` connecting its row-`r` access columns
+///   (top shore) to its row-`r+1` access columns (bottom shore);
+/// * a net confined to a single row with ≥ 2 pins routes in the channel
+///   *above* that row, with all pins on the bottom shore;
+/// * an **external** net additionally exits through the nearest horizontal
+///   edge channel (0 or `rows`) at its closest access column.
+pub fn build_channels(placed: &PlacedModule) -> Vec<ChannelProblem> {
+    let rows = placed.rows().len();
+    let mut channels = vec![ChannelProblem::default(); rows + 1];
+
+    for topo in placed.topologies() {
+        // Access points per row: pins and feed-through crossings.
+        let mut by_row: Vec<Vec<Lambda>> = vec![Vec::new(); rows];
+        for &(r, x) in &topo.pins {
+            by_row[r as usize].push(x);
+        }
+        for &(r, x) in &topo.feedthroughs {
+            by_row[r as usize].push(x);
+        }
+        let touched: Vec<usize> = (0..rows).filter(|&r| !by_row[r].is_empty()).collect();
+        if touched.is_empty() {
+            continue;
+        }
+        let lo = touched[0];
+        let hi = *touched.last().expect("non-empty");
+
+        if touched.len() == 1 && by_row[lo].len() >= 2 {
+            // Intra-row net: channel above the row, pins on the bottom shore.
+            let xs = &by_row[lo];
+            let span = xs
+                .iter()
+                .skip(1)
+                .fold(Interval::point(xs[0]), |iv, &x| iv.expanded_to(x));
+            channels[lo].segments.push(Segment {
+                net: topo.net,
+                span,
+                top_columns: Vec::new(),
+                bottom_columns: xs.clone(),
+            });
+        } else {
+            // Inter-row net: a segment per channel between adjacent
+            // touched rows (the span is contiguous after feed-through
+            // insertion, so adjacent touched rows differ by 1).
+            for r in lo..hi {
+                let upper = &by_row[r];
+                let lower = &by_row[r + 1];
+                if upper.is_empty() || lower.is_empty() {
+                    // Can only happen if feed-through insertion was
+                    // skipped; fall back to spanning the whole gap.
+                    continue;
+                }
+                let all: Vec<Lambda> = upper.iter().chain(lower).copied().collect();
+                let span = all
+                    .iter()
+                    .skip(1)
+                    .fold(Interval::point(all[0]), |iv, &x| iv.expanded_to(x));
+                channels[r + 1].segments.push(Segment {
+                    net: topo.net,
+                    span,
+                    top_columns: upper.clone(),
+                    bottom_columns: lower.clone(),
+                });
+            }
+        }
+
+        if topo.external {
+            // Exit via the nearest horizontal edge.
+            let (edge_channel, edge_row) = if lo <= rows - 1 - hi {
+                (0usize, lo)
+            } else {
+                (rows, hi)
+            };
+            let x = by_row[edge_row][0];
+            let (top_columns, bottom_columns) = if edge_channel == 0 {
+                (Vec::new(), vec![x])
+            } else {
+                (vec![x], Vec::new())
+            };
+            channels[edge_channel].segments.push(Segment {
+                net: topo.net,
+                span: Interval::point(x),
+                top_columns,
+                bottom_columns,
+            });
+        }
+    }
+    channels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_netlist::generate;
+    use maestro_place::{place, AnnealSchedule, PlaceParams};
+    use maestro_tech::builtin;
+
+    fn placed(rows: u32) -> PlacedModule {
+        place(
+            &generate::ripple_adder(3),
+            &builtin::nmos25(),
+            &PlaceParams {
+                rows,
+                schedule: AnnealSchedule::quick(),
+                ..PlaceParams::default()
+            },
+        )
+        .expect("places")
+    }
+
+    #[test]
+    fn channel_count_is_rows_plus_one() {
+        let p = placed(3);
+        let channels = build_channels(&p);
+        assert_eq!(channels.len(), 4);
+    }
+
+    #[test]
+    fn density_lower_bounds_segment_count() {
+        let p = placed(2);
+        for ch in build_channels(&p) {
+            assert!(ch.density() as usize <= ch.segments.len());
+        }
+    }
+
+    #[test]
+    fn density_of_disjoint_segments_is_one() {
+        let seg = |lo: i64, hi: i64| Segment {
+            net: NetId::new(0),
+            span: Interval::new(Lambda::new(lo), Lambda::new(hi)),
+            top_columns: vec![],
+            bottom_columns: vec![],
+        };
+        let ch = ChannelProblem {
+            segments: vec![seg(0, 5), seg(10, 15), seg(20, 22)],
+        };
+        assert_eq!(ch.density(), 1);
+        let overlapping = ChannelProblem {
+            segments: vec![seg(0, 10), seg(5, 15), seg(8, 9)],
+        };
+        assert_eq!(overlapping.density(), 3);
+    }
+
+    #[test]
+    fn empty_channel_density_is_zero() {
+        assert_eq!(ChannelProblem::default().density(), 0);
+        assert!(ChannelProblem::default().is_empty());
+    }
+
+    #[test]
+    fn inter_row_nets_produce_segments_in_between_channels() {
+        let p = placed(3);
+        let channels = build_channels(&p);
+        // Middle channels (1, 2) must carry traffic for a connected module.
+        assert!(!channels[1].is_empty() || !channels[2].is_empty());
+    }
+
+    #[test]
+    fn segments_span_their_columns() {
+        let p = placed(2);
+        for ch in build_channels(&p) {
+            for s in &ch.segments {
+                for &c in s.top_columns.iter().chain(&s.bottom_columns) {
+                    assert!(s.span.contains(c), "column {c} outside span {}", s.span);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn external_nets_reach_an_edge_channel() {
+        let p = placed(2);
+        let channels = build_channels(&p);
+        let externals = p.topologies().iter().filter(|t| t.external).count();
+        let edge_segments = channels[0].segments.len() + channels[2].segments.len();
+        assert!(
+            edge_segments >= externals,
+            "{edge_segments} edge segments for {externals} external nets"
+        );
+    }
+}

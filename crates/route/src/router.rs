@@ -1,0 +1,442 @@
+//! The constrained left-edge channel router with dogleg cycle breaking.
+//!
+//! Classic two-shore channel routing: every net needs a horizontal trunk
+//! on some track; a net descending from the top shore at column `x` must
+//! have its trunk *above* the trunk of a net rising from the bottom shore
+//! at the same column (the **vertical constraint**). The left-edge
+//! algorithm packs trunks greedily into tracks from the top, honouring
+//! those constraints; cyclic constraints are broken by **dogleg** splits
+//! at internal pin columns, as in Deutsch's router.
+
+use std::collections::BTreeMap;
+
+use maestro_geom::Interval;
+use serde::{Deserialize, Serialize};
+
+use crate::channel::ChannelProblem;
+
+/// One trunk piece placed on a track (a whole net segment, or a dogleg
+/// fragment of one).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedTrunk {
+    /// Index of the originating segment in the [`ChannelProblem`].
+    pub segment: usize,
+    /// Horizontal extent of this trunk piece.
+    pub span: Interval,
+    /// Track index, 0 = topmost.
+    pub track: u32,
+}
+
+/// Result of routing one channel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelResult {
+    /// Trunks with their track assignments.
+    pub trunks: Vec<PlacedTrunk>,
+    /// Number of tracks used.
+    pub track_count: u32,
+    /// Dogleg splits performed to break constraint cycles.
+    pub doglegs: u32,
+    /// Vertical constraints dropped because no dogleg could break the
+    /// cycle (rare; real routers would jog in the cell row).
+    pub violations: u32,
+}
+
+/// A routable piece during the algorithm.
+#[derive(Debug, Clone)]
+struct Piece {
+    segment: usize,
+    span: Interval,
+    top_columns: Vec<i64>,
+    bottom_columns: Vec<i64>,
+}
+
+fn build_vcg(pieces: &[Piece]) -> Vec<Vec<usize>> {
+    // For every column with a top connection of piece A and a bottom
+    // connection of piece B (different segments): edge A -> B (A above B).
+    let mut tops: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
+    let mut bottoms: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
+    for (i, p) in pieces.iter().enumerate() {
+        for &c in &p.top_columns {
+            tops.entry(c).or_default().push(i);
+        }
+        for &c in &p.bottom_columns {
+            bottoms.entry(c).or_default().push(i);
+        }
+    }
+    let mut adj = vec![Vec::new(); pieces.len()];
+    for (col, top_pieces) in &tops {
+        if let Some(bottom_pieces) = bottoms.get(col) {
+            for &a in top_pieces {
+                for &b in bottom_pieces {
+                    if pieces[a].segment != pieces[b].segment && !adj[a].contains(&b) {
+                        adj[a].push(b);
+                    }
+                }
+            }
+        }
+    }
+    adj
+}
+
+/// Finds one cycle in the VCG, returned as a list of piece indices, or
+/// `None` if acyclic.
+fn find_cycle(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Gray,
+        Black,
+    }
+    let n = adj.len();
+    let mut mark = vec![Mark::White; n];
+    let mut parent = vec![usize::MAX; n];
+    for start in 0..n {
+        if mark[start] != Mark::White {
+            continue;
+        }
+        // Iterative DFS with an explicit stack of (node, next-child).
+        let mut stack = vec![(start, 0usize)];
+        mark[start] = Mark::Gray;
+        while let Some(&(node, child)) = stack.last() {
+            if child < adj[node].len() {
+                stack.last_mut().expect("stack non-empty").1 += 1;
+                let next = adj[node][child];
+                match mark[next] {
+                    Mark::White => {
+                        mark[next] = Mark::Gray;
+                        parent[next] = node;
+                        stack.push((next, 0));
+                    }
+                    Mark::Gray => {
+                        // Found a cycle: walk parents from node back to next.
+                        let mut cycle = vec![node];
+                        let mut cur = node;
+                        while cur != next {
+                            cur = parent[cur];
+                            cycle.push(cur);
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                mark[node] = Mark::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Attempts to split one piece of `cycle` at an internal pin column.
+/// Returns the replacement pieces if successful.
+fn try_dogleg(pieces: &[Piece], cycle: &[usize]) -> Option<(usize, Piece, Piece)> {
+    for &idx in cycle {
+        let p = &pieces[idx];
+        let mut columns: Vec<i64> = p
+            .top_columns
+            .iter()
+            .chain(&p.bottom_columns)
+            .copied()
+            .collect();
+        columns.sort_unstable();
+        columns.dedup();
+        // An internal column strictly between the extremes; pieces
+        // without one cannot be doglegged — try the next cycle member.
+        let Some(split) = columns
+            .iter()
+            .copied()
+            .find(|&c| c > p.span.lo().get() && c < p.span.hi().get())
+        else {
+            continue;
+        };
+        let left_span = Interval::new(p.span.lo(), maestro_geom::Lambda::new(split));
+        let right_span = Interval::new(maestro_geom::Lambda::new(split), p.span.hi());
+        let left = Piece {
+            segment: p.segment,
+            span: left_span,
+            top_columns: p
+                .top_columns
+                .iter()
+                .copied()
+                .filter(|&c| c <= split)
+                .collect(),
+            bottom_columns: p
+                .bottom_columns
+                .iter()
+                .copied()
+                .filter(|&c| c <= split)
+                .collect(),
+        };
+        let right = Piece {
+            segment: p.segment,
+            span: right_span,
+            top_columns: p
+                .top_columns
+                .iter()
+                .copied()
+                .filter(|&c| c > split)
+                .collect(),
+            bottom_columns: p
+                .bottom_columns
+                .iter()
+                .copied()
+                .filter(|&c| c > split)
+                .collect(),
+        };
+        return Some((idx, left, right));
+    }
+    None
+}
+
+/// Routes one channel: dogleg-resolved VCG plus constrained left-edge
+/// track assignment. Deterministic.
+pub fn route_channel(problem: &ChannelProblem) -> ChannelResult {
+    let mut pieces: Vec<Piece> = problem
+        .segments
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Piece {
+            segment: i,
+            span: s.span,
+            top_columns: s.top_columns.iter().map(|c| c.get()).collect(),
+            bottom_columns: s.bottom_columns.iter().map(|c| c.get()).collect(),
+        })
+        .collect();
+
+    // Break VCG cycles with doglegs (bounded; each split strictly grows
+    // the piece count).
+    let mut doglegs = 0u32;
+    let mut violations = 0u32;
+    let mut adj = build_vcg(&pieces);
+    let max_splits = problem.segments.len() * 4 + 8;
+    while let Some(cycle) = find_cycle(&adj) {
+        if doglegs as usize >= max_splits {
+            violations += 1;
+            // Drop one edge of the cycle to force progress.
+            let a = cycle[0];
+            let b = cycle[1 % cycle.len()];
+            adj[a].retain(|&x| x != b);
+            continue;
+        }
+        match try_dogleg(&pieces, &cycle) {
+            Some((idx, left, right)) => {
+                pieces[idx] = left;
+                pieces.push(right);
+                doglegs += 1;
+                adj = build_vcg(&pieces);
+            }
+            None => {
+                violations += 1;
+                let a = cycle[0];
+                let b = cycle[1 % cycle.len()];
+                adj[a].retain(|&x| x != b);
+            }
+        }
+    }
+
+    // Constrained left-edge. Predecessor counts from the (acyclic) VCG.
+    let n = pieces.len();
+    let mut pred_count = vec![0usize; n];
+    for succs in &adj {
+        for &s in succs {
+            pred_count[s] += 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (pieces[i].span.lo(), pieces[i].span.hi()));
+
+    let mut track_of = vec![u32::MAX; n];
+    let mut placed = vec![false; n];
+    let mut remaining = n;
+    let mut track = 0u32;
+    while remaining > 0 {
+        let mut right_edge: Option<i64> = None;
+        let mut placed_this_track = 0usize;
+        for &i in &order {
+            if placed[i] {
+                continue;
+            }
+            if pred_count[i] > 0 {
+                continue; // a predecessor still needs a higher track
+            }
+            let fits = match right_edge {
+                None => true,
+                Some(edge) => pieces[i].span.lo().get() > edge,
+            };
+            if fits {
+                placed[i] = true;
+                track_of[i] = track;
+                right_edge = Some(pieces[i].span.hi().get());
+                remaining -= 1;
+                placed_this_track += 1;
+            }
+        }
+        // Release constraints of everything placed on this track.
+        for (i, &was_placed) in placed.iter().enumerate() {
+            if was_placed && track_of[i] == track {
+                for &s in &adj[i] {
+                    if !placed[s] {
+                        pred_count[s] = pred_count[s].saturating_sub(1);
+                    }
+                }
+            }
+        }
+        if placed_this_track == 0 && remaining > 0 {
+            // Deadlock (should not happen with an acyclic VCG): force the
+            // leftmost unplaced piece and record a violation.
+            let i = *order.iter().find(|&&i| !placed[i]).expect("remaining > 0");
+            placed[i] = true;
+            track_of[i] = track;
+            remaining -= 1;
+            violations += 1;
+            for &s in &adj[i] {
+                if !placed[s] {
+                    pred_count[s] = pred_count[s].saturating_sub(1);
+                }
+            }
+        }
+        track += 1;
+    }
+
+    let trunks = pieces
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PlacedTrunk {
+            segment: p.segment,
+            span: p.span,
+            track: track_of[i],
+        })
+        .collect();
+    ChannelResult {
+        trunks,
+        track_count: track,
+        doglegs,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Segment;
+    use maestro_geom::Lambda;
+    use maestro_netlist::NetId;
+
+    fn seg(net: u32, lo: i64, hi: i64, tops: &[i64], bottoms: &[i64]) -> Segment {
+        Segment {
+            net: NetId::new(net),
+            span: Interval::new(Lambda::new(lo), Lambda::new(hi)),
+            top_columns: tops.iter().map(|&c| Lambda::new(c)).collect(),
+            bottom_columns: bottoms.iter().map(|&c| Lambda::new(c)).collect(),
+        }
+    }
+
+    #[test]
+    fn empty_channel_needs_no_tracks() {
+        let r = route_channel(&ChannelProblem::default());
+        assert_eq!(r.track_count, 0);
+        assert!(r.trunks.is_empty());
+    }
+
+    #[test]
+    fn disjoint_segments_share_one_track() {
+        let p = ChannelProblem {
+            segments: vec![
+                seg(0, 0, 5, &[0], &[5]),
+                seg(1, 10, 15, &[10], &[15]),
+                seg(2, 20, 25, &[20], &[25]),
+            ],
+        };
+        let r = route_channel(&p);
+        assert_eq!(r.track_count, 1);
+    }
+
+    #[test]
+    fn overlapping_segments_get_distinct_tracks() {
+        let p = ChannelProblem {
+            segments: vec![seg(0, 0, 10, &[0], &[]), seg(1, 5, 15, &[], &[15])],
+        };
+        let r = route_channel(&p);
+        assert_eq!(r.track_count, 2);
+        assert_ne!(r.trunks[0].track, r.trunks[1].track);
+    }
+
+    #[test]
+    fn vertical_constraint_orders_tracks() {
+        // Net 0 descends at column 7; net 1 rises at column 7:
+        // net 0's trunk must be above net 1's.
+        let p = ChannelProblem {
+            segments: vec![seg(0, 0, 7, &[7], &[]), seg(1, 7, 15, &[], &[7])],
+        };
+        let r = route_channel(&p);
+        let t0 = r.trunks.iter().find(|t| t.segment == 0).unwrap().track;
+        let t1 = r.trunks.iter().find(|t| t.segment == 1).unwrap().track;
+        assert!(t0 < t1, "top-shore net must be above: {t0} vs {t1}");
+        assert_eq!(r.violations, 0);
+    }
+
+    #[test]
+    fn constraint_cycle_broken_by_dogleg() {
+        // Classic 2-net cycle: net 0 has top pin at 2 and bottom pin at 8;
+        // net 1 has bottom pin at 2 and top pin at 8. Without doglegs the
+        // VCG is cyclic (0→1 at column 2, 1→0 at column 8).
+        let p = ChannelProblem {
+            segments: vec![seg(0, 0, 10, &[2], &[8, 5]), seg(1, 0, 10, &[8], &[2])],
+        };
+        let r = route_channel(&p);
+        assert!(r.doglegs >= 1, "cycle requires a dogleg");
+        assert_eq!(r.violations, 0);
+        // All pieces placed.
+        assert!(r.trunks.iter().all(|t| t.track != u32::MAX));
+    }
+
+    #[test]
+    fn unbreakable_cycle_recorded_as_violation() {
+        // Two 2-pin nets with crossing constraints and no internal pin to
+        // split at.
+        let p = ChannelProblem {
+            segments: vec![seg(0, 2, 8, &[2], &[8]), seg(1, 2, 8, &[8], &[2])],
+        };
+        let r = route_channel(&p);
+        assert!(r.violations >= 1);
+        assert_eq!(r.track_count, 2);
+    }
+
+    #[test]
+    fn track_count_at_least_density() {
+        let p = ChannelProblem {
+            segments: vec![
+                seg(0, 0, 20, &[1], &[19]),
+                seg(1, 5, 25, &[6], &[24]),
+                seg(2, 10, 30, &[11], &[29]),
+            ],
+        };
+        let r = route_channel(&p);
+        assert!(r.track_count >= p.density());
+    }
+
+    #[test]
+    fn trunks_on_same_track_never_strictly_overlap() {
+        let p = ChannelProblem {
+            segments: vec![
+                seg(0, 0, 10, &[0], &[]),
+                seg(1, 11, 20, &[12], &[]),
+                seg(2, 5, 16, &[], &[6]),
+                seg(3, 21, 30, &[22], &[]),
+            ],
+        };
+        let r = route_channel(&p);
+        for a in &r.trunks {
+            for b in &r.trunks {
+                if a.segment != b.segment && a.track == b.track {
+                    assert!(
+                        !a.span.overlaps_strictly(b.span),
+                        "{a:?} and {b:?} share a track but overlap"
+                    );
+                }
+            }
+        }
+    }
+}

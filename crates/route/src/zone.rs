@@ -1,0 +1,188 @@
+//! Zone representation of a channel-routing problem.
+//!
+//! Classic channel-routing analysis (Yoshimura & Kuh) partitions the
+//! channel into **zones**: maximal column ranges over which the set of
+//! live nets is a maximal clique of the horizontal-constraint (interval
+//! overlap) graph. Zones drive merging heuristics in advanced routers;
+//! here they provide an independently computed lower bound
+//! (`max |zone|` = channel density) that the test-suite checks the
+//! left-edge router against, and a compact textual channel summary.
+
+use maestro_geom::{Interval, Lambda};
+use maestro_netlist::NetId;
+use serde::{Deserialize, Serialize};
+
+use crate::channel::ChannelProblem;
+
+/// One zone: a column range plus the nets live across it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Zone {
+    /// Column range of the zone.
+    pub span: Interval,
+    /// Nets whose segments are live in the zone, in segment order.
+    pub nets: Vec<NetId>,
+}
+
+impl Zone {
+    /// Number of live nets (the clique size).
+    pub fn size(&self) -> usize {
+        self.nets.len()
+    }
+}
+
+/// Computes the zone decomposition of a channel.
+///
+/// Sweeping columns left to right, the live-net set changes at segment
+/// endpoints; a zone is emitted for every maximal live set (one not
+/// contained in the next). The maximum zone size equals
+/// [`ChannelProblem::density`].
+pub fn zones(problem: &ChannelProblem) -> Vec<Zone> {
+    if problem.segments.is_empty() {
+        return Vec::new();
+    }
+    // Channels are small, so the obviously-correct formulation wins:
+    // scan the distinct endpoint columns, compute each column's live set,
+    // and merge runs of comparable (subset/superset) sets into zones —
+    // emitting whenever the live set becomes incomparable with the
+    // running maximal set.
+    let mut out: Vec<Zone> = Vec::new();
+    let mut columns: Vec<i64> = problem
+        .segments
+        .iter()
+        .flat_map(|s| [s.span.lo().get(), s.span.hi().get()])
+        .collect();
+    columns.sort_unstable();
+    columns.dedup();
+    let live_at = |col: i64| -> Vec<usize> {
+        problem
+            .segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.span.lo().get() <= col && col <= s.span.hi().get())
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let mut candidate: Option<(i64, i64, Vec<usize>)> = None;
+    for &col in &columns {
+        let live = live_at(col);
+        match &mut candidate {
+            None => candidate = Some((col, col, live)),
+            Some((start, end, set)) => {
+                if live.iter().all(|s| set.contains(s)) {
+                    // Subset: zone continues (set stays the maximal one).
+                    *end = col;
+                } else if set.iter().all(|s| live.contains(s)) {
+                    // Superset: grow the candidate set.
+                    *set = live;
+                    *end = col;
+                } else {
+                    // Incomparable: the candidate was maximal — emit it.
+                    out.push(Zone {
+                        span: Interval::new(Lambda::new(*start), Lambda::new(*end)),
+                        nets: set.iter().map(|&s| problem.segments[s].net).collect(),
+                    });
+                    candidate = Some((col, col, live));
+                }
+            }
+        }
+    }
+    if let Some((start, end, set)) = candidate {
+        out.push(Zone {
+            span: Interval::new(Lambda::new(start), Lambda::new(end)),
+            nets: set.iter().map(|&s| problem.segments[s].net).collect(),
+        });
+    }
+    out
+}
+
+/// The maximum zone size — equal to the channel density.
+pub fn max_zone_size(problem: &ChannelProblem) -> u32 {
+    zones(problem)
+        .iter()
+        .map(|z| z.size() as u32)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Segment;
+
+    fn seg(net: u32, lo: i64, hi: i64) -> Segment {
+        Segment {
+            net: NetId::new(net),
+            span: Interval::new(Lambda::new(lo), Lambda::new(hi)),
+            top_columns: vec![],
+            bottom_columns: vec![],
+        }
+    }
+
+    #[test]
+    fn empty_channel_has_no_zones() {
+        assert!(zones(&ChannelProblem::default()).is_empty());
+        assert_eq!(max_zone_size(&ChannelProblem::default()), 0);
+    }
+
+    #[test]
+    fn single_segment_single_zone() {
+        let p = ChannelProblem {
+            segments: vec![seg(0, 2, 9)],
+        };
+        let z = zones(&p);
+        assert_eq!(z.len(), 1);
+        assert_eq!(z[0].size(), 1);
+        assert_eq!(z[0].nets, vec![NetId::new(0)]);
+    }
+
+    #[test]
+    fn classic_staircase_produces_expected_zones() {
+        // Deutsch-style staircase: 0:[0,4] 1:[2,8] 2:[6,12] — zones
+        // {0,1} and {1,2}.
+        let p = ChannelProblem {
+            segments: vec![seg(0, 0, 4), seg(1, 2, 8), seg(2, 6, 12)],
+        };
+        let z = zones(&p);
+        assert_eq!(z.len(), 2, "{z:?}");
+        assert_eq!(z[0].nets, vec![NetId::new(0), NetId::new(1)]);
+        assert_eq!(z[1].nets, vec![NetId::new(1), NetId::new(2)]);
+        assert_eq!(max_zone_size(&p), 2);
+    }
+
+    #[test]
+    fn max_zone_size_equals_density() {
+        let cases = [
+            vec![seg(0, 0, 10), seg(1, 5, 15), seg(2, 8, 9), seg(3, 20, 30)],
+            vec![seg(0, 0, 3), seg(1, 4, 7), seg(2, 8, 11)],
+            vec![seg(0, 0, 30), seg(1, 1, 29), seg(2, 2, 28), seg(3, 3, 27)],
+        ];
+        for segments in cases {
+            let p = ChannelProblem { segments };
+            assert_eq!(max_zone_size(&p), p.density(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn zones_on_real_channels_bound_the_router() {
+        use crate::channel::build_channels;
+        use crate::router::route_channel;
+        use maestro_place::{place, AnnealSchedule, PlaceParams};
+
+        let module = maestro_netlist::generate::ripple_adder(3);
+        let placed = place(
+            &module,
+            &maestro_tech::builtin::nmos25(),
+            &PlaceParams {
+                rows: 3,
+                schedule: AnnealSchedule::quick(),
+                ..PlaceParams::default()
+            },
+        )
+        .expect("places");
+        for p in build_channels(&placed) {
+            let r = route_channel(&p);
+            assert!(max_zone_size(&p) <= r.track_count);
+            assert_eq!(max_zone_size(&p), p.density());
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the channel router and layout assembly.
+
+use maestro_geom::{Interval, Lambda};
+use maestro_netlist::generate::{self, RandomLogicConfig};
+use maestro_netlist::NetId;
+use maestro_place::{place, AnnealSchedule, PlaceParams};
+use maestro_route::channel::{ChannelProblem, Segment};
+use maestro_route::router::route_channel;
+use maestro_route::{route, zones};
+use maestro_tech::builtin;
+use proptest::prelude::*;
+
+/// Random channel: segments with random spans; pin columns at the span
+/// ends (top at lo, bottom at hi) to create plenty of constraints.
+fn random_channel(spans: &[(i64, i64)]) -> ChannelProblem {
+    ChannelProblem {
+        segments: spans
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                let span = Interval::new(Lambda::new(a), Lambda::new(b));
+                Segment {
+                    net: NetId::new(i as u32),
+                    span,
+                    top_columns: vec![span.lo()],
+                    bottom_columns: vec![span.hi()],
+                }
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn router_places_every_piece(spans in proptest::collection::vec((0i64..100, 0i64..100), 1..16)) {
+        let p = random_channel(&spans);
+        let r = route_channel(&p);
+        prop_assert!(r.trunks.len() >= p.segments.len(), "doglegs only add pieces");
+        prop_assert!(r.trunks.iter().all(|t| t.track < r.track_count));
+        // Every original segment is represented.
+        for i in 0..p.segments.len() {
+            prop_assert!(r.trunks.iter().any(|t| t.segment == i));
+        }
+    }
+
+    #[test]
+    fn same_track_pieces_never_strictly_overlap(
+        spans in proptest::collection::vec((0i64..100, 0i64..100), 1..16)
+    ) {
+        let p = random_channel(&spans);
+        let r = route_channel(&p);
+        if r.violations > 0 {
+            // Forced placements may overlap by design; skip those runs.
+            return Ok(());
+        }
+        for a in &r.trunks {
+            for b in &r.trunks {
+                if (a.segment, a.span) < (b.segment, b.span) && a.track == b.track {
+                    prop_assert!(
+                        !a.span.overlaps_strictly(b.span),
+                        "{a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn track_count_at_least_density(
+        spans in proptest::collection::vec((0i64..100, 0i64..100), 1..16)
+    ) {
+        let p = random_channel(&spans);
+        let r = route_channel(&p);
+        prop_assert!(r.track_count >= p.density());
+    }
+
+    #[test]
+    fn max_zone_equals_density(
+        spans in proptest::collection::vec((0i64..60, 0i64..60), 1..12)
+    ) {
+        let p = random_channel(&spans);
+        let max_zone = zones(&p).iter().map(|z| z.size() as u32).max().unwrap_or(0);
+        prop_assert_eq!(max_zone, p.density());
+    }
+
+    #[test]
+    fn assembled_modules_have_consistent_geometry(
+        seed in 0u64..60,
+        devices in 8usize..32,
+        rows in 1u32..5,
+    ) {
+        let cfg = RandomLogicConfig { device_count: devices, ..Default::default() };
+        let module = generate::random_logic(seed, &cfg);
+        let placed = place(
+            &module,
+            &builtin::nmos25(),
+            &PlaceParams {
+                rows,
+                seed,
+                schedule: AnnealSchedule { rounds: 6, moves_per_round: 50, ..AnnealSchedule::quick() },
+                ..PlaceParams::default()
+            },
+        )
+        .unwrap();
+        let routed = route(&placed);
+        prop_assert_eq!(routed.rows(), rows);
+        prop_assert_eq!(routed.channels().len(), rows as usize + 1);
+        prop_assert_eq!(routed.area(), routed.width() * routed.height());
+        let tech = builtin::nmos25();
+        let expected_height =
+            tech.row_height() * rows as i64 + tech.track_pitch() * routed.total_tracks() as i64;
+        prop_assert_eq!(routed.height(), expected_height);
+        for ch in routed.channels() {
+            prop_assert!(ch.result.track_count >= ch.density);
+        }
+    }
+}

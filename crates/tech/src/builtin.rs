@@ -1,0 +1,213 @@
+//! Ready-made process databases.
+//!
+//! [`nmos25`] models the paper's Table 1 technology — Mead–Conway nMOS at
+//! λ = 2.5 µm — with a TimberWolf-era standard-cell library re-created "at
+//! Rutgers" scale (paper §6). [`cmos_generic`] exercises the paper's
+//! requirement that "multiple process data bases can be stored … to
+//! describe various VLSI technologies" and that the estimator "can easily
+//! be adjusted to cope with new chip fabrication processes".
+
+use maestro_geom::{DesignRules, Lambda};
+
+use crate::{
+    CellLibrary, CellTemplate, DeviceClass, DeviceTemplate, PinSide, PinTemplate, ProcessDb,
+};
+
+const fn l(v: i64) -> Lambda {
+    Lambda::new(v)
+}
+
+/// Builds a cell with evenly spread `Both`-side pins: inputs first, then
+/// outputs, spaced across the cell width.
+fn cell(name: &str, width: i64, height: Lambda, pins: &[&str]) -> CellTemplate {
+    let step = width / (pins.len() as i64 + 1);
+    let pins = pins
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PinTemplate::new(*p, l(step * (i as i64 + 1)), PinSide::Both))
+        .collect();
+    CellTemplate::new(name, l(width), height, pins)
+}
+
+/// The nMOS standard-cell library used by the Table 2 experiments:
+/// 40λ rows, inverter through flip-flop.
+pub fn nmos_cell_library() -> CellLibrary {
+    let h = l(40);
+    let mut lib = CellLibrary::new("rutgers-nmos", h);
+    let cells = [
+        cell("INV", 14, h, &["A", "Y"]),
+        cell("BUF", 20, h, &["A", "Y"]),
+        cell("NAND2", 18, h, &["A", "B", "Y"]),
+        cell("NAND3", 24, h, &["A", "B", "C", "Y"]),
+        cell("NAND4", 30, h, &["A", "B", "C", "D", "Y"]),
+        cell("NOR2", 18, h, &["A", "B", "Y"]),
+        cell("NOR3", 24, h, &["A", "B", "C", "Y"]),
+        cell("AND2", 22, h, &["A", "B", "Y"]),
+        cell("OR2", 22, h, &["A", "B", "Y"]),
+        cell("XOR2", 30, h, &["A", "B", "Y"]),
+        cell("XNOR2", 30, h, &["A", "B", "Y"]),
+        cell("AOI22", 28, h, &["A1", "A2", "B1", "B2", "Y"]),
+        cell("OAI22", 28, h, &["A1", "A2", "B1", "B2", "Y"]),
+        cell("MUX2", 32, h, &["A", "B", "S", "Y"]),
+        cell("DLATCH", 36, h, &["D", "G", "Q"]),
+        cell("DFF", 48, h, &["D", "CK", "Q", "QN"]),
+    ];
+    for c in cells {
+        lib.add_cell(c).expect("builtin library has unique names");
+    }
+    lib
+}
+
+/// A generic CMOS standard-cell library: 50λ rows (taller cells for the
+/// p-well), same logical cell set.
+pub fn cmos_cell_library() -> CellLibrary {
+    let h = l(50);
+    let mut lib = CellLibrary::new("generic-cmos", h);
+    let cells = [
+        cell("INV", 12, h, &["A", "Y"]),
+        cell("BUF", 18, h, &["A", "Y"]),
+        cell("NAND2", 16, h, &["A", "B", "Y"]),
+        cell("NAND3", 22, h, &["A", "B", "C", "Y"]),
+        cell("NAND4", 28, h, &["A", "B", "C", "D", "Y"]),
+        cell("NOR2", 16, h, &["A", "B", "Y"]),
+        cell("NOR3", 22, h, &["A", "B", "C", "Y"]),
+        cell("AND2", 20, h, &["A", "B", "Y"]),
+        cell("OR2", 20, h, &["A", "B", "Y"]),
+        cell("XOR2", 28, h, &["A", "B", "Y"]),
+        cell("XNOR2", 28, h, &["A", "B", "Y"]),
+        cell("AOI22", 26, h, &["A1", "A2", "B1", "B2", "Y"]),
+        cell("OAI22", 26, h, &["A1", "A2", "B1", "B2", "Y"]),
+        cell("MUX2", 30, h, &["A", "B", "S", "Y"]),
+        cell("DLATCH", 34, h, &["D", "G", "Q"]),
+        cell("DFF", 44, h, &["D", "CK", "Q", "QN"]),
+    ];
+    for c in cells {
+        lib.add_cell(c).expect("builtin library has unique names");
+    }
+    lib
+}
+
+/// Mead–Conway nMOS at λ = 2.5 µm — the Table 1 technology.
+///
+/// Transistor device templates (full-custom atoms), all derived from the
+/// Mead–Conway rule set's transistor footprint:
+///
+/// | name   | class  | geometry |
+/// |--------|--------|----------|
+/// | `pd`   | nmos-e | minimum 2λ/2λ pull-down |
+/// | `pd4`  | nmos-e | 8λ/2λ wide pull-down (high drive) |
+/// | `pass` | nmos-e | minimum pass transistor |
+/// | `pu`   | nmos-d | 2λ/8λ depletion load (4:1 ratio) |
+/// | `pu2`  | nmos-d | 2λ/4λ depletion load (2:1 ratio) |
+pub fn nmos25() -> ProcessDb {
+    let rules = DesignRules::mead_conway_nmos();
+    let mut db = ProcessDb::new(
+        "mead-conway-nmos-2.5um",
+        2.5,
+        rules.clone(),
+        l(6), // metal1 track pitch: 3λ wire + 3λ space
+        l(7), // feed-through column: wire + spacing + contact slack
+        l(8), // port pitch along module edge
+        nmos_cell_library(),
+    );
+    let dev = |name: &str, class: DeviceClass, w: i64, len: i64| {
+        let (along, across) = rules.transistor_footprint(l(w), l(len));
+        DeviceTemplate::new(name, class, along, across)
+    };
+    for d in [
+        dev("pd", DeviceClass::NmosEnhancement, 2, 2),
+        dev("pd4", DeviceClass::NmosEnhancement, 8, 2),
+        dev("pass", DeviceClass::NmosEnhancement, 2, 2),
+        dev("pu", DeviceClass::NmosDepletion, 2, 8),
+        dev("pu2", DeviceClass::NmosDepletion, 2, 4),
+    ] {
+        db.add_device(d).expect("builtin devices have unique names");
+    }
+    db
+}
+
+/// A generic two-metal scalable CMOS process at λ = 0.6 µm.
+pub fn cmos_generic() -> ProcessDb {
+    let rules = DesignRules::scalable_cmos();
+    let mut db = ProcessDb::new(
+        "scalable-cmos-0.6um",
+        0.6,
+        rules.clone(),
+        l(7), // metal2 pitch governs channel tracks
+        l(7),
+        l(8),
+        cmos_cell_library(),
+    );
+    let dev = |name: &str, class: DeviceClass, w: i64, len: i64| {
+        let (along, across) = rules.transistor_footprint(l(w), l(len));
+        DeviceTemplate::new(name, class, along, across)
+    };
+    for d in [
+        dev("n1", DeviceClass::NmosEnhancement, 3, 2),
+        dev("n4", DeviceClass::NmosEnhancement, 12, 2),
+        dev("p2", DeviceClass::Pmos, 6, 2),
+        dev("p4", DeviceClass::Pmos, 12, 2),
+    ] {
+        db.add_device(d).expect("builtin devices have unique names");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nmos25_matches_paper_technology() {
+        let t = nmos25();
+        assert_eq!(t.lambda_microns(), 2.5);
+        assert!(!t.rules().has_metal2());
+        assert_eq!(t.row_height(), Lambda::new(40));
+        assert_eq!(t.device_count(), 5);
+    }
+
+    #[test]
+    fn nmos_library_is_well_formed() {
+        let lib = nmos_cell_library();
+        assert!(lib.len() >= 12);
+        for c in lib.iter() {
+            assert_eq!(c.height(), lib.row_height());
+            assert!(c.width().is_positive());
+            assert!(!c.pins().is_empty(), "cell {} has pins", c.name());
+        }
+        // Widths vary — the "same height, different widths" assumption.
+        let inv = lib.cell("INV").unwrap().width();
+        let dff = lib.cell("DFF").unwrap().width();
+        assert!(dff > inv);
+    }
+
+    #[test]
+    fn nmos_devices_have_sane_footprints() {
+        let t = nmos25();
+        let pd = t.require_device("pd").unwrap();
+        // Minimum transistor: 14λ × 8λ under Mead–Conway rules.
+        assert_eq!((pd.width(), pd.height()), (Lambda::new(14), Lambda::new(8)));
+        let pu = t.require_device("pu").unwrap();
+        assert!(pu.area() > pd.area(), "4:1 load is larger than pull-down");
+        assert!(pd.class().is_transistor());
+    }
+
+    #[test]
+    fn cmos_generic_has_metal2_and_pmos() {
+        let t = cmos_generic();
+        assert!(t.rules().has_metal2());
+        assert!(t.require_device("p2").unwrap().class() == DeviceClass::Pmos);
+        assert_eq!(t.row_height(), Lambda::new(50));
+    }
+
+    #[test]
+    fn libraries_share_cell_names() {
+        // The same netlist must be mappable to either process (§3's
+        // multi-technology requirement).
+        let a = nmos_cell_library();
+        let b = cmos_cell_library();
+        for c in a.iter() {
+            assert!(b.cell(c.name()).is_some(), "cmos lacks {}", c.name());
+        }
+    }
+}

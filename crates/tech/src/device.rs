@@ -1,0 +1,184 @@
+//! Device templates: the per-type areas and widths of the paper's equations.
+
+use std::fmt;
+
+use maestro_geom::{Lambda, LambdaArea};
+use serde::{Deserialize, Serialize};
+
+/// Coarse classification of a device template.
+///
+/// The estimator itself is agnostic — it consumes widths and areas — but
+/// the layout substrates treat the classes differently (depletion loads
+/// stack above pull-downs in nMOS gates; standard cells snap into rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DeviceClass {
+    /// nMOS enhancement-mode transistor (pull-down / pass device).
+    NmosEnhancement,
+    /// nMOS depletion-mode load transistor.
+    NmosDepletion,
+    /// PMOS transistor (CMOS pull-up).
+    Pmos,
+    /// A standard cell (logic gate or flip-flop) from a cell library.
+    StandardCell,
+}
+
+impl DeviceClass {
+    /// `true` for transistor-level classes used by full-custom layout.
+    pub const fn is_transistor(self) -> bool {
+        matches!(
+            self,
+            DeviceClass::NmosEnhancement | DeviceClass::NmosDepletion | DeviceClass::Pmos
+        )
+    }
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceClass::NmosEnhancement => "nmos-e",
+            DeviceClass::NmosDepletion => "nmos-d",
+            DeviceClass::Pmos => "pmos",
+            DeviceClass::StandardCell => "standard-cell",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One device type known to the process: its name, class and physical
+/// footprint.
+///
+/// For the estimator, `width()` is the `Wi` of Eq. 1 and `area()` feeds the
+/// full-custom device-area sum of Eq. 13. For the layout substrates, the
+/// footprint is the placeable tile.
+///
+/// # Examples
+///
+/// ```
+/// use maestro_geom::Lambda;
+/// use maestro_tech::{DeviceClass, DeviceTemplate};
+///
+/// let t = DeviceTemplate::new(
+///     "pd2",
+///     DeviceClass::NmosEnhancement,
+///     Lambda::new(14),
+///     Lambda::new(8),
+/// );
+/// assert_eq!(t.area().get(), 112);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeviceTemplate {
+    name: String,
+    class: DeviceClass,
+    width: Lambda,
+    height: Lambda,
+}
+
+impl DeviceTemplate {
+    /// Creates a device template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is not strictly positive, or the name
+    /// is empty.
+    pub fn new(name: impl Into<String>, class: DeviceClass, width: Lambda, height: Lambda) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "device template name must be non-empty");
+        assert!(
+            width.is_positive() && height.is_positive(),
+            "device `{name}` has degenerate footprint {width} × {height}"
+        );
+        DeviceTemplate {
+            name,
+            class,
+            width,
+            height,
+        }
+    }
+
+    /// Template name (unique within a process database).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Device class.
+    pub fn class(&self) -> DeviceClass {
+        self.class
+    }
+
+    /// Footprint width — the `Wi` of the paper's Eq. 1.
+    pub fn width(&self) -> Lambda {
+        self.width
+    }
+
+    /// Footprint height.
+    pub fn height(&self) -> Lambda {
+        self.height
+    }
+
+    /// Footprint area in λ².
+    pub fn area(&self) -> LambdaArea {
+        self.width * self.height
+    }
+}
+
+impl fmt::Display for DeviceTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}×{}",
+            self.name, self.class, self.width, self.height
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = DeviceTemplate::new(
+            "ld",
+            DeviceClass::NmosDepletion,
+            Lambda::new(8),
+            Lambda::new(14),
+        );
+        assert_eq!(t.name(), "ld");
+        assert_eq!(t.class(), DeviceClass::NmosDepletion);
+        assert_eq!(t.width(), Lambda::new(8));
+        assert_eq!(t.height(), Lambda::new(14));
+        assert_eq!(t.area(), LambdaArea::new(112));
+    }
+
+    #[test]
+    fn transistor_classification() {
+        assert!(DeviceClass::NmosEnhancement.is_transistor());
+        assert!(DeviceClass::NmosDepletion.is_transistor());
+        assert!(DeviceClass::Pmos.is_transistor());
+        assert!(!DeviceClass::StandardCell.is_transistor());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate footprint")]
+    fn zero_width_rejected() {
+        let _ = DeviceTemplate::new("bad", DeviceClass::Pmos, Lambda::ZERO, Lambda::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_name_rejected() {
+        let _ = DeviceTemplate::new("", DeviceClass::Pmos, Lambda::new(2), Lambda::new(4));
+    }
+
+    #[test]
+    fn display() {
+        let t = DeviceTemplate::new(
+            "pd",
+            DeviceClass::NmosEnhancement,
+            Lambda::new(14),
+            Lambda::new(8),
+        );
+        assert_eq!(t.to_string(), "pd [nmos-e] 14λ×8λ");
+    }
+}

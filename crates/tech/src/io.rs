@@ -1,0 +1,97 @@
+//! JSON persistence for process databases.
+//!
+//! §3: "Multiple process data bases can be stored in the computer system to
+//! describe various VLSI technologies." We store each [`ProcessDb`] as a
+//! JSON document; the floorplanner-facing results database uses the same
+//! mechanism in `maestro-estimator`.
+
+use std::fs;
+use std::path::Path;
+
+use crate::{ProcessDb, TechError};
+
+/// Serializes a process database to pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`TechError::Io`] if serialization fails (it cannot for the
+/// types in this crate, but the signature is honest about serde).
+pub fn to_json(db: &ProcessDb) -> Result<String, TechError> {
+    serde_json::to_string_pretty(db).map_err(|e| TechError::Io {
+        message: e.to_string(),
+    })
+}
+
+/// Parses a process database from JSON.
+///
+/// # Errors
+///
+/// Returns [`TechError::Io`] on malformed input.
+pub fn from_json(json: &str) -> Result<ProcessDb, TechError> {
+    serde_json::from_str(json).map_err(|e| TechError::Io {
+        message: e.to_string(),
+    })
+}
+
+/// Writes a process database to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TechError::Io`] if the file cannot be written.
+pub fn save(db: &ProcessDb, path: impl AsRef<Path>) -> Result<(), TechError> {
+    let json = to_json(db)?;
+    fs::write(path.as_ref(), json).map_err(|e| TechError::Io {
+        message: format!("{}: {e}", path.as_ref().display()),
+    })
+}
+
+/// Reads a process database from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TechError::Io`] if the file cannot be read or parsed.
+pub fn load(path: impl AsRef<Path>) -> Result<ProcessDb, TechError> {
+    let json = fs::read_to_string(path.as_ref()).map_err(|e| TechError::Io {
+        message: format!("{}: {e}", path.as_ref().display()),
+    })?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+
+    #[test]
+    fn json_round_trip_preserves_database() {
+        let db = builtin::nmos25();
+        let json = to_json(&db).expect("serializes");
+        let back = from_json(&json).expect("parses");
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = builtin::cmos_generic();
+        let dir = std::env::temp_dir().join("maestro-tech-io-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("cmos.json");
+        save(&db, &path).expect("saves");
+        let back = load(&path).expect("loads");
+        assert_eq!(db, back);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn malformed_json_reports_io_error() {
+        let err = from_json("{not json").unwrap_err();
+        assert!(matches!(err, TechError::Io { .. }));
+    }
+
+    #[test]
+    fn missing_file_reports_io_error_with_path() {
+        let err = load("/nonexistent/maestro.json").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("/nonexistent/maestro.json"), "{msg}");
+    }
+}

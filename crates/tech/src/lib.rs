@@ -1,0 +1,48 @@
+//! Process/technology database for the `maestro` VLSI area estimator.
+//!
+//! §3 of Chen & Bushnell's DAC 1988 paper lists two inputs to the
+//! estimation task: "the circuit schematic … and the fabrication technique
+//! or process data base for the particular technology used to fabricate the
+//! chip. Multiple process data bases can be stored in the computer system
+//! to describe various VLSI technologies. The process data includes the
+//! areas of different types of devices, the height of the Standard-Cell
+//! rows, and the value of λ."
+//!
+//! This crate is that process database:
+//!
+//! * [`DeviceTemplate`] — one device type with its physical footprint, the
+//!   `Wi` of the paper's estimation equations;
+//! * [`CellLibrary`] — a standard-cell library (common row height, varying
+//!   widths, pin offsets) for the standard-cell layout methodology;
+//! * [`ProcessDb`] — a named technology: λ, design rules, routing pitches,
+//!   feed-through width, device templates and the cell library;
+//! * [`builtin`] — ready-made databases: Mead–Conway nMOS at λ = 2.5 µm
+//!   (the paper's Table 1 technology) and a generic scalable CMOS;
+//! * [`io`] — JSON persistence, the "multiple process data bases … stored
+//!   in the computer system".
+//!
+//! # Examples
+//!
+//! ```
+//! use maestro_tech::builtin;
+//!
+//! let tech = builtin::nmos25();
+//! assert_eq!(tech.lambda_microns(), 2.5);
+//! let inv = tech.cell_library().cell("INV").expect("library has inverters");
+//! assert!(inv.width().is_positive());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builtin;
+mod cell_library;
+mod device;
+mod error;
+pub mod io;
+mod process;
+
+pub use cell_library::{CellLibrary, CellTemplate, PinSide, PinTemplate};
+pub use device::{DeviceClass, DeviceTemplate};
+pub use error::TechError;
+pub use process::ProcessDb;

@@ -1,0 +1,259 @@
+//! The process database: λ, rules, pitches and device templates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use maestro_geom::{DesignRules, Lambda};
+use serde::{Deserialize, Serialize};
+
+use crate::{CellLibrary, DeviceTemplate, TechError};
+
+/// A named fabrication technology, as described in §3 of the paper:
+/// "The process data includes the areas of different types of devices, the
+/// height of the Standard-Cell rows, and the value of λ, the maximum
+/// allowable mask misalignment."
+///
+/// A `ProcessDb` bundles:
+///
+/// * the physical λ in microns (display/reporting only — all computation
+///   stays in λ units);
+/// * the λ [`DesignRules`];
+/// * the routing **track pitch** charged per routing track (Eq. 12's track
+///   height) and the **feed-through width** `f_w` (Eq. 12's row-length
+///   contribution per feed-through);
+/// * the **port pitch** — edge length each module I/O port occupies, used
+///   by §5's "all input and output ports must fit along one edge" control
+///   criterion;
+/// * transistor-level [`DeviceTemplate`]s for full-custom layout;
+/// * a standard-cell [`CellLibrary`] for standard-cell layout.
+///
+/// # Examples
+///
+/// ```
+/// use maestro_tech::builtin;
+///
+/// let tech = builtin::nmos25();
+/// assert!(tech.track_pitch().is_positive());
+/// assert!(tech.feedthrough_width().is_positive());
+/// let pd = tech.require_device("pd").expect("nMOS pull-down exists");
+/// assert!(pd.area().get() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessDb {
+    name: String,
+    lambda_microns: f64,
+    rules: DesignRules,
+    track_pitch: Lambda,
+    feedthrough_width: Lambda,
+    port_pitch: Lambda,
+    devices: BTreeMap<String, DeviceTemplate>,
+    cell_library: CellLibrary,
+}
+
+impl ProcessDb {
+    /// Creates a process database with no device templates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is empty, `lambda_microns` is not positive and
+    /// finite, or any pitch is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        lambda_microns: f64,
+        rules: DesignRules,
+        track_pitch: Lambda,
+        feedthrough_width: Lambda,
+        port_pitch: Lambda,
+        cell_library: CellLibrary,
+    ) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "process name must be non-empty");
+        assert!(
+            lambda_microns.is_finite() && lambda_microns > 0.0,
+            "process `{name}`: lambda must be positive, got {lambda_microns}"
+        );
+        assert!(
+            track_pitch.is_positive()
+                && feedthrough_width.is_positive()
+                && port_pitch.is_positive(),
+            "process `{name}`: pitches must be positive"
+        );
+        ProcessDb {
+            name,
+            lambda_microns,
+            rules,
+            track_pitch,
+            feedthrough_width,
+            port_pitch,
+            devices: BTreeMap::new(),
+            cell_library,
+        }
+    }
+
+    /// Technology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Physical λ in microns (the paper's Table 1 uses λ = 2.5 µm).
+    pub fn lambda_microns(&self) -> f64 {
+        self.lambda_microns
+    }
+
+    /// The λ design rules.
+    pub fn rules(&self) -> &DesignRules {
+        &self.rules
+    }
+
+    /// Height charged per routing track in a channel.
+    pub fn track_pitch(&self) -> Lambda {
+        self.track_pitch
+    }
+
+    /// Width `f_w` charged per feed-through in a standard-cell row.
+    pub fn feedthrough_width(&self) -> Lambda {
+        self.feedthrough_width
+    }
+
+    /// Edge length each module I/O port occupies.
+    pub fn port_pitch(&self) -> Lambda {
+        self.port_pitch
+    }
+
+    /// Standard-cell row height (from the cell library).
+    pub fn row_height(&self) -> Lambda {
+        self.cell_library.row_height()
+    }
+
+    /// The standard-cell library.
+    pub fn cell_library(&self) -> &CellLibrary {
+        &self.cell_library
+    }
+
+    /// Registers a transistor-level device template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::DuplicateName`] if the name is taken.
+    pub fn add_device(&mut self, device: DeviceTemplate) -> Result<(), TechError> {
+        if self.devices.contains_key(device.name()) {
+            return Err(TechError::DuplicateName {
+                name: device.name().to_owned(),
+            });
+        }
+        self.devices.insert(device.name().to_owned(), device);
+        Ok(())
+    }
+
+    /// Looks up a device template by name.
+    pub fn device(&self, name: &str) -> Option<&DeviceTemplate> {
+        self.devices.get(name)
+    }
+
+    /// Looks up a device template, failing loudly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::UnknownDevice`] when absent.
+    pub fn require_device(&self, name: &str) -> Result<&DeviceTemplate, TechError> {
+        self.device(name).ok_or_else(|| TechError::UnknownDevice {
+            name: name.to_owned(),
+        })
+    }
+
+    /// Iterates over device templates in name order.
+    pub fn devices(&self) -> impl Iterator<Item = &DeviceTemplate> {
+        self.devices.values()
+    }
+
+    /// Number of registered device templates.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+}
+
+impl fmt::Display for ProcessDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "process `{}` λ={}µm, {} devices, {}",
+            self.name,
+            self.lambda_microns,
+            self.devices.len(),
+            self.cell_library
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceClass;
+
+    fn minimal() -> ProcessDb {
+        ProcessDb::new(
+            "test",
+            2.5,
+            DesignRules::mead_conway_nmos(),
+            Lambda::new(6),
+            Lambda::new(7),
+            Lambda::new(8),
+            CellLibrary::new("lib", Lambda::new(40)),
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let p = minimal();
+        assert_eq!(p.name(), "test");
+        assert_eq!(p.lambda_microns(), 2.5);
+        assert_eq!(p.track_pitch(), Lambda::new(6));
+        assert_eq!(p.feedthrough_width(), Lambda::new(7));
+        assert_eq!(p.port_pitch(), Lambda::new(8));
+        assert_eq!(p.row_height(), Lambda::new(40));
+        assert_eq!(p.device_count(), 0);
+    }
+
+    #[test]
+    fn device_registration() {
+        let mut p = minimal();
+        let d = DeviceTemplate::new(
+            "pd",
+            DeviceClass::NmosEnhancement,
+            Lambda::new(14),
+            Lambda::new(8),
+        );
+        p.add_device(d.clone()).expect("first add succeeds");
+        assert_eq!(p.device("pd"), Some(&d));
+        assert!(p.require_device("pd").is_ok());
+        assert!(matches!(
+            p.add_device(d),
+            Err(TechError::DuplicateName { .. })
+        ));
+        assert!(matches!(
+            p.require_device("nothing"),
+            Err(TechError::UnknownDevice { .. })
+        ));
+        assert_eq!(p.device_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn bad_lambda_rejected() {
+        let _ = ProcessDb::new(
+            "bad",
+            0.0,
+            DesignRules::mead_conway_nmos(),
+            Lambda::new(6),
+            Lambda::new(7),
+            Lambda::new(8),
+            CellLibrary::new("lib", Lambda::new(40)),
+        );
+    }
+
+    #[test]
+    fn display_mentions_name_and_lambda() {
+        let s = minimal().to_string();
+        assert!(s.contains("test") && s.contains("2.5µm"));
+    }
+}

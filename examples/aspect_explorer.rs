@@ -1,0 +1,73 @@
+//! The paper's future-work features: multiple aspect-ratio candidates and
+//! the track-sharing correction.
+//!
+//! §7 promises (a) "four or five aspect ratio estimates to allow chip
+//! floor planners more flexibility" and (b) a correction "to account for
+//! routing channel track sharing". Both are implemented; this example
+//! shows them against the actual routed layout.
+//!
+//! ```text
+//! cargo run --example aspect_explorer
+//! ```
+
+use maestro::estimator::{multi_aspect, track_sharing};
+use maestro::netlist::generate;
+use maestro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = builtin::nmos25();
+    let module = generate::counter(6);
+    let stats = NetlistStats::resolve(&module, &tech, LayoutStyle::StandardCell)?;
+
+    println!(
+        "module `{}`: {} gates, {} nets, {} ports",
+        module.name(),
+        stats.device_count(),
+        stats.net_count(),
+        stats.port_count()
+    );
+    println!();
+
+    // Future work (a): 4–5 shape candidates instead of one.
+    println!("shape candidates (multi-aspect extension):");
+    println!("  rows | width × height | area | aspect");
+    let candidates = multi_aspect::sc_candidates(&stats, &tech, multi_aspect::DEFAULT_CANDIDATES);
+    for c in &candidates {
+        println!(
+            "  {:>4} | {:>6} × {:<6} | {:>9} | {}",
+            c.rows, c.width, c.height, c.area, c.aspect_ratio
+        );
+    }
+    println!(
+        "  as a shape curve: {}",
+        multi_aspect::sc_shape_curve(&stats, &tech, 5)
+    );
+    println!();
+
+    // Future work (b): track-sharing correction vs the upper bound,
+    // checked against the real router.
+    println!("track-sharing correction vs reality:");
+    println!("  rows | upper-bound tracks | shared tracks | real tracks");
+    for rows in [2u32, 3, 4, 6] {
+        let shared = track_sharing::estimate_with_sharing(&stats, &tech, rows);
+        let placed = place(
+            &module,
+            &tech,
+            &PlaceParams {
+                rows,
+                ..Default::default()
+            },
+        )?;
+        let routed = route(&placed);
+        println!(
+            "  {:>4} | {:>18} | {:>13} | {:>11}",
+            rows,
+            shared.upper_bound.tracks,
+            shared.shared_tracks,
+            routed.total_tracks()
+        );
+    }
+    println!();
+    println!("(shared ≤ upper bound; the correction approaches the routed count)");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Estimate vs. reality: the paper's Tables 1 and 2 in miniature.
+//!
+//! For one full-custom module the example compares the Eq. 13 estimate
+//! against a synthesized transistor-level layout; for one standard-cell
+//! module it compares the Eq. 12 estimate against an actual
+//! place-and-route at several row counts — reproducing the headline
+//! shapes: full-custom estimates land close, standard-cell estimates are
+//! a deliberate upper bound that shrinks as rows increase.
+//!
+//! ```text
+//! cargo run --example estimate_vs_layout
+//! ```
+
+use maestro::estimator::standard_cell;
+use maestro::netlist::library_circuits;
+use maestro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = builtin::nmos25();
+
+    // ---- Full-custom: estimate vs synthesized "manual" layout --------
+    let module = library_circuits::nmos_decoder2to4();
+    let stats = NetlistStats::resolve(&module, &tech, LayoutStyle::FullCustom)?;
+    let est = full_custom::estimate(&stats, &tech);
+    let layout = synthesize(&module, &tech, &SynthesisParams::default())?;
+
+    println!(
+        "full-custom `{}` ({} transistors)",
+        module.name(),
+        stats.device_count()
+    );
+    println!("  estimated total (exact dev areas) : {}", est.total_exact);
+    println!(
+        "  estimated total (average areas)   : {}",
+        est.total_average
+    );
+    println!("  synthesized real area             : {}", layout.area());
+    let err = est.total_exact.relative_error(layout.area()) * 100.0;
+    println!("  estimate error                    : {err:+.1}%");
+    println!(
+        "  real layout                       : {} × {} (aspect {})",
+        layout.width(),
+        layout.height(),
+        layout.aspect_ratio()
+    );
+    println!();
+
+    // ---- Standard-cell: estimate vs place & route over row counts ----
+    let module = library_circuits::sc_adder4();
+    let stats = NetlistStats::resolve(&module, &tech, LayoutStyle::StandardCell)?;
+    println!(
+        "standard-cell `{}` ({} gates, {} nets)",
+        module.name(),
+        stats.device_count(),
+        stats.net_count()
+    );
+    println!("  rows | est tracks | real tracks | est area | real area | over");
+    for rows in [2u32, 3, 4] {
+        let est = standard_cell::estimate_with_rows(&stats, &tech, rows);
+        let placed = place(
+            &module,
+            &tech,
+            &PlaceParams {
+                rows,
+                ..Default::default()
+            },
+        )?;
+        let routed = route(&placed);
+        let over = est.area.relative_error(routed.area()) * 100.0;
+        println!(
+            "  {rows:>4} | {:>10} | {:>11} | {:>8} | {:>9} | {over:+.0}%",
+            est.tracks,
+            routed.total_tracks(),
+            est.area.get(),
+            routed.area().get(),
+        );
+    }
+    println!();
+    println!("(the estimate is an upper bound: one net per routing track)");
+    Ok(())
+}

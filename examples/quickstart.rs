@@ -1,0 +1,62 @@
+//! Quick start: estimate a module's layout area before any layout exists.
+//!
+//! Runs the paper's Figure 1 pipeline on a small `.mnl` schematic: parse,
+//! resolve against the Mead–Conway nMOS process, estimate under both
+//! layout methodologies, and print the results database entry.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use maestro::estimator::pipeline::Pipeline;
+use maestro::tech::builtin;
+
+const FULL_ADDER: &str = "\
+# gate-level full adder
+module full_adder;
+input a, b, cin;
+output sum, cout;
+net t1, t2, t3;
+device x1 XOR2 (A=a, B=b, Y=t1);
+device x2 XOR2 (A=t1, B=cin, Y=sum);
+device a1 AND2 (A=a, B=b, Y=t2);
+device a2 AND2 (A=t1, B=cin, Y=t3);
+device o1 OR2 (A=t2, B=t3, Y=cout);
+endmodule
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = builtin::nmos25();
+    println!("process: {tech}");
+    println!();
+
+    let pipeline = Pipeline::new(tech);
+    let record = pipeline.run_mnl(FULL_ADDER)?;
+
+    println!("module `{}`", record.module_name);
+    if let Some(sc) = &record.standard_cell {
+        println!("  standard-cell estimate:");
+        println!("    rows            : {}", sc.rows);
+        println!("    routing tracks  : {}", sc.tracks);
+        println!("    feed-throughs   : {}", sc.feedthroughs);
+        println!("    size            : {} × {}", sc.width, sc.height);
+        println!("    area            : {}", sc.area);
+        println!("    aspect ratio    : {}", sc.aspect_ratio);
+    }
+    if let Some(fc) = &record.full_custom {
+        println!("  full-custom estimate:");
+        println!("    device area     : {}", fc.device_area);
+        println!("    wire area       : {}", fc.wire_area_exact);
+        println!("    total (exact)   : {}", fc.total_exact);
+        println!("    total (average) : {}", fc.total_average);
+    }
+
+    // The Figure 1 output interface: a JSON results database for the
+    // floorplanner.
+    let mut db = maestro::estimator::ResultsDb::new();
+    db.insert(record);
+    println!();
+    println!("results database (floorplanner input):");
+    println!("{}", db.to_json()?);
+    Ok(())
+}

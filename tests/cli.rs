@@ -1,0 +1,209 @@
+//! End-to-end tests of the `maestro-cli` binary against the sample
+//! schematics in `assets/`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_maestro-cli"))
+}
+
+fn asset(name: &str) -> String {
+    // Tests run from the package dir (crates/maestro); assets live at the
+    // workspace root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("../../assets");
+    p.push(name);
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn estimate_mnl_prints_standard_cell_numbers() {
+    let out = cli()
+        .args(["estimate", &asset("full_adder.mnl")])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("module `full_adder`"), "{text}");
+    assert!(text.contains("standard-cell:"), "{text}");
+}
+
+#[test]
+fn estimate_spice_prints_full_custom_numbers() {
+    let out = cli()
+        .args(["estimate", &asset("nmos_nand2.sp")])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("full-custom"), "{text}");
+}
+
+#[test]
+fn estimate_json_output_parses_as_results_db() {
+    let out = cli()
+        .args(["estimate", &asset("counter4.mnl"), "--json"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let db = maestro::estimator::ResultsDb::from_json(&text).expect("valid JSON results DB");
+    assert!(db.record("counter4").is_some());
+}
+
+#[test]
+fn estimate_with_rows_and_cmos_tech() {
+    let out = cli()
+        .args([
+            "estimate",
+            &asset("full_adder.mnl"),
+            "--tech",
+            "cmos",
+            "--rows",
+            "2",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 rows"), "{text}");
+}
+
+#[test]
+fn expand_emits_parsable_transistor_mnl() {
+    let out = cli()
+        .args(["expand", &asset("full_adder.mnl")])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let module = maestro::netlist::mnl::parse(&text).expect("expanded output parses");
+    assert!(
+        module.device_count() > 20,
+        "transistor count {}",
+        module.device_count()
+    );
+}
+
+#[test]
+fn layout_routes_gate_level_input() {
+    let out = cli()
+        .args(["layout", &asset("full_adder.mnl"), "--rows", "2"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("standard-cell P&R"), "{text}");
+    assert!(text.contains("tracks"), "{text}");
+}
+
+#[test]
+fn floorplan_packs_multiple_files() {
+    let out = cli()
+        .args([
+            "floorplan",
+            &asset("full_adder.mnl"),
+            &asset("counter4.mnl"),
+            "--aspect",
+            "1.5",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("chip"), "{text}");
+    assert!(text.contains("full_adder"), "{text}");
+    assert!(text.contains("counter4"), "{text}");
+}
+
+#[test]
+fn report_renders_markdown_with_floorplan() {
+    let out = cli()
+        .args([
+            "report",
+            &asset("full_adder.mnl"),
+            &asset("counter4.mnl"),
+            "--aspect",
+            "2.0",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("# maestro design report"), "{text}");
+    assert!(text.contains("shape candidates"), "{text}");
+    assert!(text.contains("## chip floorplan"), "{text}");
+    assert!(text.contains("logic depth"), "{text}");
+}
+
+#[test]
+fn depth_reports_critical_path() {
+    let out = cli()
+        .args(["depth", &asset("full_adder.mnl")])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("logic depth 3"), "{text}");
+    assert!(text.contains("->"), "{text}");
+}
+
+#[test]
+fn layout_svg_flag_writes_a_drawing() {
+    let dir = std::env::temp_dir().join("maestro-cli-svg-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("adder.svg");
+    let out = cli()
+        .args([
+            "layout",
+            &asset("full_adder.mnl"),
+            "--rows",
+            "2",
+            "--svg",
+            &path.to_string_lossy(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let svg = std::fs::read_to_string(&path).expect("svg written");
+    assert!(svg.starts_with("<svg") && svg.contains("<rect"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cli().args(["frobnicate", "x.mnl"]).output().expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = cli()
+        .args(["estimate", "/definitely/not/here.mnl"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn bad_flag_fails_cleanly() {
+    let out = cli()
+        .args(["estimate", &asset("full_adder.mnl"), "--frob"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration: textual formats, statistics and technology
+//! databases agree with each other.
+
+use maestro::netlist::{generate, mnl, spice};
+use maestro::prelude::*;
+use maestro::tech::io as tech_io;
+
+#[test]
+fn mnl_round_trip_preserves_estimates() {
+    // Serializing a generated module to .mnl and re-parsing must yield
+    // identical statistics and identical estimates.
+    let tech = builtin::nmos25();
+    let original = generate::ripple_adder(3);
+    let text = mnl::to_mnl(&original);
+    let parsed = mnl::parse(&text).expect("round-trip parses");
+    assert_eq!(original, parsed);
+
+    let s1 = NetlistStats::resolve(&original, &tech, LayoutStyle::StandardCell).unwrap();
+    let s2 = NetlistStats::resolve(&parsed, &tech, LayoutStyle::StandardCell).unwrap();
+    assert_eq!(s1, s2);
+
+    let e1 = standard_cell::estimate(&s1, &tech, &ScParams::default());
+    let e2 = standard_cell::estimate(&s2, &tech, &ScParams::default());
+    assert_eq!(e1, e2);
+}
+
+#[test]
+fn spice_and_mnl_views_of_the_same_circuit_agree() {
+    // A transistor-level NAND written both ways resolves to identical
+    // full-custom statistics.
+    let deck = "\
+* ratioed nmos nand2
+.subckt nand2 a b y
+M1 y   a mid gnd pd
+M2 mid b gnd gnd pd
+M3 vdd y y   gnd pu
+.ends
+";
+    let from_spice = spice::parse(deck).expect("parses");
+    let text = mnl::to_mnl(&from_spice);
+    let from_mnl = mnl::parse(&text).expect("round-trip parses");
+    let tech = builtin::nmos25();
+    let s1 = NetlistStats::resolve(&from_spice, &tech, LayoutStyle::FullCustom).unwrap();
+    let s2 = NetlistStats::resolve(&from_mnl, &tech, LayoutStyle::FullCustom).unwrap();
+    assert_eq!(s1.device_count(), s2.device_count());
+    assert_eq!(s1.net_count(), s2.net_count());
+    assert_eq!(s1.total_device_area(), s2.total_device_area());
+
+    let e1 = full_custom::estimate(&s1, &tech);
+    let e2 = full_custom::estimate(&s2, &tech);
+    assert_eq!(e1.total_exact, e2.total_exact);
+}
+
+#[test]
+fn process_database_survives_disk_and_feeds_the_estimator() {
+    // §3: multiple process databases stored on disk. Save, load, estimate
+    // with the loaded copy, compare with the in-memory original.
+    let tech = builtin::nmos25();
+    let dir = std::env::temp_dir().join("maestro-formats-it");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("nmos25.json");
+    tech_io::save(&tech, &path).expect("saves");
+    let loaded = tech_io::load(&path).expect("loads");
+    assert_eq!(tech, loaded);
+
+    let module = generate::counter(4);
+    let s1 = NetlistStats::resolve(&module, &tech, LayoutStyle::StandardCell).unwrap();
+    let s2 = NetlistStats::resolve(&module, &loaded, LayoutStyle::StandardCell).unwrap();
+    let e1 = standard_cell::estimate(&s1, &tech, &ScParams::default());
+    let e2 = standard_cell::estimate(&s2, &loaded, &ScParams::default());
+    assert_eq!(e1, e2);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn validation_passes_for_all_builtin_suites() {
+    use maestro::netlist::{library_circuits, validate};
+    let tech = builtin::nmos25();
+    for m in library_circuits::table1_suite() {
+        let w = validate::check(&m, &tech, LayoutStyle::FullCustom)
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        assert!(w.is_empty(), "{}: {w:?}", m.name());
+    }
+    for m in library_circuits::table2_suite() {
+        let w = validate::check(&m, &tech, LayoutStyle::StandardCell)
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        assert!(w.is_empty(), "{}: {w:?}", m.name());
+    }
+}
+
+#[test]
+fn eq1_average_width_matches_hand_computation() {
+    // 2 INVs (14λ) + 1 DFF (48λ): W_av = (2·14 + 48)/3.
+    let tech = builtin::nmos25();
+    let mut b = ModuleBuilder::new("m");
+    let n = b.net("n");
+    b.device("u1", "INV", [("A", n)]);
+    b.device("u2", "INV", [("A", n)]);
+    b.device("u3", "DFF", [("D", n)]);
+    let stats = NetlistStats::resolve(&b.finish(), &tech, LayoutStyle::StandardCell).unwrap();
+    assert!((stats.average_width() - (2.0 * 14.0 + 48.0) / 3.0).abs() < 1e-12);
+    assert_eq!(stats.widths().distinct_count(), 2);
+}

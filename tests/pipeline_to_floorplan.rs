@@ -1,0 +1,164 @@
+//! Cross-crate integration: the Figure 1 dataflow from schematic text to
+//! a packed chip floorplan, through the JSON results database.
+
+use maestro::estimator::pipeline::Pipeline;
+use maestro::netlist::{generate, library_circuits};
+use maestro::prelude::*;
+
+#[test]
+fn figure1_pipeline_runs_end_to_end() {
+    let tech = builtin::nmos25();
+    let modules = [
+        generate::ripple_adder(4),
+        generate::counter(4),
+        generate::decoder(3),
+        library_circuits::pass_chain(6),
+        library_circuits::nmos_full_adder(),
+    ];
+    let pipeline = Pipeline::new(tech);
+    let db = pipeline.run_all(modules.iter()).expect("estimates all");
+    assert_eq!(db.len(), modules.len());
+
+    // Serialize/deserialize: the floorplanner consumes the file, not the
+    // in-memory structures.
+    let json = db.to_json().expect("serializes");
+    let db2 = ResultsDb::from_json(&json).expect("parses");
+    assert_eq!(db, db2);
+
+    // Every record yields a floorplan block.
+    let blocks: Vec<Block> = db2
+        .records()
+        .iter()
+        .filter_map(|r| Block::from_record(r, 5))
+        .collect();
+    assert_eq!(blocks.len(), modules.len());
+
+    let plan = floorplan(&blocks, &PlanParams::quick());
+    assert_eq!(plan.placements().len(), modules.len());
+    assert!(
+        plan.utilization() > 0.5,
+        "utilization {:.2}",
+        plan.utilization()
+    );
+
+    // No overlaps, everything inside the chip.
+    let rects: Vec<_> = plan.placements().iter().map(|&(_, r)| r).collect();
+    for i in 0..rects.len() {
+        assert!(rects[i].top_right().x <= plan.width());
+        assert!(rects[i].top_right().y <= plan.height());
+        for j in i + 1..rects.len() {
+            assert!(!rects[i].overlaps_strictly(rects[j]), "{i} vs {j}");
+        }
+    }
+}
+
+#[test]
+fn chip_area_lower_bounded_by_module_areas() {
+    let tech = builtin::nmos25();
+    let modules = [
+        generate::ripple_adder(2),
+        generate::counter(3),
+        generate::shift_register(4),
+    ];
+    let pipeline = Pipeline::new(tech);
+    let db = pipeline.run_all(modules.iter()).expect("estimates");
+    let blocks: Vec<Block> = db
+        .records()
+        .iter()
+        .filter_map(|r| Block::from_record(r, 5))
+        .collect();
+    let plan = floorplan(&blocks, &PlanParams::quick());
+    let module_sum: i64 = blocks.iter().map(|b| b.min_area().get()).sum();
+    assert!(
+        plan.area().get() >= module_sum,
+        "chip {} below module sum {module_sum}",
+        plan.area()
+    );
+}
+
+#[test]
+fn results_db_round_trips_through_a_file() {
+    let tech = builtin::nmos25();
+    let pipeline = Pipeline::new(tech);
+    let db = pipeline
+        .run_all([generate::ripple_adder(2)].iter())
+        .expect("estimates");
+    let dir = std::env::temp_dir().join("maestro-pipeline-it");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("chip.json");
+    db.save(&path).expect("saves");
+    let loaded = ResultsDb::load(&path).expect("loads");
+    assert_eq!(db, loaded);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn mixed_methodology_chip_floorplans() {
+    // Gate-level and transistor-level modules coexist on one chip — the
+    // paper's "mixtures of them" scenario.
+    let tech = builtin::nmos25();
+    let pipeline = Pipeline::new(tech);
+    let modules = [
+        generate::mux_tree(2),                // standard cell
+        library_circuits::nmos_decoder2to4(), // full custom
+    ];
+    let db = pipeline.run_all(modules.iter()).expect("estimates");
+    let sc_rec = db.record("mux_tree_2").expect("present");
+    let fc_rec = db.record("t1e5_nmos_decoder2to4").expect("present");
+    assert!(sc_rec.standard_cell.is_some() && sc_rec.full_custom.is_none());
+    assert!(fc_rec.full_custom.is_some() && fc_rec.standard_cell.is_none());
+
+    let blocks: Vec<Block> = db
+        .records()
+        .iter()
+        .filter_map(|r| Block::from_record(r, 4))
+        .collect();
+    let plan = floorplan(&blocks, &PlanParams::quick());
+    assert_eq!(plan.placements().len(), 2);
+}
+
+#[test]
+fn multi_aspect_candidates_make_blocks_flexible() {
+    // The §7 candidates ride the results database into the floorplanner:
+    // flexible SC blocks must floorplan at least as tightly as rigid ones.
+    let tech = builtin::nmos25();
+    let modules = [
+        generate::ripple_adder(4),
+        generate::counter(4),
+        generate::decoder(3),
+        generate::shift_register(6),
+    ];
+    let pipeline = Pipeline::new(tech);
+    let db = pipeline.run_all(modules.iter()).expect("estimates");
+
+    let flexible: Vec<Block> = db
+        .records()
+        .iter()
+        .filter_map(|r| Block::from_record(r, 5))
+        .collect();
+    for (block, rec) in flexible.iter().zip(db.records()) {
+        assert!(
+            block.curve().len() >= 2,
+            "{} should have several realizations ({} candidates)",
+            block.name(),
+            rec.standard_cell_candidates.len()
+        );
+    }
+    // Rigid variant: candidates stripped.
+    let rigid: Vec<Block> = db
+        .records()
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.standard_cell_candidates.clear();
+            Block::from_record(&r, 5).expect("has estimates")
+        })
+        .collect();
+    let p = PlanParams::quick();
+    let flex_area = floorplan(&flexible, &p).area();
+    let rigid_area = floorplan(&rigid, &p).area();
+    assert!(
+        flex_area.as_f64() <= rigid_area.as_f64() * 1.05,
+        "flexible {flex_area} should pack no worse than rigid {rigid_area}"
+    );
+}
