@@ -1,8 +1,17 @@
 //! E4: estimator runtime scaling with module size — the "modest amount of
 //! computer time" claim quantified. Sweeps synthetic modules from 25 to
-//! 800 gates.
+//! 800 gates, then times a 96-module batch through the estimation engine:
+//! the seed-style uncached serial loop vs the memoized kernel, serial and
+//! fanned out over worker threads.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maestro::estimator::multi_aspect::{
+    sc_candidates_uncached, sc_candidates_using, DEFAULT_CANDIDATES,
+};
+use maestro::estimator::pipeline::Pipeline;
+use maestro::estimator::prob::{ProbTable, MAX_ROWS};
 use maestro::estimator::standard_cell::{self, ScParams};
 use maestro::netlist::generate::{self, RandomLogicConfig};
 use maestro::prelude::*;
@@ -37,5 +46,122 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling);
+/// A 96-module chip-scale batch: register-heavy modules (wide clock and
+/// reset fan-outs, the expensive Eq. 2 inputs) mixed with random logic,
+/// sizes spread so cheap and expensive modules interleave across workers.
+fn batch_modules() -> Vec<Module> {
+    (0..96u64)
+        .map(|seed| {
+            let step = (seed / 4) as usize;
+            match seed % 4 {
+                0 => generate::shift_register(256 * (1 + step % 4)),
+                1 => generate::counter(16 + (step % 5) * 16),
+                2 => generate::shift_register(64 + (step % 4) * 64),
+                _ => {
+                    let cfg = RandomLogicConfig {
+                        device_count: 60 + (step % 7) * 40,
+                        input_count: 8,
+                        ..RandomLogicConfig::default()
+                    };
+                    generate::random_logic(seed, &cfg)
+                }
+            }
+        })
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let tech = builtin::nmos25();
+    let modules = batch_modules();
+
+    // The estimation stage in isolation (stats pre-resolved once): this is
+    // the work the memoized kernel replaces — the seed path rebuilds every
+    // Eq. 2 distribution per net class per row count, the table computes
+    // each distinct (rows, k) pair once for the whole batch.
+    let resolved: Vec<_> = modules
+        .iter()
+        .map(|m| {
+            NetlistStats::resolve(m, &tech, LayoutStyle::StandardCell)
+                .expect("batch modules are gate-level")
+        })
+        .collect();
+    let mut group = c.benchmark_group("batch/96_modules_estimation_stage");
+    group.bench_function("seed_uncached", |b| {
+        b.iter(|| {
+            resolved
+                .iter()
+                .map(|stats| {
+                    let rows = standard_cell::initial_rows(stats, &tech, MAX_ROWS);
+                    let primary = standard_cell::estimate_with_rows_uncached(stats, &tech, rows);
+                    let sweep = sc_candidates_uncached(stats, &tech, DEFAULT_CANDIDATES);
+                    (primary, sweep)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            // A fresh table per iteration: the measurement includes
+            // populating the memo, not just serving warm hits.
+            let table = ProbTable::new();
+            resolved
+                .iter()
+                .map(|stats| {
+                    let rows = standard_cell::initial_rows(stats, &tech, MAX_ROWS);
+                    let primary =
+                        standard_cell::estimate_with_rows_using(stats, &tech, rows, &table);
+                    let sweep =
+                        sc_candidates_using(stats, &tech, DEFAULT_CANDIDATES, &table);
+                    (primary, sweep)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+
+    // End to end through the pipeline (resolve + estimate + record),
+    // serial vs worker threads. Thread scaling tracks the machine's core
+    // count; on a single-core host the parallel rows measure pure
+    // scheduling overhead.
+    let mut group = c.benchmark_group("batch/96_modules_end_to_end");
+    group.bench_function("seed_uncached_serial", |b| {
+        b.iter(|| {
+            // Mirrors Pipeline::run_module per module: resolve under both
+            // styles, primary estimate, candidate sweep — with the seed's
+            // uncached kernel.
+            modules
+                .iter()
+                .map(|m| {
+                    let stats = NetlistStats::resolve(m, &tech, LayoutStyle::StandardCell)
+                        .expect("batch modules are gate-level");
+                    let rows = standard_cell::initial_rows(&stats, &tech, MAX_ROWS);
+                    let primary = standard_cell::estimate_with_rows_uncached(&stats, &tech, rows);
+                    let sweep = sc_candidates_uncached(&stats, &tech, DEFAULT_CANDIDATES);
+                    let fc = NetlistStats::resolve(m, &tech, LayoutStyle::FullCustom).ok();
+                    (primary, sweep, fc)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("cached_serial", |b| {
+        b.iter(|| {
+            let pipeline = Pipeline::new(tech.clone()).with_prob_table(Arc::new(ProbTable::new()));
+            pipeline.run_all(modules.iter()).expect("batch estimates")
+        })
+    });
+    for jobs in [2usize, 8] {
+        group.bench_function(format!("cached_parallel_{jobs}_jobs"), |b| {
+            b.iter(|| {
+                let pipeline =
+                    Pipeline::new(tech.clone()).with_prob_table(Arc::new(ProbTable::new()));
+                pipeline
+                    .run_all_parallel(modules.iter(), jobs)
+                    .expect("batch estimates")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_batch);
 criterion_main!(benches);

@@ -64,5 +64,7 @@ pub mod track_sharing;
 pub mod wirelength;
 
 pub use full_custom::FcEstimate;
+pub use pipeline::Pipeline;
+pub use prob::{CacheStats, ProbTable};
 pub use report::{EstimateRecord, ResultsDb};
 pub use standard_cell::ScEstimate;

@@ -17,8 +17,8 @@ use maestro_netlist::NetlistStats;
 use maestro_tech::ProcessDb;
 
 use crate::full_custom::FcEstimate;
-use crate::prob::MAX_ROWS;
-use crate::standard_cell::{estimate_with_rows, initial_rows, ScEstimate};
+use crate::prob::{ProbTable, MAX_ROWS};
+use crate::standard_cell::{estimate_with_rows_using, initial_rows, ScEstimate};
 
 /// Default number of candidates, the paper's "four or five".
 pub const DEFAULT_CANDIDATES: usize = 5;
@@ -27,10 +27,54 @@ pub const DEFAULT_CANDIDATES: usize = 5;
 /// on the §5 seed (clamped to `1..=MAX_ROWS`), deduplicated and sorted by
 /// row count.
 ///
+/// The whole sweep shares the process-wide [`ProbTable::shared`] memo —
+/// adjacent row counts re-query many of the same `(rows, D)` pairs.
+///
 /// # Panics
 ///
 /// Panics if the module has no devices or `count == 0`.
 pub fn sc_candidates(stats: &NetlistStats, tech: &ProcessDb, count: usize) -> Vec<ScEstimate> {
+    sc_candidates_using(stats, tech, count, &ProbTable::shared())
+}
+
+/// [`sc_candidates`] against an explicit probability table.
+///
+/// # Panics
+///
+/// Panics if the module has no devices or `count == 0`.
+pub fn sc_candidates_using(
+    stats: &NetlistStats,
+    tech: &ProcessDb,
+    count: usize,
+    table: &ProbTable,
+) -> Vec<ScEstimate> {
+    candidate_rows(stats, tech, count)
+        .into_iter()
+        .map(|n| estimate_with_rows_using(stats, tech, n, table))
+        .collect()
+}
+
+/// Uncached reference implementation of [`sc_candidates`]: every row count
+/// rebuilds its Eq. 2 distributions from scratch, as the sweep originally
+/// did. Kept for differential tests and as the benchmark baseline.
+///
+/// # Panics
+///
+/// Panics if the module has no devices or `count == 0`.
+pub fn sc_candidates_uncached(
+    stats: &NetlistStats,
+    tech: &ProcessDb,
+    count: usize,
+) -> Vec<ScEstimate> {
+    candidate_rows(stats, tech, count)
+        .into_iter()
+        .map(|n| crate::standard_cell::estimate_with_rows_uncached(stats, tech, n))
+        .collect()
+}
+
+/// The candidate row counts: a window of `count` row counts centred on the
+/// §5 seed, clamped, deduplicated and ascending.
+fn candidate_rows(stats: &NetlistStats, tech: &ProcessDb, count: usize) -> Vec<u32> {
     assert!(count > 0, "need at least one candidate");
     let seed = initial_rows(stats, tech, MAX_ROWS);
     let half = (count / 2) as i64;
@@ -40,9 +84,7 @@ pub fn sc_candidates(stats: &NetlistStats, tech: &ProcessDb, count: usize) -> Ve
     rows.sort_unstable();
     rows.dedup();
     rows.truncate(count);
-    rows.into_iter()
-        .map(|n| estimate_with_rows(stats, tech, n))
-        .collect()
+    rows
 }
 
 /// The standard-cell candidates as a floorplanner-ready shape curve.

@@ -14,9 +14,13 @@
 //! comparison the paper motivates ("trial floor plans for comparing the
 //! various different layout methodologies").
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
 use maestro_netlist::{mnl, LayoutStyle, Module, NetlistError, NetlistStats};
 use maestro_tech::ProcessDb;
 
+use crate::prob::ProbTable;
 use crate::report::{EstimateRecord, ResultsDb};
 use crate::standard_cell::ScParams;
 use crate::{full_custom, standard_cell};
@@ -26,15 +30,18 @@ use crate::{full_custom, standard_cell};
 pub struct Pipeline {
     tech: ProcessDb,
     sc_params: ScParams,
+    prob: Arc<ProbTable>,
 }
 
 impl Pipeline {
     /// Creates a pipeline over a process database with default
-    /// standard-cell parameters.
+    /// standard-cell parameters, memoizing Eq. 2–3 in the process-wide
+    /// [`ProbTable::shared`] cache.
     pub fn new(tech: ProcessDb) -> Self {
         Pipeline {
             tech,
             sc_params: ScParams::default(),
+            prob: ProbTable::shared(),
         }
     }
 
@@ -44,9 +51,21 @@ impl Pipeline {
         self
     }
 
+    /// Uses an explicit probability table instead of the shared one
+    /// (e.g. to isolate cache statistics in tests and benchmarks).
+    pub fn with_prob_table(mut self, table: Arc<ProbTable>) -> Self {
+        self.prob = table;
+        self
+    }
+
     /// The process database in use.
     pub fn tech(&self) -> &ProcessDb {
         &self.tech
+    }
+
+    /// The probability table estimates are served from.
+    pub fn prob_table(&self) -> &Arc<ProbTable> {
+        &self.prob
     }
 
     /// Estimates one module under every style its templates resolve for.
@@ -60,11 +79,13 @@ impl Pipeline {
         let (sc, sc_candidates) =
             match NetlistStats::resolve(module, &self.tech, LayoutStyle::StandardCell) {
                 Ok(stats) if stats.device_count() > 0 => {
-                    let primary = standard_cell::estimate(&stats, &self.tech, &self.sc_params);
-                    let candidates = crate::multi_aspect::sc_candidates(
+                    let primary =
+                        standard_cell::estimate_using(&stats, &self.tech, &self.sc_params, &self.prob);
+                    let candidates = crate::multi_aspect::sc_candidates_using(
                         &stats,
                         &self.tech,
                         crate::multi_aspect::DEFAULT_CANDIDATES,
+                        &self.prob,
                     );
                     (Some(primary), candidates)
                 }
@@ -118,6 +139,53 @@ impl Pipeline {
         let mut db = ResultsDb::new();
         for m in modules {
             db.insert(self.run_module(m)?);
+        }
+        Ok(db)
+    }
+
+    /// [`Pipeline::run_all`] fanned out over `jobs` worker threads.
+    ///
+    /// Workers pull modules from a shared counter (so cheap and expensive
+    /// modules interleave) and all memoize into this pipeline's one
+    /// probability table; results are merged in the modules' original
+    /// order, so the produced [`ResultsDb`] — and its JSON serialization —
+    /// is identical to the serial run's. `jobs` is clamped to
+    /// `1..=modules.len()`; `jobs <= 1` degenerates to the serial loop.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::run_all`]: the error reported is the one the serial
+    /// run would have hit first (the lowest-index failing module), even
+    /// if a later module failed earlier in wall-clock time.
+    pub fn run_all_parallel<'m, I>(&self, modules: I, jobs: usize) -> Result<ResultsDb, NetlistError>
+    where
+        I: IntoIterator<Item = &'m Module>,
+    {
+        let modules: Vec<&Module> = modules.into_iter().collect();
+        let jobs = jobs.clamp(1, modules.len().max(1));
+        if jobs <= 1 {
+            return self.run_all(modules);
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<EstimateRecord, NetlistError>>>> =
+            modules.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(module) = modules.get(i) else { break };
+                    let result = self.run_module(module);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        let mut db = ResultsDb::new();
+        for slot in slots {
+            let result = slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("every module was estimated");
+            db.insert(result?);
         }
         Ok(db)
     }
@@ -190,5 +258,57 @@ mod tests {
         let p = Pipeline::new(builtin::nmos25()).with_sc_params(ScParams::with_rows(5));
         let rec = p.run_module(&generate::ripple_adder(4)).unwrap();
         assert_eq!(rec.standard_cell.unwrap().rows, 5);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_byte_for_byte() {
+        let p = Pipeline::new(builtin::nmos25());
+        let modules: Vec<_> = (2..10).map(generate::counter).collect();
+        let serial = p.run_all(modules.iter()).expect("serial run");
+        for jobs in [1, 2, 8, 64] {
+            let parallel = p
+                .run_all_parallel(modules.iter(), jobs)
+                .expect("parallel run");
+            assert_eq!(
+                serial.to_json().unwrap(),
+                parallel.to_json().unwrap(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_run_reports_first_failing_module() {
+        let p = Pipeline::new(builtin::nmos25());
+        let bad = |name: &str| {
+            let mut b = maestro_netlist::ModuleBuilder::new(name);
+            let n = b.net("n");
+            b.device("u1", "QUANTUM_GATE", [("A", n)]);
+            b.finish()
+        };
+        let modules = [
+            generate::counter(3),
+            bad("bad_early"),
+            generate::counter(4),
+            bad("bad_late"),
+        ];
+        let serial = p.run_all(modules.iter()).unwrap_err();
+        let parallel = p.run_all_parallel(modules.iter(), 4).unwrap_err();
+        assert_eq!(format!("{serial}"), format!("{parallel}"));
+    }
+
+    #[test]
+    fn pipeline_populates_its_prob_table() {
+        use crate::prob::ProbTable;
+        use std::sync::Arc;
+        let table = Arc::new(ProbTable::new());
+        let p = Pipeline::new(builtin::nmos25()).with_prob_table(Arc::clone(&table));
+        p.run_module(&generate::counter(4)).expect("estimates");
+        let stats = table.stats();
+        assert!(stats.misses > 0, "fresh table must be populated");
+        assert!(
+            stats.hits > stats.misses,
+            "aspect sweep should mostly hit: {stats:?}"
+        );
     }
 }

@@ -28,9 +28,15 @@
 //! The distribution sums to exactly 1 for any `n, D ≥ 1` (it is the exact
 //! occupancy law for `k` components in `n` rows).
 //!
-//! Two implementations are provided: a fast `f64` path used by the
-//! estimator, and an exact `u128` rational path ([`exact`]) used by the
-//! test-suite to validate the fast path digit-for-digit on small inputs.
+//! Three implementations are provided: a fast `f64` path
+//! ([`RowOccupancy::new`]), a memoized kernel ([`ProbTable`]) serving the
+//! same bits from a `(rows, k)`-keyed cache for batch workloads, and an
+//! exact `u128` rational path ([`exact`]) used by the test-suite to
+//! validate both digit-for-digit on small inputs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +61,62 @@ fn binomial(n: u32, k: u32) -> f64 {
         acc = acc * (n - j) as f64 / (j + 1) as f64;
     }
     acc.round()
+}
+
+/// Validates an `(rows, components)` input pair.
+///
+/// # Panics
+///
+/// Panics if `rows` is 0 or exceeds [`MAX_ROWS`], or `components` is 0 or
+/// exceeds [`MAX_COMPONENTS`].
+fn validate(rows: u32, components: u32) {
+    assert!(
+        (1..=MAX_ROWS).contains(&rows),
+        "row count {rows} outside 1..={MAX_ROWS}"
+    );
+    assert!(
+        (1..=MAX_COMPONENTS).contains(&components),
+        "component count {components} outside 1..={MAX_COMPONENTS}"
+    );
+}
+
+/// The Eq. 2 distribution for `k = min(n, D)` free placements in `rows`
+/// rows, with binomials supplied by `binom`.
+///
+/// The cached ([`ProbTable`]) and uncached ([`RowOccupancy::new`]) paths
+/// both run this exact sequence of operations, differing only in where
+/// `C(n, k)` comes from — and the table is populated by the same
+/// [`binomial`] function, so the two paths are bit-identical.
+fn distribution(rows: u32, k: u32, binom: impl Fn(u32, u32) -> f64) -> Vec<f64> {
+    // b[i] for i = 1..=k (index i-1), Eq. 2.
+    let mut b = vec![0.0f64; k as usize];
+    for i in 1..=k {
+        let mut val = (i as f64).powi(k as i32);
+        for j in 1..i {
+            val -= binom(i, j) * b[(j - 1) as usize];
+        }
+        b[(i - 1) as usize] = val;
+    }
+    let n_pow_k = (rows as f64).powi(k as i32);
+    (1..=k)
+        .map(|i| binom(rows, i) * b[(i - 1) as usize] / n_pow_k)
+        .collect()
+}
+
+/// Eq. 3 over a distribution slice: `Σ i · P(i)`.
+fn expectation_of(probs: &[f64]) -> f64 {
+    probs
+        .iter()
+        .enumerate()
+        .map(|(idx, p)| (idx + 1) as f64 * p)
+        .sum()
+}
+
+/// Converts an Eq. 3 expectation to a track count: `⌈E(i)⌉`.
+fn tracks_for(expectation: f64) -> u32 {
+    // Guard against 2.0000000000000004-style noise before ceiling.
+    let snapped = (expectation * 1e9).round() / 1e9;
+    snapped.ceil() as u32
 }
 
 /// The occupancy distribution of one net across rows.
@@ -87,32 +149,12 @@ impl RowOccupancy {
     /// Panics if `rows` is 0 or exceeds [`MAX_ROWS`], or `components` is 0
     /// or exceeds [`MAX_COMPONENTS`].
     pub fn new(rows: u32, components: u32) -> Self {
-        assert!(
-            (1..=MAX_ROWS).contains(&rows),
-            "row count {rows} outside 1..={MAX_ROWS}"
-        );
-        assert!(
-            (1..=MAX_COMPONENTS).contains(&components),
-            "component count {components} outside 1..={MAX_COMPONENTS}"
-        );
+        validate(rows, components);
         let k = rows.min(components);
-        // b[i] for i = 1..=k (index i-1), Eq. 2.
-        let mut b = vec![0.0f64; k as usize];
-        for i in 1..=k {
-            let mut val = (i as f64).powi(k as i32);
-            for j in 1..i {
-                val -= binomial(i, j) * b[(j - 1) as usize];
-            }
-            b[(i - 1) as usize] = val;
-        }
-        let n_pow_k = (rows as f64).powi(k as i32);
-        let probs = (1..=k)
-            .map(|i| binomial(rows, i) * b[(i - 1) as usize] / n_pow_k)
-            .collect();
         RowOccupancy {
             rows,
             components,
-            probs,
+            probs: distribution(rows, k, binomial),
         }
     }
 
@@ -141,20 +183,196 @@ impl RowOccupancy {
 
     /// Eq. 3: `E(i) = Σ i · P_rows(i)`.
     pub fn expected_rows(&self) -> f64 {
-        self.probs
-            .iter()
-            .enumerate()
-            .map(|(idx, p)| (idx + 1) as f64 * p)
-            .sum()
+        expectation_of(&self.probs)
     }
 
     /// The track count charged to this net: `⌈E(i)⌉` ("E(i) should be
     /// rounded up to the next higher integer").
     pub fn expected_tracks(&self) -> u32 {
-        // Guard against 2.0000000000000004-style noise before ceiling.
-        let e = self.expected_rows();
-        let snapped = (e * 1e9).round() / 1e9;
-        snapped.ceil() as u32
+        tracks_for(self.expected_rows())
+    }
+}
+
+/// One memoized Eq. 2–3 result: the distribution and its derived
+/// expectation, shared between every `(rows, D)` query with the same
+/// effective `k = min(rows, D)`.
+#[derive(Debug, Clone)]
+struct CachedDist {
+    probs: Arc<[f64]>,
+    expected_rows: f64,
+    expected_tracks: u32,
+}
+
+/// Cache statistics of a [`ProbTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from the memo.
+    pub hits: u64,
+    /// Queries that computed a fresh distribution.
+    pub misses: u64,
+    /// Distinct `(rows, k)` distributions currently cached.
+    pub entries: usize,
+}
+
+/// The memoized Eq. 2–3 probability kernel.
+///
+/// [`RowOccupancy::new`] rebuilds the surjection table and every binomial
+/// coefficient from scratch on each call; inside a floorplanner inner loop
+/// the same small set of `(rows, D)` pairs recurs thousands of times. This
+/// table precomputes the full binomial triangle once (up to [`MAX_ROWS`],
+/// via the same [`binomial`] routine, so lookups are bit-identical to
+/// fresh computation) and memoizes each distribution behind a [`RwLock`],
+/// keyed by `(rows, min(rows, D))` — the paper's `k = min(n, D)`
+/// truncation makes the distribution independent of `D` beyond `rows`, so
+/// all large nets share one entry per row count.
+///
+/// The table is `Sync`: concurrent estimator threads share it directly.
+///
+/// # Examples
+///
+/// ```
+/// use maestro_estimator::prob::{self, ProbTable};
+///
+/// let table = ProbTable::new();
+/// assert_eq!(table.expected_tracks(4, 2), prob::expected_tracks(4, 2));
+/// // The second query with the same k = min(n, D) is a cache hit.
+/// let _ = table.expected_tracks(4, 2);
+/// let stats = table.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct ProbTable {
+    /// `C(n, k)` for `n, k ≤ MAX_ROWS`, row-major, filled by [`binomial`].
+    binomials: Box<[f64]>,
+    memo: RwLock<HashMap<(u32, u32), CachedDist>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ProbTable {
+    fn default() -> Self {
+        ProbTable::new()
+    }
+}
+
+impl ProbTable {
+    /// Builds an empty table with the binomial triangle precomputed.
+    pub fn new() -> Self {
+        let side = (MAX_ROWS + 1) as usize;
+        let mut binomials = vec![0.0f64; side * side];
+        for n in 0..=MAX_ROWS {
+            for k in 0..=n {
+                binomials[n as usize * side + k as usize] = binomial(n, k);
+            }
+        }
+        ProbTable {
+            binomials: binomials.into_boxed_slice(),
+            memo: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide shared table: every caller that does not carry an
+    /// explicit table (the plain [`expected_tracks`]-style entry points in
+    /// `standard_cell` and `multi_aspect`) memoizes here, so an entire
+    /// aspect sweep — or a whole multi-threaded batch run — shares one
+    /// cache.
+    pub fn shared() -> Arc<ProbTable> {
+        static SHARED: OnceLock<Arc<ProbTable>> = OnceLock::new();
+        SHARED.get_or_init(|| Arc::new(ProbTable::new())).clone()
+    }
+
+    /// Precomputed binomial coefficient `C(n, k)`, bit-identical to the
+    /// uncached path's on-the-fly computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_ROWS`].
+    pub fn binomial(&self, n: u32, k: u32) -> f64 {
+        assert!(n <= MAX_ROWS, "binomial row {n} outside 0..={MAX_ROWS}");
+        if k > n {
+            return 0.0;
+        }
+        let side = (MAX_ROWS + 1) as usize;
+        self.binomials[n as usize * side + k as usize]
+    }
+
+    /// The memoized distribution for `(rows, components)`, computing and
+    /// caching it on first use.
+    fn entry(&self, rows: u32, components: u32) -> CachedDist {
+        validate(rows, components);
+        let k = rows.min(components);
+        if let Some(hit) = self.memo.read().expect("prob memo poisoned").get(&(rows, k)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Computed outside the lock: racing threads may duplicate the
+        // work, but every computation yields identical bits.
+        let probs: Arc<[f64]> = distribution(rows, k, |n, j| self.binomial(n, j)).into();
+        let expected_rows = expectation_of(&probs);
+        let dist = CachedDist {
+            probs,
+            expected_rows,
+            expected_tracks: tracks_for(expected_rows),
+        };
+        self.memo
+            .write()
+            .expect("prob memo poisoned")
+            .entry((rows, k))
+            .or_insert_with(|| dist.clone());
+        dist
+    }
+
+    /// The occupancy distribution, as [`RowOccupancy::new`] would build
+    /// it (digit-for-digit), served from the memo.
+    ///
+    /// Allocates a fresh `Vec` for the result; hot loops that only need
+    /// the expectation should call [`ProbTable::expected_tracks`] or
+    /// [`ProbTable::expected_rows`], which are allocation-free after the
+    /// first query.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same inputs as [`RowOccupancy::new`].
+    pub fn occupancy(&self, rows: u32, components: u32) -> RowOccupancy {
+        let dist = self.entry(rows, components);
+        RowOccupancy {
+            rows,
+            components,
+            probs: dist.probs.to_vec(),
+        }
+    }
+
+    /// Memoized Eq. 3 expectation, bit-identical to
+    /// [`RowOccupancy::expected_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same inputs as [`RowOccupancy::new`].
+    pub fn expected_rows(&self, rows: u32, components: u32) -> f64 {
+        self.entry(rows, components).expected_rows
+    }
+
+    /// Memoized track count, identical to
+    /// [`RowOccupancy::expected_tracks`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same inputs as [`RowOccupancy::new`].
+    pub fn expected_tracks(&self, rows: u32, components: u32) -> u32 {
+        self.entry(rows, components).expected_tracks
+    }
+
+    /// Hit/miss/entry counters (hits and misses are read `Relaxed`; exact
+    /// only in quiescence, indicative under concurrency).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.memo.read().expect("prob memo poisoned").len(),
+        }
     }
 }
 
@@ -402,5 +620,85 @@ mod tests {
         assert_eq!(expected_tracks(4, 2), 2);
         // n=1: E = 1 -> exactly 1 (no spurious round-up).
         assert_eq!(expected_tracks(1, 7), 1);
+    }
+
+    #[test]
+    fn table_binomials_match_direct_computation() {
+        let table = ProbTable::new();
+        for n in 0..=MAX_ROWS {
+            for k in 0..=n + 1 {
+                assert_eq!(
+                    table.binomial(n, k).to_bits(),
+                    binomial(n, k).to_bits(),
+                    "C({n}, {k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_occupancy_is_bit_identical_to_fresh() {
+        let table = ProbTable::new();
+        for n in [1, 2, 7, 33, 64] {
+            for d in [1, 2, 5, 64, 256] {
+                let cached = table.occupancy(n, d);
+                let fresh = RowOccupancy::new(n, d);
+                assert_eq!(cached.rows(), fresh.rows());
+                assert_eq!(cached.components(), fresh.components());
+                let c_bits: Vec<u64> =
+                    cached.probabilities().iter().map(|p| p.to_bits()).collect();
+                let f_bits: Vec<u64> =
+                    fresh.probabilities().iter().map(|p| p.to_bits()).collect();
+                assert_eq!(c_bits, f_bits, "n={n} d={d}");
+                assert_eq!(
+                    table.expected_rows(n, d).to_bits(),
+                    fresh.expected_rows().to_bits(),
+                    "n={n} d={d}"
+                );
+                assert_eq!(table.expected_tracks(n, d), fresh.expected_tracks());
+            }
+        }
+    }
+
+    #[test]
+    fn table_memoizes_by_truncated_k() {
+        let table = ProbTable::new();
+        let _ = table.expected_tracks(5, 5);
+        // D = 50 truncates to k = 5: same entry, so a hit, not a miss.
+        let _ = table.expected_tracks(5, 50);
+        let stats = table.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn shared_table_is_one_instance() {
+        assert!(Arc::ptr_eq(&ProbTable::shared(), &ProbTable::shared()));
+    }
+
+    #[test]
+    fn table_is_usable_across_threads() {
+        let table = Arc::new(ProbTable::new());
+        let expect = expected_tracks(6, 4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let table = Arc::clone(&table);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        assert_eq!(table.expected_tracks(6, 4), expect);
+                    }
+                });
+            }
+        });
+        let stats = table.stats();
+        assert_eq!(stats.hits + stats.misses, 400);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn table_rejects_zero_rows() {
+        let _ = ProbTable::new().expected_tracks(0, 3);
     }
 }

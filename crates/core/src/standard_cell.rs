@@ -31,7 +31,7 @@ use maestro_tech::ProcessDb;
 use serde::{Deserialize, Serialize};
 
 use crate::feedthrough::expected_feedthroughs;
-use crate::prob::{expected_tracks, MAX_COMPONENTS, MAX_ROWS};
+use crate::prob::{expected_tracks, ProbTable, MAX_COMPONENTS, MAX_ROWS};
 
 /// Tuning knobs for the standard-cell estimator.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,10 +90,41 @@ pub struct ScEstimate {
 /// [`MAX_COMPONENTS`] are clamped (the `k = min(n, D)` truncation makes
 /// the result independent of `D` beyond `n` anyway).
 ///
+/// Served from the process-wide [`ProbTable::shared`] memo; see
+/// [`total_tracks_using`] for an explicit table and
+/// [`total_tracks_uncached`] for the reference path.
+///
 /// # Panics
 ///
 /// Panics if `rows` is outside `1..=`[`MAX_ROWS`].
 pub fn total_tracks(stats: &NetlistStats, rows: u32) -> u32 {
+    total_tracks_using(stats, rows, &ProbTable::shared())
+}
+
+/// [`total_tracks`] against an explicit probability table.
+///
+/// # Panics
+///
+/// Panics if `rows` is outside `1..=`[`MAX_ROWS`].
+pub fn total_tracks_using(stats: &NetlistStats, rows: u32, table: &ProbTable) -> u32 {
+    stats
+        .net_sizes()
+        .iter()
+        .map(|(d, y)| {
+            let d = (d as u32).clamp(1, MAX_COMPONENTS);
+            y as u32 * table.expected_tracks(rows, d)
+        })
+        .sum()
+}
+
+/// Uncached reference implementation of [`total_tracks`]: rebuilds the
+/// Eq. 2 distribution from scratch per net, as the estimator originally
+/// did. Kept for differential tests and as the benchmark baseline.
+///
+/// # Panics
+///
+/// Panics if `rows` is outside `1..=`[`MAX_ROWS`].
+pub fn total_tracks_uncached(stats: &NetlistStats, rows: u32) -> u32 {
     stats
         .net_sizes()
         .iter()
@@ -130,19 +161,15 @@ pub fn initial_rows(stats: &NetlistStats, tech: &ProcessDb, max_rows: u32) -> u3
     }
 }
 
-/// Runs the full §4.1 estimator at an explicit row count.
-///
-/// # Panics
-///
-/// Panics if the module has no devices or `rows` is outside
-/// `1..=`[`MAX_ROWS`].
-pub fn estimate_with_rows(stats: &NetlistStats, tech: &ProcessDb, rows: u32) -> ScEstimate {
-    assert!(stats.device_count() > 0, "cannot estimate an empty module");
-    assert!(
-        (1..=MAX_ROWS).contains(&rows),
-        "row count {rows} outside 1..={MAX_ROWS}"
-    );
-    let tracks = total_tracks(stats, rows);
+/// Everything in the §4.1 estimate downstream of the track count, shared
+/// by the cached and uncached paths so they differ only in where
+/// `Σ y_D·⌈E(D)⌉` comes from.
+fn assemble_estimate(
+    stats: &NetlistStats,
+    tech: &ProcessDb,
+    rows: u32,
+    tracks: u32,
+) -> ScEstimate {
     let feedthroughs = expected_feedthroughs(rows, stats.net_count());
 
     // Row length: W_av·N/n cell width plus E(M) feed-through columns.
@@ -170,6 +197,59 @@ pub fn estimate_with_rows(stats: &NetlistStats, tech: &ProcessDb, rows: u32) -> 
     }
 }
 
+fn validate_estimate_inputs(stats: &NetlistStats, rows: u32) {
+    assert!(stats.device_count() > 0, "cannot estimate an empty module");
+    assert!(
+        (1..=MAX_ROWS).contains(&rows),
+        "row count {rows} outside 1..={MAX_ROWS}"
+    );
+}
+
+/// Runs the full §4.1 estimator at an explicit row count, with Eq. 2–3
+/// served from the process-wide [`ProbTable::shared`] memo.
+///
+/// # Panics
+///
+/// Panics if the module has no devices or `rows` is outside
+/// `1..=`[`MAX_ROWS`].
+pub fn estimate_with_rows(stats: &NetlistStats, tech: &ProcessDb, rows: u32) -> ScEstimate {
+    estimate_with_rows_using(stats, tech, rows, &ProbTable::shared())
+}
+
+/// [`estimate_with_rows`] against an explicit probability table.
+///
+/// # Panics
+///
+/// Panics if the module has no devices or `rows` is outside
+/// `1..=`[`MAX_ROWS`].
+pub fn estimate_with_rows_using(
+    stats: &NetlistStats,
+    tech: &ProcessDb,
+    rows: u32,
+    table: &ProbTable,
+) -> ScEstimate {
+    validate_estimate_inputs(stats, rows);
+    let tracks = total_tracks_using(stats, rows, table);
+    assemble_estimate(stats, tech, rows, tracks)
+}
+
+/// Uncached reference implementation of [`estimate_with_rows`], for
+/// differential tests and as the benchmark baseline.
+///
+/// # Panics
+///
+/// Panics if the module has no devices or `rows` is outside
+/// `1..=`[`MAX_ROWS`].
+pub fn estimate_with_rows_uncached(
+    stats: &NetlistStats,
+    tech: &ProcessDb,
+    rows: u32,
+) -> ScEstimate {
+    validate_estimate_inputs(stats, rows);
+    let tracks = total_tracks_uncached(stats, rows);
+    assemble_estimate(stats, tech, rows, tracks)
+}
+
 /// Runs the estimator, choosing the row count per `params` (explicit or
 /// §5's algorithm).
 ///
@@ -178,10 +258,25 @@ pub fn estimate_with_rows(stats: &NetlistStats, tech: &ProcessDb, rows: u32) -> 
 /// Panics if the module has no devices or an explicit row count is out of
 /// range.
 pub fn estimate(stats: &NetlistStats, tech: &ProcessDb, params: &ScParams) -> ScEstimate {
+    estimate_using(stats, tech, params, &ProbTable::shared())
+}
+
+/// [`estimate`] against an explicit probability table.
+///
+/// # Panics
+///
+/// Panics if the module has no devices or an explicit row count is out of
+/// range.
+pub fn estimate_using(
+    stats: &NetlistStats,
+    tech: &ProcessDb,
+    params: &ScParams,
+    table: &ProbTable,
+) -> ScEstimate {
     let rows = params
         .rows
         .unwrap_or_else(|| initial_rows(stats, tech, params.max_rows));
-    estimate_with_rows(stats, tech, rows)
+    estimate_with_rows_using(stats, tech, rows, table)
 }
 
 #[cfg(test)]

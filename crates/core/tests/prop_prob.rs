@@ -1,0 +1,124 @@
+//! Property tests for the memoized probability kernel: over the full
+//! supported domain (`1 ≤ n ≤ 64`, `1 ≤ D ≤ 256`), [`ProbTable`] must be
+//! digit-for-digit equal to a fresh [`RowOccupancy::new`], agree with the
+//! `exact` u128-rational oracle on its representable subdomain, and keep
+//! the distribution a probability measure.
+
+use maestro_estimator::prob::{self, ProbTable, RowOccupancy, MAX_COMPONENTS, MAX_ROWS};
+use proptest::prelude::*;
+
+fn shared() -> std::sync::Arc<ProbTable> {
+    // One table across all cases, so later cases exercise the hit path
+    // against fresh recomputation.
+    ProbTable::shared()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn table_is_bit_identical_to_fresh_occupancy(
+        n in 1u32..=MAX_ROWS,
+        d in 1u32..=MAX_COMPONENTS,
+    ) {
+        let table = shared();
+        let cached = table.occupancy(n, d);
+        let fresh = RowOccupancy::new(n, d);
+        prop_assert_eq!(cached.rows(), fresh.rows());
+        prop_assert_eq!(cached.components(), fresh.components());
+        prop_assert_eq!(cached.probabilities().len(), fresh.probabilities().len());
+        for (i, (c, f)) in cached
+            .probabilities()
+            .iter()
+            .zip(fresh.probabilities())
+            .enumerate()
+        {
+            prop_assert_eq!(c.to_bits(), f.to_bits(), "n={} d={} i={}", n, d, i + 1);
+        }
+        prop_assert_eq!(
+            table.expected_rows(n, d).to_bits(),
+            fresh.expected_rows().to_bits()
+        );
+        prop_assert_eq!(table.expected_tracks(n, d), fresh.expected_tracks());
+    }
+
+    #[test]
+    fn distribution_is_a_probability_measure(
+        n in 1u32..=MAX_ROWS,
+        d in 1u32..=MAX_COMPONENTS,
+    ) {
+        let occ = shared().occupancy(n, d);
+        // Eq. 2's inclusion–exclusion cancels enormous intermediate terms,
+        // so f64 accuracy degrades with row count. Measured worst error
+        // over the full domain: 9e-16 (n ≤ 16), 4e-10 (n ≤ 32),
+        // 3.5e-6 (n ≤ 48), 2.6e-2 (n ≤ 64) — the bounds track that curve.
+        let tol = match n {
+            1..=16 => 1e-12,
+            17..=32 => 1e-8,
+            33..=48 => 1e-4,
+            _ => 0.05,
+        };
+        let sum: f64 = occ.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < tol, "n={} d={}: Σ={}", n, d, sum);
+        for (i, p) in occ.probabilities().iter().enumerate() {
+            prop_assert!(
+                (-tol..=1.0 + tol).contains(p),
+                "n={} d={} i={}: p={}",
+                n,
+                d,
+                i + 1,
+                p
+            );
+        }
+    }
+
+    #[test]
+    fn table_matches_exact_oracle(n in 1u32..=8, d in 1u32..=16) {
+        let occ = shared().occupancy(n, d);
+        for i in 1..=n.min(d) {
+            let exact = prob::exact::probability(n, d, i).as_f64();
+            let fast = occ.probability(i);
+            prop_assert!(
+                (exact - fast).abs() < 1e-10,
+                "n={} d={} i={}: exact={} fast={}",
+                n,
+                d,
+                i,
+                exact,
+                fast
+            );
+        }
+    }
+}
+
+/// The proptest sweeps sample the domain; the effective distribution
+/// space is small enough (one per `(n, k)` pair) to cover exhaustively.
+#[test]
+fn every_distinct_distribution_is_bit_identical_to_fresh() {
+    let table = ProbTable::new();
+    for n in 1..=MAX_ROWS {
+        for k in 1..=n {
+            // d = k hits the pair directly; d = MAX_COMPONENTS exercises
+            // the k = min(n, D) truncation onto the same entry.
+            for d in [k, MAX_COMPONENTS] {
+                if n.min(d) != k {
+                    continue;
+                }
+                let cached = table.occupancy(n, d);
+                let fresh = RowOccupancy::new(n, d);
+                let cached_bits: Vec<u64> =
+                    cached.probabilities().iter().map(|p| p.to_bits()).collect();
+                let fresh_bits: Vec<u64> =
+                    fresh.probabilities().iter().map(|p| p.to_bits()).collect();
+                assert_eq!(cached_bits, fresh_bits, "n={n} k={k} d={d}");
+                assert_eq!(table.expected_tracks(n, d), fresh.expected_tracks());
+            }
+        }
+    }
+    let stats = table.stats();
+    assert_eq!(
+        stats.entries,
+        (1..=MAX_ROWS as usize).sum::<usize>(),
+        "one entry per (n, k) pair"
+    );
+}

@@ -120,6 +120,7 @@ impl ConnectedPlanParams {
 /// delegated to the area-driven [`floorplan`] on the permuted order, and
 /// this outer anneal reorders blocks so connected ones land adjacent —
 /// a two-level scheme that keeps the inner Stockmeyer machinery intact.
+#[derive(Clone)]
 struct OrderState<'a> {
     blocks: &'a [Block],
     netlist: &'a ChipNetlist,
@@ -130,6 +131,7 @@ struct OrderState<'a> {
     undo: Option<UndoSwap>,
 }
 
+#[derive(Clone)]
 struct UndoSwap {
     i: usize,
     j: usize,

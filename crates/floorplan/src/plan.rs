@@ -171,6 +171,7 @@ enum Elem {
 /// The annealing state over block Polish expressions. The evaluation
 /// combines full shape curves (Stockmeyer), so each expression's cost is
 /// the best achievable chip area over all block realizations.
+#[derive(Clone)]
 struct PlanState<'b> {
     blocks: &'b [Block],
     elems: Vec<Elem>,

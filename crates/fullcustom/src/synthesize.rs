@@ -22,6 +22,12 @@ pub struct SynthesisParams {
     /// Weight of the wirelength term relative to bounding area
     /// (λ of HPWL per λ² of area).
     pub wire_weight: f64,
+    /// Weight of the elongation penalty. Aspect ratios beyond 2:1 scale
+    /// the area term by `1 + aspect_weight * (aspect − 2)`: manual
+    /// layouts in the paper's Table 1 all fall between 1:1 and 2:1, so
+    /// the synthesizer is steered away from degenerate strip layouts
+    /// that a pure area + wirelength cost is indifferent to.
+    pub aspect_weight: f64,
 }
 
 impl Default for SynthesisParams {
@@ -30,6 +36,7 @@ impl Default for SynthesisParams {
             seed: 1988,
             schedule: AnnealSchedule::default(),
             wire_weight: 2.0,
+            aspect_weight: 0.15,
         }
     }
 }
@@ -117,16 +124,19 @@ impl FcLayout {
 }
 
 /// The annealing state over Polish expressions.
+#[derive(Clone)]
 struct SynthState<'m> {
     module: &'m Module,
     tiles: Vec<(Lambda, Lambda)>,
     expr: PolishExpr,
     wire_weight: f64,
+    aspect_weight: f64,
     cached_cost: f64,
     cached_eval: Evaluated,
     undo: Option<Undo>,
 }
 
+#[derive(Clone)]
 enum Undo {
     Swap((usize, usize)),
     Chain((usize, usize)),
@@ -157,7 +167,14 @@ impl SynthState<'_> {
             }
             hpwl += (max_x - min_x) + (max_y - min_y);
         }
-        eval.area().as_f64() + self.wire_weight * hpwl
+        let (w, h) = (eval.width.as_f64(), eval.height.as_f64());
+        let aspect = if w > 0.0 && h > 0.0 {
+            w.max(h) / w.min(h)
+        } else {
+            1.0
+        };
+        let elongation = 1.0 + self.aspect_weight * (aspect - 2.0).max(0.0);
+        eval.area().as_f64() * elongation + self.wire_weight * hpwl
     }
 
     fn refresh(&mut self) {
@@ -240,6 +257,7 @@ pub fn synthesize(
         tiles,
         expr,
         wire_weight: params.wire_weight,
+        aspect_weight: params.aspect_weight,
         cached_cost: 0.0,
         cached_eval: initial_eval,
         undo: None,

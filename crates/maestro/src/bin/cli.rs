@@ -21,7 +21,7 @@ use maestro::tech::io as tech_io;
 
 fn usage() -> &'static str {
     "usage:\n  \
-     maestro-cli estimate  <file> [--tech nmos|cmos|<db.json>] [--rows N] [--json]\n  \
+     maestro-cli estimate  <file> [--tech nmos|cmos|<db.json>] [--rows N] [--jobs N] [--json]\n  \
      maestro-cli expand    <file.mnl>\n  \
      maestro-cli depth     <file.mnl>\n  \
      maestro-cli report    <file...> [--tech ...] [--aspect LIMIT] [--svg out.svg]\n  \
@@ -59,6 +59,7 @@ struct Options {
     tech: String,
     rows: Option<u32>,
     aspect: Option<f64>,
+    jobs: usize,
     json: bool,
     svg: Option<String>,
 }
@@ -69,6 +70,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         tech: "nmos".to_owned(),
         rows: None,
         aspect: None,
+        jobs: 1,
         json: false,
         svg: None,
     };
@@ -85,6 +87,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--aspect" => {
                 let v = it.next().ok_or("--aspect needs a value")?;
                 opts.aspect = Some(v.parse().map_err(|_| format!("bad aspect `{v}`"))?);
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let jobs: usize = v.parse().map_err(|_| format!("bad job count `{v}`"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+                opts.jobs = jobs;
             }
             "--json" => opts.json = true,
             "--svg" => {
@@ -106,13 +116,15 @@ fn cmd_estimate(opts: &Options) -> Result<(), String> {
     if let Some(rows) = opts.rows {
         pipeline = pipeline.with_sc_params(ScParams::with_rows(rows));
     }
-    let mut db = ResultsDb::new();
+    let mut modules = Vec::new();
     for file in &opts.files {
-        for module in load_modules(file)? {
-            let record = pipeline.run_module(&module).map_err(|e| e.to_string())?;
-            db.insert(record);
-        }
+        modules.extend(load_modules(file)?);
     }
+    // `--jobs N` fans the batch over N worker threads; the merged
+    // database (and its JSON) is identical to the serial run's.
+    let db = pipeline
+        .run_all_parallel(modules.iter(), opts.jobs)
+        .map_err(|e| e.to_string())?;
     if opts.json {
         println!("{}", db.to_json().map_err(|e| e.to_string())?);
         return Ok(());

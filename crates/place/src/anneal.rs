@@ -10,7 +10,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A state space that simulated annealing can explore.
-pub trait AnnealState {
+///
+/// States must be [`Clone`]: the engine snapshots the best state seen so
+/// far and restores it at the end of a run, so a late uphill excursion can
+/// never make the result worse than an earlier point of the walk.
+pub trait AnnealState: Clone {
     /// The current cost (lower is better). Must reflect every applied,
     /// un-reverted move.
     fn cost(&self) -> f64;
@@ -86,6 +90,11 @@ impl AnnealSchedule {
 /// Runs the Metropolis loop, mutating `state` toward lower cost; returns
 /// the final cost. Deterministic for a given seed.
 ///
+/// The engine keeps a snapshot of the lowest-cost state visited anywhere
+/// in the walk (including the greedy quench) and restores it before
+/// returning, so the result is the best state *seen*, not merely the
+/// state the walk happened to end on.
+///
 /// # Panics
 ///
 /// Panics if the schedule's cooling factor is outside `(0, 1)`.
@@ -98,6 +107,8 @@ pub fn anneal<S: AnnealState>(state: &mut S, schedule: &AnnealSchedule, seed: u6
     let mut rng = StdRng::seed_from_u64(seed);
     let mut temp = schedule.initial_temp.max(1e-9);
     let mut current = state.cost();
+    let mut best = state.clone();
+    let mut best_cost = current;
     for _ in 0..schedule.rounds {
         for _ in 0..schedule.moves_per_round {
             let new = state.propose_and_apply(&mut rng);
@@ -105,6 +116,10 @@ pub fn anneal<S: AnnealState>(state: &mut S, schedule: &AnnealSchedule, seed: u6
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
             if accept {
                 current = new;
+                if new < best_cost {
+                    best_cost = new;
+                    best = state.clone();
+                }
             } else {
                 state.revert();
             }
@@ -118,8 +133,27 @@ pub fn anneal<S: AnnealState>(state: &mut S, schedule: &AnnealSchedule, seed: u6
         let new = state.propose_and_apply(&mut rng);
         if new < current {
             current = new;
+            if new < best_cost {
+                best_cost = new;
+                best = state.clone();
+            }
         } else {
             state.revert();
+        }
+    }
+    if best_cost < current {
+        // A late uphill excursion ended the walk above the best visited
+        // state: restore the snapshot and polish it with a short greedy
+        // descent (the quench above descended from the wrong basin).
+        *state = best;
+        current = best_cost;
+        for _ in 0..schedule.moves_per_round {
+            let new = state.propose_and_apply(&mut rng);
+            if new < current {
+                current = new;
+            } else {
+                state.revert();
+            }
         }
     }
     current
@@ -130,6 +164,7 @@ mod tests {
     use super::*;
 
     /// A toy state: a permutation whose cost is the number of inversions.
+    #[derive(Clone)]
     struct SortState {
         values: Vec<u32>,
         last_swap: Option<(usize, usize)>,

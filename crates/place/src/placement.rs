@@ -168,6 +168,7 @@ impl PlacedModule {
 }
 
 /// The annealing state: device-to-row assignment with order within rows.
+#[derive(Clone)]
 struct PlaceState {
     /// Device widths by device index.
     widths: Vec<i64>,
@@ -185,6 +186,7 @@ struct PlaceState {
     undo: Option<UndoMove>,
 }
 
+#[derive(Clone)]
 enum UndoMove {
     Swap { a: u32, b: u32 },
     Relocate { device: u32, row: u32, index: usize },

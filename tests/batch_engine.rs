@@ -1,0 +1,201 @@
+//! Differential suite for the batch estimation engine: the memoized
+//! Eq. 2–3 kernel must be bit-identical to the uncached path and to the
+//! exact rational oracle, and parallel `run_all` must serialize to the
+//! same bytes as the serial run.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use maestro::estimator::multi_aspect::{sc_candidates, sc_candidates_uncached, sc_candidates_using};
+use maestro::estimator::prob::{self, ProbTable, RowOccupancy};
+use maestro::estimator::standard_cell::{
+    estimate_with_rows, estimate_with_rows_uncached, total_tracks_uncached, total_tracks_using,
+};
+use maestro::netlist::{generate, mnl};
+use maestro::prelude::*;
+
+fn asset(name: &str) -> PathBuf {
+    // Tests run from the package dir (crates/maestro); assets live at the
+    // workspace root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("../../assets");
+    p.push(name);
+    p
+}
+
+fn asset_modules() -> Vec<Module> {
+    let mut modules = Vec::new();
+    for file in ["counter4.mnl", "full_adder.mnl"] {
+        let source = std::fs::read_to_string(asset(file)).expect("asset readable");
+        modules.extend(mnl::parse_design(&source).expect("asset parses"));
+    }
+    modules
+}
+
+fn sc_stats(module: &Module) -> NetlistStats {
+    NetlistStats::resolve(module, &builtin::nmos25(), LayoutStyle::StandardCell)
+        .expect("gate-level module resolves")
+}
+
+/// A spread of row counts covering the supported domain's corners.
+const ROW_SWEEP: [u32; 10] = [1, 2, 3, 5, 8, 13, 21, 34, 55, 64];
+
+#[test]
+fn cached_estimates_are_bit_identical_to_uncached() {
+    let tech = builtin::nmos25();
+    let modules = [
+        generate::counter(6),
+        generate::ripple_adder(4),
+        generate::shift_register(16),
+    ];
+    for module in &modules {
+        let stats = sc_stats(module);
+        for rows in ROW_SWEEP {
+            let cached = estimate_with_rows(&stats, &tech, rows);
+            let uncached = estimate_with_rows_uncached(&stats, &tech, rows);
+            // ScEstimate's PartialEq covers every field, including the
+            // f64-backed aspect ratio.
+            assert_eq!(cached, uncached, "{} rows={rows}", module.name());
+        }
+    }
+}
+
+#[test]
+fn fresh_table_total_tracks_match_uncached() {
+    let module = generate::ripple_adder(5);
+    let stats = sc_stats(&module);
+    let table = ProbTable::new();
+    for rows in ROW_SWEEP {
+        assert_eq!(
+            total_tracks_using(&stats, rows, &table),
+            total_tracks_uncached(&stats, rows),
+            "rows={rows}"
+        );
+    }
+    let cache = table.stats();
+    assert!(cache.misses > 0, "sweep must populate the table");
+}
+
+#[test]
+fn table_matches_exact_oracle_on_small_domain() {
+    // The u128 rational oracle is representable up to n ≤ 8, D ≤ 16.
+    let table = ProbTable::new();
+    for n in 1..=8u32 {
+        for d in 1..=16u32 {
+            let occ = table.occupancy(n, d);
+            for i in 1..=n.min(d) {
+                let exact = prob::exact::probability(n, d, i).as_f64();
+                let fast = occ.probability(i);
+                assert!(
+                    (exact - fast).abs() < 1e-10,
+                    "n={n} d={d} i={i}: exact={exact} fast={fast}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn candidate_sweep_is_bit_identical_to_uncached() {
+    let tech = builtin::nmos25();
+    for module in [generate::counter(6), generate::shift_register(24)] {
+        let stats = sc_stats(&module);
+        for count in [1usize, 3, 5, 9] {
+            assert_eq!(
+                sc_candidates(&stats, &tech, count),
+                sc_candidates_uncached(&stats, &tech, count),
+                "{} count={count}",
+                module.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn aspect_sweep_shares_one_cache() {
+    let module = generate::counter(6);
+    let stats = sc_stats(&module);
+    let tech = builtin::nmos25();
+    let table = ProbTable::new();
+    let isolated = sc_candidates_using(&stats, &tech, 5, &table);
+    assert_eq!(isolated, sc_candidates(&stats, &tech, 5));
+    let first = table.stats();
+    assert!(first.misses > 0, "first sweep must populate the table");
+    // A repeated sweep over the same module must be served entirely from
+    // the shared cache: same results, zero new distribution computations.
+    let again = sc_candidates_using(&stats, &tech, 5, &table);
+    assert_eq!(again, isolated);
+    let second = table.stats();
+    assert_eq!(second.misses, first.misses, "warm sweep recomputed: {second:?}");
+    assert!(second.hits > first.hits, "warm sweep bypassed the cache");
+}
+
+#[test]
+fn parallel_run_all_is_byte_identical_to_serial_on_assets() {
+    let modules = asset_modules();
+    assert!(modules.len() >= 2, "both assets must contribute modules");
+    let pipeline = Pipeline::new(builtin::nmos25());
+    let serial = pipeline.run_all(modules.iter()).expect("serial estimates");
+    let serial_json = serial.to_json().expect("serializes");
+    for jobs in [1, 2, 8] {
+        let parallel = pipeline
+            .run_all_parallel(modules.iter(), jobs)
+            .expect("parallel estimates");
+        assert_eq!(
+            serial_json,
+            parallel.to_json().expect("serializes"),
+            "jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn parallel_run_with_isolated_table_matches_shared() {
+    let modules = asset_modules();
+    let shared = Pipeline::new(builtin::nmos25());
+    let isolated =
+        Pipeline::new(builtin::nmos25()).with_prob_table(Arc::new(ProbTable::new()));
+    let a = shared.run_all(modules.iter()).expect("estimates");
+    let b = isolated
+        .run_all_parallel(modules.iter(), 4)
+        .expect("estimates");
+    assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+}
+
+#[test]
+fn results_db_json_round_trips_after_parallel_run() {
+    let modules = asset_modules();
+    let pipeline = Pipeline::new(builtin::nmos25());
+    let db = pipeline
+        .run_all_parallel(modules.iter(), 8)
+        .expect("estimates");
+    let json = db.to_json().expect("serializes");
+    let back = ResultsDb::from_json(&json).expect("parses back");
+    assert_eq!(json, back.to_json().expect("re-serializes"));
+}
+
+#[test]
+fn shared_occupancy_matches_fresh_on_asset_net_sizes() {
+    // Every (rows, D) pair the asset batch actually queries must come
+    // back digit-for-digit equal to a fresh computation.
+    let table = ProbTable::shared();
+    for module in asset_modules() {
+        let Ok(stats) =
+            NetlistStats::resolve(&module, &builtin::nmos25(), LayoutStyle::StandardCell)
+        else {
+            continue;
+        };
+        for rows in ROW_SWEEP {
+            for (d, _) in stats.net_sizes().iter() {
+                let d = (d as u32).clamp(1, prob::MAX_COMPONENTS);
+                let cached = table.occupancy(rows, d);
+                let fresh = RowOccupancy::new(rows, d);
+                let cached_bits: Vec<u64> =
+                    cached.probabilities().iter().map(|p| p.to_bits()).collect();
+                let fresh_bits: Vec<u64> =
+                    fresh.probabilities().iter().map(|p| p.to_bits()).collect();
+                assert_eq!(cached_bits, fresh_bits, "rows={rows} d={d}");
+            }
+        }
+    }
+}

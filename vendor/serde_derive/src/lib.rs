@@ -1,0 +1,422 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! The offline build environment has neither `syn` nor `quote`, so the
+//! input item is parsed directly from the `proc_macro::TokenStream` and
+//! the impl is emitted as a formatted string. Supported shapes — exactly
+//! the ones this workspace uses:
+//!
+//! * named-field structs (fields may carry `#[serde(default)]`);
+//! * newtype structs (serialized transparently, matching real serde's
+//!   newtype behavior, so `#[serde(transparent)]` is accepted and
+//!   redundant);
+//! * tuple structs (as arrays);
+//! * enums with unit variants (as strings) and newtype variants (as
+//!   single-key objects) — real serde's externally-tagged format.
+//!
+//! Generics, struct variants and lifetimes are rejected with a panic at
+//! expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// True if this bracket-group attribute body is `serde(...)` containing
+/// the given flag ident.
+fn serde_attr_has_flag(body: &TokenStream, flag: &str) -> bool {
+    let mut tokens = body.clone().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == flag)),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes (`#[...]`) from position `i`; returns the
+/// new position and whether any was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                // Inner attribute marker `!` never appears on derive input
+                // items, but tolerate it.
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if serde_attr_has_flag(&g.stream(), "default") {
+                            has_default = true;
+                        }
+                        i += 1;
+                    }
+                    _ => panic!("serde_derive: malformed attribute"),
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, has_default)
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Counts top-level comma-separated entries in a tuple-struct body,
+/// tracking `<…>` nesting (parens/brackets/braces arrive as atomic
+/// groups, but angle brackets are plain puncts).
+fn tuple_arity(body: &TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for t in body.clone() {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    if !saw_tokens {
+        return 0;
+    }
+    // `(A, B)` has one comma, two fields; a trailing comma adds none
+    // because the final field's tokens follow it only when non-trailing.
+    let trailing = matches!(
+        body.clone().into_iter().last(),
+        Some(TokenTree::Punct(p)) if p.as_char() == ','
+    );
+    if trailing {
+        arity
+    } else {
+        arity + 1
+    }
+}
+
+fn parse_named_fields(body: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let (next, has_default) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: everything up to the next comma outside `<…>`.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+fn parse_variants(body: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let mut newtype = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match tuple_arity(&g.stream()) {
+                    1 => newtype = true,
+                    n => panic!(
+                        "serde_derive: variant `{name}` has {n} fields; only unit and \
+                         newtype variants are supported"
+                    ),
+                }
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive: struct variant `{name}` is not supported")
+            }
+            _ => {}
+        }
+        // Skip an explicit discriminant and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, newtype });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (i, _) = skip_attrs(&tokens, 0);
+    let mut i = skip_vis(&tokens, i);
+    let item_kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported");
+        }
+    }
+    let kind = match item_kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match tuple_arity(&g.stream()) {
+                    0 => Kind::UnitStruct,
+                    n => Kind::TupleStruct(n),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g.stream()))
+            }
+            other => panic!("serde_derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))",
+                        f = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Kind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_owned(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    if v.newtype {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::Value::Object(vec![(String::from(\
+                             \"{v}\"), ::serde::Serialize::to_value(inner))]),",
+                            v = v.name
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => ::serde::Value::Str(String::from(\"{v}\")),",
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.has_default {
+                        "::core::default::Default::default()".to_owned()
+                    } else {
+                        format!(
+                            "return Err(::serde::DeError::missing(\"{name}\", \"{f}\"))",
+                            f = f.name
+                        )
+                    };
+                    format!(
+                        "{f}: match ::serde::find_field(fields, \"{f}\") {{\n\
+                         Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                         None => {missing},\n\
+                         }},",
+                        f = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let fields = match v {{\n\
+                 ::serde::Value::Object(f) => f,\n\
+                 _ => return Err(::serde::DeError::expected(\"object for `{name}`\", v)),\n\
+                 }};\n\
+                 Ok({name} {{ {} }})",
+                entries.join("\n")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => \
+                 Ok({name}({entries})),\n\
+                 _ => Err(::serde::DeError::expected(\"{n}-element array for `{name}`\", v)),\n\
+                 }}",
+                entries = entries.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("{{ let _ = v; Ok({name}) }}"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !v.newtype)
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),", v = v.name))
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.newtype)
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(\
+                         &fields[0].1)?)),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit}\n\
+                 _ => Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{s}}` of `{name}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(fields) if fields.len() == 1 => \
+                 match fields[0].0.as_str() {{\n\
+                 {newtype}\n\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }},\n\
+                 _ => Err(::serde::DeError::expected(\"variant of `{name}`\", v)),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                newtype = newtype_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl parses")
+}
