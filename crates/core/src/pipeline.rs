@@ -19,8 +19,9 @@ use std::sync::{Arc, Mutex};
 
 use maestro_netlist::{mnl, LayoutStyle, Module, NetlistError, NetlistStats};
 use maestro_tech::ProcessDb;
+use maestro_trace as trace;
 
-use crate::prob::ProbTable;
+use crate::prob::{CacheStats, ProbTable};
 use crate::report::{EstimateRecord, ResultsDb};
 use crate::standard_cell::ScParams;
 use crate::{full_custom, standard_cell};
@@ -76,11 +77,18 @@ impl Pipeline {
     /// resolves under *neither* style — a module that fits one table is
     /// fine.
     pub fn run_module(&self, module: &Module) -> Result<EstimateRecord, NetlistError> {
+        let _module_span = trace::span_with("pipeline.module", || module.name().to_owned());
+        trace::counter("estimate.nets", module.net_count() as u64);
         let (sc, sc_candidates) =
             match NetlistStats::resolve(module, &self.tech, LayoutStyle::StandardCell) {
                 Ok(stats) if stats.device_count() > 0 => {
-                    let primary =
-                        standard_cell::estimate_using(&stats, &self.tech, &self.sc_params, &self.prob);
+                    let _sc_span = trace::span("estimate.standard_cell");
+                    let primary = standard_cell::estimate_using(
+                        &stats,
+                        &self.tech,
+                        &self.sc_params,
+                        &self.prob,
+                    );
                     let candidates = crate::multi_aspect::sc_candidates_using(
                         &stats,
                         &self.tech,
@@ -93,6 +101,7 @@ impl Pipeline {
             };
         let fc = match NetlistStats::resolve(module, &self.tech, LayoutStyle::FullCustom) {
             Ok(stats) if stats.device_count() > 0 => {
+                let _fc_span = trace::span("estimate.full_custom");
                 Some(full_custom::estimate(&stats, &self.tech))
             }
             _ => None,
@@ -136,11 +145,42 @@ impl Pipeline {
     where
         I: IntoIterator<Item = &'m Module>,
     {
+        let modules: Vec<&Module> = modules.into_iter().collect();
+        let _batch = trace::span_with("pipeline.run_all", || {
+            format!("serial modules={}", modules.len())
+        });
+        let before = self.prob_snapshot();
         let mut db = ResultsDb::new();
+        let mut outcome = Ok(());
         for m in modules {
-            db.insert(self.run_module(m)?);
+            match self.run_module(m) {
+                Ok(record) => db.insert(record),
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
         }
-        Ok(db)
+        self.emit_prob_delta(before);
+        outcome.map(|()| db)
+    }
+
+    /// Snapshot of the probability-table counters, taken only when a
+    /// trace sink is listening (the disabled path must not touch the
+    /// memo's lock).
+    fn prob_snapshot(&self) -> Option<CacheStats> {
+        trace::enabled().then(|| self.prob.stats())
+    }
+
+    /// Charges the hit/miss growth since `before` to the trace. Always
+    /// emits both counters (even at zero) so trace consumers see the
+    /// cache totals on runs that never query the table.
+    fn emit_prob_delta(&self, before: Option<CacheStats>) {
+        if let Some(before) = before {
+            let delta = self.prob.stats().delta_since(&before);
+            trace::counter("prob.hits", delta.hits);
+            trace::counter("prob.misses", delta.misses);
+        }
     }
 
     /// [`Pipeline::run_all`] fanned out over `jobs` worker threads.
@@ -157,7 +197,11 @@ impl Pipeline {
     /// As [`Pipeline::run_all`]: the error reported is the one the serial
     /// run would have hit first (the lowest-index failing module), even
     /// if a later module failed earlier in wall-clock time.
-    pub fn run_all_parallel<'m, I>(&self, modules: I, jobs: usize) -> Result<ResultsDb, NetlistError>
+    pub fn run_all_parallel<'m, I>(
+        &self,
+        modules: I,
+        jobs: usize,
+    ) -> Result<ResultsDb, NetlistError>
     where
         I: IntoIterator<Item = &'m Module>,
     {
@@ -166,19 +210,35 @@ impl Pipeline {
         if jobs <= 1 {
             return self.run_all(modules);
         }
+        let batch = trace::span_with("pipeline.run_all", || {
+            format!("jobs={jobs} modules={}", modules.len())
+        });
+        let batch_id = batch.id();
+        let before = self.prob_snapshot();
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<EstimateRecord, NetlistError>>>> =
             modules.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(module) = modules.get(i) else { break };
-                    let result = self.run_module(module);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+            for w in 0..jobs {
+                let (next, slots, modules) = (&next, &slots, &modules);
+                scope.spawn(move || {
+                    if trace::enabled() {
+                        trace::set_thread_label(format!("worker-{w}"));
+                    }
+                    // Worker spans parent to the batch span explicitly:
+                    // the spawning thread's span stack is not visible
+                    // from inside the worker thread.
+                    let _worker = trace::span_under("pipeline.worker", batch_id, String::new);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(module) = modules.get(i) else { break };
+                        let result = self.run_module(module);
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    }
                 });
             }
         });
+        self.emit_prob_delta(before);
         let mut db = ResultsDb::new();
         for slot in slots {
             let result = slot

@@ -214,6 +214,21 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+impl CacheStats {
+    /// Hit/miss growth since an `earlier` snapshot of the same table —
+    /// what a traced pipeline stage charges to itself. `entries` carries
+    /// the current level (it is not a monotonic counter). Saturates if
+    /// the snapshots are swapped.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            entries: self.entries,
+        }
+    }
+}
+
 /// The memoized Eq. 2–3 probability kernel.
 ///
 /// [`RowOccupancy::new`] rebuilds the surjection table and every binomial
@@ -303,7 +318,12 @@ impl ProbTable {
     fn entry(&self, rows: u32, components: u32) -> CachedDist {
         validate(rows, components);
         let k = rows.min(components);
-        if let Some(hit) = self.memo.read().expect("prob memo poisoned").get(&(rows, k)) {
+        if let Some(hit) = self
+            .memo
+            .read()
+            .expect("prob memo poisoned")
+            .get(&(rows, k))
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
@@ -645,10 +665,8 @@ mod tests {
                 let fresh = RowOccupancy::new(n, d);
                 assert_eq!(cached.rows(), fresh.rows());
                 assert_eq!(cached.components(), fresh.components());
-                let c_bits: Vec<u64> =
-                    cached.probabilities().iter().map(|p| p.to_bits()).collect();
-                let f_bits: Vec<u64> =
-                    fresh.probabilities().iter().map(|p| p.to_bits()).collect();
+                let c_bits: Vec<u64> = cached.probabilities().iter().map(|p| p.to_bits()).collect();
+                let f_bits: Vec<u64> = fresh.probabilities().iter().map(|p| p.to_bits()).collect();
                 assert_eq!(c_bits, f_bits, "n={n} d={d}");
                 assert_eq!(
                     table.expected_rows(n, d).to_bits(),

@@ -164,12 +164,7 @@ pub fn initial_rows(stats: &NetlistStats, tech: &ProcessDb, max_rows: u32) -> u3
 /// Everything in the §4.1 estimate downstream of the track count, shared
 /// by the cached and uncached paths so they differ only in where
 /// `Σ y_D·⌈E(D)⌉` comes from.
-fn assemble_estimate(
-    stats: &NetlistStats,
-    tech: &ProcessDb,
-    rows: u32,
-    tracks: u32,
-) -> ScEstimate {
+fn assemble_estimate(stats: &NetlistStats, tech: &ProcessDb, rows: u32, tracks: u32) -> ScEstimate {
     let feedthroughs = expected_feedthroughs(rows, stats.net_count());
 
     // Row length: W_av·N/n cell width plus E(M) feed-through columns.

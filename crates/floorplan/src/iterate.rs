@@ -70,6 +70,9 @@ pub struct IterationOutcome {
 pub fn converge(modules: &[ModuleTruth], tolerance: f64, params: &PlanParams) -> IterationOutcome {
     assert!(!modules.is_empty(), "need at least one module");
     assert!(tolerance > 0.0, "tolerance must be positive");
+    let _converge_span = maestro_trace::span_with("floorplan.converge", || {
+        format!("modules={} tolerance={tolerance}", modules.len())
+    });
 
     // Beliefs start at the estimates; fixed modules become hard blocks.
     let mut fixed = vec![false; modules.len()];
@@ -104,6 +107,7 @@ pub fn converge(modules: &[ModuleTruth], tolerance: f64, params: &PlanParams) ->
                 fixed[i] = true;
             }
             _ => {
+                maestro_trace::counter("floorplan.iterations", u64::from(iterations));
                 return IterationOutcome {
                     iterations,
                     area_history,

@@ -396,6 +396,8 @@ fn build_tree(blocks: &[Block], elems: &[Elem]) -> Tree {
 /// Panics if `blocks` is empty.
 pub fn floorplan(blocks: &[Block], params: &PlanParams) -> Floorplan {
     assert!(!blocks.is_empty(), "cannot floorplan zero blocks");
+    let _plan_span = maestro_trace::span("floorplan");
+    maestro_trace::counter("floorplan.blocks", blocks.len() as u64);
     // Initial expression: serpentine pairing like the synthesizer.
     let n = blocks.len();
     let per_row = (n as f64).sqrt().ceil() as usize;

@@ -5,6 +5,7 @@ use maestro_geom::{AspectRatio, Lambda, LambdaArea};
 use maestro_netlist::{DeviceId, LayoutStyle, Module, NetlistError, NetlistStats};
 use maestro_place::{anneal, AnnealSchedule, AnnealState};
 use maestro_tech::ProcessDb;
+use maestro_trace as trace;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -241,6 +242,8 @@ pub fn synthesize(
     if module.device_count() == 0 {
         return Err(NetlistError::invalid("cannot lay out an empty module"));
     }
+    let _synth_span = trace::span_with("fullcustom.synthesize", || module.name().to_owned());
+    trace::counter("fullcustom.devices", module.device_count() as u64);
     let stats = NetlistStats::resolve(module, tech, LayoutStyle::FullCustom)?;
     let tiles: Vec<(Lambda, Lambda)> = (0..module.device_count())
         .map(|i| {

@@ -1,0 +1,15 @@
+//! Regenerates `assets/table1.mnl`: the paper's Table 1 circuit suite as
+//! one multi-module `.mnl` design file, for CLI runs and bench smoke
+//! tests.
+//!
+//! ```sh
+//! cargo run -p maestro --example dump_table1 > assets/table1.mnl
+//! ```
+
+use maestro::netlist::{library_circuits, mnl};
+
+fn main() {
+    for module in library_circuits::table1_suite() {
+        print!("{}", mnl::to_mnl(&module));
+    }
+}

@@ -26,7 +26,10 @@ fn usage() -> &'static str {
      maestro-cli depth     <file.mnl>\n  \
      maestro-cli report    <file...> [--tech ...] [--aspect LIMIT] [--svg out.svg]\n  \
      maestro-cli layout    <file> [--tech ...] [--rows N] [--svg out.svg]\n  \
-     maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT] [--svg out.svg]"
+     maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT] [--svg out.svg]\n  \
+     maestro-cli perf-report <trace.jsonl> [--label NAME] [--out file.json]\n\n\
+     any command also accepts --trace <file.jsonl> to record a stage-level\n\
+     trace of the run (fold it with perf-report)."
 }
 
 fn load_tech(spec: &str) -> Result<ProcessDb, String> {
@@ -62,6 +65,9 @@ struct Options {
     jobs: usize,
     json: bool,
     svg: Option<String>,
+    trace: Option<String>,
+    label: Option<String>,
+    out: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -73,6 +79,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         jobs: 1,
         json: false,
         svg: None,
+        trace: None,
+        label: None,
+        out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -99,6 +108,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--json" => opts.json = true,
             "--svg" => {
                 opts.svg = Some(it.next().ok_or("--svg needs a path")?.clone());
+            }
+            "--trace" => {
+                opts.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
+            }
+            "--label" => {
+                opts.label = Some(it.next().ok_or("--label needs a value")?.clone());
+            }
+            "--out" => {
+                opts.out = Some(it.next().ok_or("--out needs a path")?.clone());
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             file => opts.files.push(file.to_owned()),
@@ -338,6 +356,38 @@ fn cmd_floorplan(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_perf_report(opts: &Options) -> Result<(), String> {
+    use maestro::trace::report::PerfReport;
+    let [path] = opts.files.as_slice() else {
+        return Err("perf-report takes exactly one trace file".to_owned());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let label = opts.label.as_deref().unwrap_or("run");
+    let report = PerfReport::from_trace(&text, label).map_err(|e| e.to_string())?;
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{label}.json"));
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    print!("{}", report.render());
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// Root span name for a traced command — static so span names stay a
+/// closed vocabulary for report consumers.
+fn root_span_name(cmd: &str) -> &'static str {
+    match cmd {
+        "estimate" => "cli.estimate",
+        "expand" => "cli.expand",
+        "depth" => "cli.depth",
+        "report" => "cli.report",
+        "layout" => "cli.layout",
+        "floorplan" => "cli.floorplan",
+        _ => "cli.command",
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -351,15 +401,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match cmd.as_str() {
-        "estimate" => cmd_estimate(&opts),
-        "expand" => cmd_expand(&opts),
-        "depth" => cmd_depth(&opts),
-        "report" => cmd_report(&opts),
-        "layout" => cmd_layout(&opts),
-        "floorplan" => cmd_floorplan(&opts),
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    if let Some(path) = &opts.trace {
+        match maestro::trace::JsonLines::create(path) {
+            Ok(sink) => maestro::trace::install(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!("error: cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let result = {
+        let _root = maestro::trace::span(root_span_name(cmd));
+        match cmd.as_str() {
+            "estimate" => cmd_estimate(&opts),
+            "expand" => cmd_expand(&opts),
+            "depth" => cmd_depth(&opts),
+            "report" => cmd_report(&opts),
+            "layout" => cmd_layout(&opts),
+            "floorplan" => cmd_floorplan(&opts),
+            "perf-report" => cmd_perf_report(&opts),
+            other => Err(format!("unknown command `{other}`\n{}", usage())),
+        }
     };
+    // Flush the trace file before exiting (drops the sink).
+    maestro::trace::uninstall();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

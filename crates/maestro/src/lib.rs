@@ -13,6 +13,7 @@
 //! | [`route`] | `maestro-route` | channel routing + layout assembly (TimberWolf stand-in) |
 //! | [`fullcustom`] | `maestro-fullcustom` | transistor-level layout synthesis (manual-layout stand-in) |
 //! | [`floorplan`] | `maestro-floorplan` | slicing floorplanner consuming the estimates |
+//! | [`trace`] | `maestro-trace` | stage-level observability: spans, counters, perf reports |
 //!
 //! # Quick start
 //!
@@ -45,6 +46,7 @@ pub use maestro_netlist as netlist;
 pub use maestro_place as place;
 pub use maestro_route as route;
 pub use maestro_tech as tech;
+pub use maestro_trace as trace;
 
 /// The most commonly used items in one import.
 pub mod prelude {

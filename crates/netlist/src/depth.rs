@@ -113,7 +113,11 @@ pub fn logic_depth(module: &Module) -> Result<DepthReport, NetlistError> {
             let candidate = if u_seq { 1 } else { depth[u] + 1 };
             let v_seq = is_sequential(module.device(DeviceId::new(v as u32)).template());
             // Paths *into* sequential sinks count the stages before them.
-            let candidate = if v_seq { candidate.saturating_sub(1).max(1) } else { candidate };
+            let candidate = if v_seq {
+                candidate.saturating_sub(1).max(1)
+            } else {
+                candidate
+            };
             if candidate > depth[v] {
                 depth[v] = candidate;
                 best_pred[v] = Some(u);
@@ -202,7 +206,11 @@ mod tests {
         b.device("ff", "DFF", [("D", d), ("CK", clk), ("Q", q)]);
         b.device("u2", "INV", [("A", q), ("Y", y)]);
         let report = logic_depth(&b.finish()).unwrap();
-        assert!(report.depth <= 2, "registers must break the path: {}", report.depth);
+        assert!(
+            report.depth <= 2,
+            "registers must break the path: {}",
+            report.depth
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! random move, report the new cost, and be able to revert exactly one
 //! applied move.
 
+use maestro_trace as trace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -104,6 +105,18 @@ pub fn anneal<S: AnnealState>(state: &mut S, schedule: &AnnealSchedule, seed: u6
         "cooling factor {} outside (0, 1)",
         schedule.cooling
     );
+    let _anneal_span = trace::span_with("anneal", || {
+        format!(
+            "rounds={} moves_per_round={}",
+            schedule.rounds, schedule.moves_per_round
+        )
+    });
+    trace::metric("anneal.temp_initial", schedule.initial_temp);
+    // Acceptance tallies accumulate in locals and emit once at the end:
+    // the Metropolis loop is the hot path and must not pay a per-move
+    // trace call even when a sink is listening.
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut temp = schedule.initial_temp.max(1e-9);
     let mut current = state.cost();
@@ -115,12 +128,14 @@ pub fn anneal<S: AnnealState>(state: &mut S, schedule: &AnnealSchedule, seed: u6
             let delta = new - current;
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
             if accept {
+                accepted += 1;
                 current = new;
                 if new < best_cost {
                     best_cost = new;
                     best = state.clone();
                 }
             } else {
+                rejected += 1;
                 state.revert();
             }
         }
@@ -132,12 +147,14 @@ pub fn anneal<S: AnnealState>(state: &mut S, schedule: &AnnealSchedule, seed: u6
     for _ in 0..greedy_moves {
         let new = state.propose_and_apply(&mut rng);
         if new < current {
+            accepted += 1;
             current = new;
             if new < best_cost {
                 best_cost = new;
                 best = state.clone();
             }
         } else {
+            rejected += 1;
             state.revert();
         }
     }
@@ -150,12 +167,18 @@ pub fn anneal<S: AnnealState>(state: &mut S, schedule: &AnnealSchedule, seed: u6
         for _ in 0..schedule.moves_per_round {
             let new = state.propose_and_apply(&mut rng);
             if new < current {
+                accepted += 1;
                 current = new;
             } else {
+                rejected += 1;
                 state.revert();
             }
         }
     }
+    trace::counter("anneal.rounds", schedule.rounds as u64);
+    trace::counter("anneal.accepted", accepted);
+    trace::counter("anneal.rejected", rejected);
+    trace::metric("anneal.temp_final", temp);
     current
 }
 

@@ -346,6 +346,7 @@ pub fn place(
     if params.rows == 0 {
         return Err(NetlistError::invalid("row count must be positive"));
     }
+    let _place_span = maestro_trace::span_with("place", || module.name().to_owned());
     // Resolve templates (errors early, uniform with the estimator).
     let stats = NetlistStats::resolve(module, tech, LayoutStyle::StandardCell)?;
     let widths: Vec<Lambda> = (0..module.device_count())

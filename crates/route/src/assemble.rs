@@ -2,6 +2,7 @@
 
 use maestro_geom::{AspectRatio, Lambda, LambdaArea};
 use maestro_place::PlacedModule;
+use maestro_trace as trace;
 use serde::{Deserialize, Serialize};
 
 use crate::channel::{build_channels, ChannelProblem};
@@ -153,6 +154,7 @@ pub fn render_svg(placed: &PlacedModule, routed: &RoutedModule) -> String {
 
 /// Routes every channel of a placed module and assembles the real layout.
 pub fn route(placed: &PlacedModule) -> RoutedModule {
+    let _route_span = trace::span_with("route", || placed.module_name().to_owned());
     let problems: Vec<ChannelProblem> = build_channels(placed);
     let channels: Vec<RoutedChannel> = problems
         .iter()
@@ -164,6 +166,10 @@ pub fn route(placed: &PlacedModule) -> RoutedModule {
     let total_tracks = channels.iter().map(|c| c.result.track_count).sum();
     let total_doglegs = channels.iter().map(|c| c.result.doglegs).sum();
     let total_violations = channels.iter().map(|c| c.result.violations).sum();
+    trace::counter("route.channels", channels.len() as u64);
+    trace::counter("route.tracks", u64::from(total_tracks));
+    trace::counter("route.doglegs", u64::from(total_doglegs));
+    trace::counter("route.violations", u64::from(total_violations));
     let rows = placed.rows().len() as u32;
     let height = placed.row_height() * rows as i64 + placed.track_pitch() * total_tracks as i64;
     RoutedModule {

@@ -1,0 +1,559 @@
+//! Folding a JSON-lines trace into a per-stage timing summary — the
+//! machine-readable `BENCH_<label>.json` perf-trajectory artifact.
+//!
+//! The reader is a deliberately small parser for the flat single-object
+//! lines this crate's [`Event::to_json_line`] emits (it tolerates unknown
+//! keys and arbitrary key order, rejects anything structurally deeper).
+
+use std::collections::BTreeMap;
+
+use crate::event::format_f64;
+use crate::Event;
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number within the trace.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+}
+
+/// Parses one flat JSON object (`{"key":"str","key2":123,…}`) into its
+/// fields. Returns an error message on structural problems.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut chars = line.trim().char_indices().peekable();
+    let text = line.trim();
+    let mut fields = Vec::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+        while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<String, String> {
+        match chars.next() {
+            Some((_, '"')) => {}
+            other => return Err(format!("expected string, found {other:?}")),
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + h.to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit `{h}` in \\u escape"))?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some((_, c)) => out.push(c),
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err("expected `{`".to_owned()),
+    }
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ':')) => {}
+                other => return Err(format!("expected `:` after key, found {other:?}")),
+            }
+            skip_ws(&mut chars);
+            let value = match chars.peek() {
+                Some((_, '"')) => Value::Str(parse_string(&mut chars)?),
+                Some(&(start, c)) if c == '-' || c.is_ascii_digit() => {
+                    let mut end = start;
+                    while let Some(&(i, c)) = chars.peek() {
+                        if c == '-'
+                            || c == '+'
+                            || c == '.'
+                            || c == 'e'
+                            || c == 'E'
+                            || c.is_ascii_digit()
+                        {
+                            end = i + c.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let number = &text[start..end];
+                    Value::Num(
+                        number
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad number `{number}`"))?,
+                    )
+                }
+                other => return Err(format!("unsupported value start {other:?}")),
+            };
+            fields.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => break,
+                other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some((_, c)) = chars.next() {
+        return Err(format!("trailing content starting at `{c}`"));
+    }
+    Ok(fields)
+}
+
+fn field<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn str_field(fields: &[(String, Value)], key: &str) -> Result<String, String> {
+    match field(fields, key) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(Value::Num(_)) => Err(format!("field `{key}` must be a string")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn u64_field(fields: &[(String, Value)], key: &str) -> Result<u64, String> {
+    match field(fields, key) {
+        Some(Value::Num(n)) if *n >= 0.0 => Ok(*n as u64),
+        Some(_) => Err(format!("field `{key}` must be a non-negative number")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn f64_field(fields: &[(String, Value)], key: &str) -> Result<f64, String> {
+    match field(fields, key) {
+        Some(Value::Num(n)) => Ok(*n),
+        Some(Value::Str(_)) => Err(format!("field `{key}` must be a number")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+/// Parses one JSON-lines trace event.
+///
+/// # Errors
+///
+/// Returns the structural or schema problem as a message (the caller adds
+/// the line number).
+pub fn parse_event(line: &str) -> Result<Event, String> {
+    let fields = parse_flat_object(line)?;
+    match str_field(&fields, "type")?.as_str() {
+        "span" => Ok(Event::Span {
+            id: u64_field(&fields, "id")?,
+            parent: u64_field(&fields, "parent")?,
+            name: str_field(&fields, "name")?,
+            detail: str_field(&fields, "detail").unwrap_or_default(),
+            thread: str_field(&fields, "thread")?,
+            start_us: u64_field(&fields, "start_us")?,
+            dur_us: u64_field(&fields, "dur_us")?,
+        }),
+        "counter" => Ok(Event::Counter {
+            name: str_field(&fields, "name")?,
+            value: u64_field(&fields, "value")?,
+            thread: str_field(&fields, "thread")?,
+        }),
+        "metric" => Ok(Event::Metric {
+            name: str_field(&fields, "name")?,
+            value: f64_field(&fields, "value")?,
+            thread: str_field(&fields, "thread")?,
+        }),
+        other => Err(format!("unknown event type `{other}`")),
+    }
+}
+
+/// Parses a whole JSON-lines trace (blank lines ignored).
+///
+/// # Errors
+///
+/// Returns the first malformed line as a [`ParseError`].
+pub fn parse_trace(text: &str) -> Result<Vec<Event>, ParseError> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            parse_event(line).map_err(|message| ParseError {
+                line: i + 1,
+                message,
+            })
+        })
+        .collect()
+}
+
+/// Aggregated timing of one stage (all spans sharing a name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Stage (span) name.
+    pub name: String,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Σ span durations (µs); nested stages are counted in their parents
+    /// too, so totals across stages can exceed the wall clock.
+    pub total_us: u64,
+    /// Σ self time (µs): duration minus the durations of direct child
+    /// spans. Self times partition the trace, so `Σ self_us` over all
+    /// stages equals the wall clock (modulo µs truncation and idle gaps).
+    pub self_us: u64,
+}
+
+/// The folded per-stage view of one trace run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Run label (`pr2` → `BENCH_pr2.json`).
+    pub label: String,
+    /// Wall clock of the traced run: latest span end − earliest span
+    /// start (µs).
+    pub wall_us: u64,
+    /// Σ self time over every stage (µs). Equals `wall_us` for a serial
+    /// run; exceeds it when workers overlap on multiple cores.
+    pub work_us: u64,
+    /// Stages, largest self time first.
+    pub stages: Vec<StageSummary>,
+    /// Counter sums by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Metrics by name (last value wins).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Folds parsed events into a [`PerfReport`].
+pub fn fold(events: &[Event], label: &str) -> PerfReport {
+    let mut child_dur: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut min_start = u64::MAX;
+    let mut max_end = 0u64;
+    for event in events {
+        if let Event::Span {
+            parent,
+            start_us,
+            dur_us,
+            ..
+        } = event
+        {
+            *child_dur.entry(*parent).or_default() += dur_us;
+            min_start = min_start.min(*start_us);
+            max_end = max_end.max(start_us + dur_us);
+        }
+    }
+
+    let mut stages: BTreeMap<String, StageSummary> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
+    let mut work_us = 0u64;
+    for event in events {
+        match event {
+            Event::Span {
+                id, name, dur_us, ..
+            } => {
+                // Self time saturates at zero: a parent that merely waits
+                // on faster cross-thread children can be "covered" by
+                // them (multi-core overlap).
+                let self_us = dur_us.saturating_sub(child_dur.get(id).copied().unwrap_or(0));
+                work_us += self_us;
+                let entry = stages.entry(name.clone()).or_insert_with(|| StageSummary {
+                    name: name.clone(),
+                    count: 0,
+                    total_us: 0,
+                    self_us: 0,
+                });
+                entry.count += 1;
+                entry.total_us += dur_us;
+                entry.self_us += self_us;
+            }
+            Event::Counter { name, value, .. } => {
+                *counters.entry(name.clone()).or_default() += value;
+            }
+            Event::Metric { name, value, .. } => {
+                metrics.insert(name.clone(), *value);
+            }
+        }
+    }
+    let mut stages: Vec<StageSummary> = stages.into_values().collect();
+    stages.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+    PerfReport {
+        label: label.to_owned(),
+        wall_us: max_end.saturating_sub(if min_start == u64::MAX { 0 } else { min_start }),
+        work_us,
+        stages,
+        counters,
+        metrics,
+    }
+}
+
+impl PerfReport {
+    /// Parses and folds a JSON-lines trace in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first malformed line as a [`ParseError`].
+    pub fn from_trace(text: &str, label: &str) -> Result<PerfReport, ParseError> {
+        Ok(fold(&parse_trace(text)?, label))
+    }
+
+    /// Serializes the report as pretty-printed JSON — the
+    /// `BENCH_<label>.json` artifact CI diffs across PRs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"label\": \"{}\",\n", self.label));
+        out.push_str(&format!("  \"wall_us\": {},\n", self.wall_us));
+        out.push_str(&format!("  \"work_us\": {},\n", self.work_us));
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            let comma = if i + 1 < self.stages.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"count\": {}, \"total_us\": {}, \"self_us\": {}}}{comma}\n",
+                s.name, s.count, s.total_us, s.self_us
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"counters\": {\n");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            out.push_str(&format!("    \"{name}\": {value}{comma}\n"));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"metrics\": {\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            out.push_str(&format!("    \"{name}\": {}{comma}\n", format_f64(*value)));
+        }
+        out.push_str("  }\n");
+        out.push('}');
+        out
+    }
+
+    /// A terminal-friendly stage table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf report `{}`: wall {} µs, work {} µs",
+            self.label, self.wall_us, self.work_us
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7} {:>12} {:>12} {:>7}",
+            "stage", "count", "total µs", "self µs", "self %"
+        );
+        for s in &self.stages {
+            let share = if self.wall_us > 0 {
+                s.self_us as f64 / self.wall_us as f64 * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>7} {:>12} {:>12} {share:>6.1}%",
+                s.name, s.count, s.total_us, s.self_us
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<30} {value}");
+            }
+        }
+        if !self.metrics.is_empty() {
+            let _ = writeln!(out, "metrics:");
+            for (name, value) in &self.metrics {
+                let _ = writeln!(out, "  {name:<30} {value}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, name: &str, start_us: u64, dur_us: u64) -> Event {
+        Event::Span {
+            id,
+            parent,
+            name: name.to_owned(),
+            detail: String::new(),
+            thread: "main".to_owned(),
+            start_us,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn events_roundtrip_through_json_lines() {
+        let events = vec![
+            span(2, 1, "inner \"quoted\"", 5, 10),
+            Event::Counter {
+                name: "c".to_owned(),
+                value: 42,
+                thread: "worker-1".to_owned(),
+            },
+            Event::Metric {
+                name: "m".to_owned(),
+                value: -1.25,
+                thread: "main".to_owned(),
+            },
+        ];
+        for event in events {
+            let line = event.to_json_line();
+            let parsed = parse_event(&line).expect("parses");
+            assert_eq!(parsed, event, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn parser_tolerates_key_reordering_and_unknown_keys() {
+        let line = "{\"value\":3,\"future_key\":\"x\",\"thread\":\"t\",\
+                    \"name\":\"c\",\"type\":\"counter\"}";
+        let event = parse_event(line).expect("parses");
+        assert_eq!(
+            event,
+            Event::Counter {
+                name: "c".to_owned(),
+                value: 3,
+                thread: "t".to_owned(),
+            }
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "not json",
+            "{\"type\":\"span\"}",
+            "{\"type\":\"mystery\",\"name\":\"x\",\"thread\":\"t\"}",
+            "{\"type\":\"counter\",\"name\":\"c\",\"value\":\"NaN\",\"thread\":\"t\"}",
+            "{\"type\":\"counter\",\"name\":\"c\",\"value\":1,\"thread\":\"t\"} trailing",
+        ] {
+            assert!(parse_event(bad).is_err(), "accepted: {bad}");
+        }
+        let err = parse_trace(
+            "{\"type\":\"counter\",\"name\":\"c\",\"value\":1,\"thread\":\"t\"}\nbroken",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn fold_partitions_self_time_under_nesting() {
+        // root (0..100) > a (10..40, dur 30) + b (50..90, dur 40).
+        let events = vec![
+            span(2, 1, "a", 10, 30),
+            span(3, 1, "b", 50, 40),
+            span(1, 0, "root", 0, 100),
+        ];
+        let report = fold(&events, "t");
+        assert_eq!(report.wall_us, 100);
+        assert_eq!(report.work_us, 100, "self times partition the wall clock");
+        let root = report.stages.iter().find(|s| s.name == "root").unwrap();
+        assert_eq!(root.total_us, 100);
+        assert_eq!(root.self_us, 30);
+        let a = report.stages.iter().find(|s| s.name == "a").unwrap();
+        assert_eq!((a.count, a.total_us, a.self_us), (1, 30, 30));
+    }
+
+    #[test]
+    fn fold_aggregates_counters_and_keeps_last_metric() {
+        let events = vec![
+            Event::Counter {
+                name: "hits".to_owned(),
+                value: 2,
+                thread: "a".to_owned(),
+            },
+            Event::Counter {
+                name: "hits".to_owned(),
+                value: 5,
+                thread: "b".to_owned(),
+            },
+            Event::Metric {
+                name: "temp".to_owned(),
+                value: 10.0,
+                thread: "a".to_owned(),
+            },
+            Event::Metric {
+                name: "temp".to_owned(),
+                value: 0.5,
+                thread: "a".to_owned(),
+            },
+        ];
+        let report = fold(&events, "t");
+        assert_eq!(report.counters.get("hits"), Some(&7));
+        assert_eq!(report.metrics.get("temp"), Some(&0.5));
+    }
+
+    #[test]
+    fn report_json_is_parseable_by_the_flat_parser() {
+        // Not a full JSON validator, but every leaf object in the report
+        // uses the same conventions; spot-check the stage lines.
+        let events = vec![span(1, 0, "root", 0, 10)];
+        let mut report = fold(&events, "pr2");
+        report.counters.insert("c".to_owned(), 3);
+        report.metrics.insert("m".to_owned(), 1.5);
+        let json = report.to_json();
+        assert!(json.contains("\"label\": \"pr2\""));
+        assert!(json.contains("\"wall_us\": 10"));
+        assert!(
+            json.contains("{\"name\": \"root\", \"count\": 1, \"total_us\": 10, \"self_us\": 10}")
+        );
+        assert!(json.contains("\"c\": 3"));
+        assert!(json.contains("\"m\": 1.5"));
+        let rendered = report.render();
+        assert!(rendered.contains("root"));
+    }
+
+    #[test]
+    fn multi_core_overlap_saturates_instead_of_underflowing() {
+        // A parent whose cross-thread children sum past its duration.
+        let events = vec![
+            span(2, 1, "w", 0, 80),
+            span(3, 1, "w", 0, 80),
+            span(1, 0, "root", 0, 100),
+        ];
+        let report = fold(&events, "t");
+        let root = report.stages.iter().find(|s| s.name == "root").unwrap();
+        assert_eq!(root.self_us, 0);
+        let w = report.stages.iter().find(|s| s.name == "w").unwrap();
+        assert_eq!(w.self_us, 160);
+    }
+}

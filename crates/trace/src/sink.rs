@@ -1,0 +1,223 @@
+//! Event sinks: the pluggable back half of the trace layer.
+
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::Event;
+
+/// A trace event consumer. Implementations must be cheap and
+/// thread-safe: events arrive from every instrumented thread.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered output; called by [`crate::uninstall`].
+    fn flush(&self) {}
+}
+
+/// A copy of one span event with struct-field access, for test
+/// assertions ([`Collector::spans`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span id.
+    pub id: u64,
+    /// Parent span id (0 = root).
+    pub parent: u64,
+    /// Stage name.
+    pub name: String,
+    /// Detail qualifier (may be empty).
+    pub detail: String,
+    /// Emitting thread's label.
+    pub thread: String,
+    /// Start offset (µs since trace epoch).
+    pub start_us: u64,
+    /// Duration (µs).
+    pub dur_us: u64,
+}
+
+/// In-memory sink for tests: keeps every event in arrival order and
+/// offers small aggregation helpers.
+#[derive(Debug, Default)]
+pub struct Collector {
+    events: Mutex<Vec<Event>>,
+    flushes: AtomicU64,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Every event recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("collector poisoned").clone()
+    }
+
+    /// The span events only, in arrival (= completion) order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Span {
+                    id,
+                    parent,
+                    name,
+                    detail,
+                    thread,
+                    start_us,
+                    dur_us,
+                } => Some(SpanRecord {
+                    id,
+                    parent,
+                    name,
+                    detail,
+                    thread,
+                    start_us,
+                    dur_us,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Span names in completion order.
+    pub fn span_names(&self) -> Vec<String> {
+        self.spans().into_iter().map(|s| s.name).collect()
+    }
+
+    /// Sum of all increments recorded for counter `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter { name: n, value, .. } if n == name => Some(*value),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of [`Sink::flush`] calls observed.
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+}
+
+impl Sink for Collector {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("collector poisoned")
+            .push(event.clone());
+    }
+
+    fn flush(&self) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// JSON-lines sink: one event per line in the schema pinned by
+/// [`Event::to_json_line`]. Backs the CLI's `--trace file.jsonl`.
+pub struct JsonLines<W: Write + Send> {
+    writer: Mutex<BufWriter<W>>,
+}
+
+impl<W: Write + Send> JsonLines<W> {
+    /// Wraps any writer (a `File`, a `Vec<u8>` in tests).
+    pub fn new(writer: W) -> Self {
+        JsonLines {
+            writer: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush error of the buffered writer.
+    pub fn into_inner(self) -> std::io::Result<W> {
+        self.writer
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .into_inner()
+            .map_err(|e| e.into_error())
+    }
+}
+
+impl JsonLines<std::fs::File> {
+    /// Creates (truncating) a JSON-lines trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(JsonLines::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> Sink for JsonLines<W> {
+    fn record(&self, event: &Event) {
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Trace output is best-effort: a full disk must not take the
+        // estimator down with it.
+        let _ = writeln!(writer, "{}", event.to_json_line());
+    }
+
+    fn flush(&self) {
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let _ = writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonLines::new(Vec::new());
+        sink.record(&Event::Counter {
+            name: "a".to_owned(),
+            value: 1,
+            thread: "t".to_owned(),
+        });
+        sink.record(&Event::Counter {
+            name: "b".to_owned(),
+            value: 2,
+            thread: "t".to_owned(),
+        });
+        let bytes = sink.into_inner().expect("flushes");
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"counter\",\"name\":\"a\""));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn collector_aggregates_counters() {
+        let c = Collector::new();
+        for v in [1u64, 2, 3] {
+            c.record(&Event::Counter {
+                name: "x".to_owned(),
+                value: v,
+                thread: "t".to_owned(),
+            });
+        }
+        c.record(&Event::Counter {
+            name: "y".to_owned(),
+            value: 100,
+            thread: "t".to_owned(),
+        });
+        assert_eq!(c.counter_total("x"), 6);
+        assert_eq!(c.counter_total("y"), 100);
+        assert_eq!(c.counter_total("absent"), 0);
+    }
+}

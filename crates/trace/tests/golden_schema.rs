@@ -1,0 +1,121 @@
+//! Golden snapshot of the JSON-lines trace schema.
+//!
+//! `--trace` output is a machine interface: the CI bench-smoke step, the
+//! `perf-report` folder, and any external tooling parse it. This test
+//! serializes a fixed set of events covering every variant and edge
+//! (detail omission, escaping, float formatting) and compares the lines
+//! byte-for-byte against the committed fixture, so any schema drift shows
+//! up as a reviewable diff.
+//!
+//! To regenerate after an intentional schema change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p maestro-trace --test golden_schema
+//! ```
+
+use std::path::PathBuf;
+
+use maestro_trace::report::parse_trace;
+use maestro_trace::Event;
+
+fn golden_path() -> PathBuf {
+    // Fixtures live with the workspace-level test suites, not the crate.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("../../tests/golden");
+    p.push("trace_events.jsonl");
+    p
+}
+
+/// A deterministic event set covering every variant and serialization
+/// edge. Timings are fixed values, not clock reads, so the fixture is
+/// stable.
+fn fixture_events() -> Vec<Event> {
+    vec![
+        Event::Span {
+            id: 1,
+            parent: 0,
+            name: "cli.estimate".to_owned(),
+            detail: String::new(),
+            thread: "main".to_owned(),
+            start_us: 0,
+            dur_us: 5000,
+        },
+        Event::Span {
+            id: 2,
+            parent: 1,
+            name: "pipeline.module".to_owned(),
+            detail: "counter_4".to_owned(),
+            thread: "worker-1".to_owned(),
+            start_us: 120,
+            dur_us: 4810,
+        },
+        Event::Span {
+            id: 3,
+            parent: 2,
+            name: "estimate.standard_cell".to_owned(),
+            detail: "quoted \"name\" and\ttab".to_owned(),
+            thread: "worker-1".to_owned(),
+            start_us: 130,
+            dur_us: 900,
+        },
+        Event::Counter {
+            name: "prob.hits".to_owned(),
+            value: 912,
+            thread: "worker-1".to_owned(),
+        },
+        Event::Counter {
+            name: "prob.misses".to_owned(),
+            value: 0,
+            thread: "worker-1".to_owned(),
+        },
+        Event::Metric {
+            name: "anneal.temp_final".to_owned(),
+            value: 0.35,
+            thread: "main".to_owned(),
+        },
+        Event::Metric {
+            name: "anneal.temp_initial".to_owned(),
+            value: 100.0,
+            thread: "main".to_owned(),
+        },
+    ]
+}
+
+fn render(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn trace_schema_matches_golden_fixture() {
+    let rendered = render(&fixture_events());
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("fixture dir");
+        std::fs::write(&path, &rendered).expect("fixture written");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, rendered,
+        "trace JSON-lines schema drifted from its committed fixture; \
+         adding keys is backwards-compatible (update the fixture), but \
+         removals and renames break perf-report and external consumers"
+    );
+}
+
+#[test]
+fn golden_fixture_parses_back_to_the_same_events() {
+    let events = fixture_events();
+    let reparsed = parse_trace(&render(&events)).expect("fixture parses");
+    assert_eq!(reparsed, events, "schema must round-trip losslessly");
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Bench smoke: the perf-trajectory artifact for CI.
+#
+#   ./scripts/bench_smoke.sh [label]      # default label: pr2
+#
+# Two cheap checks that keep the perf tooling honest without a full
+# criterion run:
+#
+#   1. `CRITERION_QUICK=1 cargo bench` — the vendored criterion's
+#      short-iteration mode (10 iters, 50 ms budget) exercises the
+#      estimator_scaling harness end to end, catching bench bitrot.
+#   2. A traced `estimate --jobs 4` over the Table 1 suite, folded by
+#      `perf-report` into BENCH_<label>.json — machine-readable per-stage
+#      totals that successive PRs can diff.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+LABEL="${1:-pr2}"
+
+echo "==> criterion smoke (CRITERION_QUICK=1, estimator_scaling)"
+CRITERION_QUICK=1 cargo bench -q -p maestro-bench --bench estimator_scaling
+
+echo "==> traced estimate over the Table 1 suite"
+cargo build --release -q -p maestro
+TRACE_FILE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
+trap 'rm -f "$TRACE_FILE"' EXIT
+./target/release/maestro-cli estimate assets/table1.mnl assets/counter4.mnl \
+    --jobs 4 --trace "$TRACE_FILE" > /dev/null
+
+echo "==> perf-report -> BENCH_${LABEL}.json"
+./target/release/maestro-cli perf-report "$TRACE_FILE" \
+    --label "$LABEL" --out "BENCH_${LABEL}.json"
+
+echo "==> bench smoke passed"

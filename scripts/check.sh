@@ -3,27 +3,39 @@
 #
 #   ./scripts/check.sh
 #
-# Runs the release build, the full test suite, and clippy (warnings are
-# errors) over the workspace. Golden-table fixtures are exercised by the
-# test step; regenerate intentionally-changed ones with
-# `UPDATE_GOLDEN=1 cargo test -p maestro-bench --test golden_tables`
+# Runs formatting, the release build, the full test suite (goldens in
+# verify-only mode), and clippy (warnings are errors) over the workspace.
+# Golden fixtures — the reproduced paper tables and the trace-event
+# schema — are compared byte-for-byte here; regenerate intentionally
+# changed ones with
+#   UPDATE_GOLDEN=1 cargo test -p maestro-bench --test golden_tables
+#   UPDATE_GOLDEN=1 cargo test -p maestro-trace --test golden_schema
 # and review the diff before re-running this gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+FIRST_PARTY=(
+    -p maestro -p maestro-geom -p maestro-tech -p maestro-netlist
+    -p maestro-estimator -p maestro-place -p maestro-route
+    -p maestro-fullcustom -p maestro-floorplan -p maestro-bench
+    -p maestro-trace
+)
+
+echo "==> cargo fmt (first-party crates) -- --check"
+# The vendored offline stand-ins under vendor/ are exempt from style
+# gates; every crate this repo owns must be rustfmt-clean.
+cargo fmt "${FIRST_PARTY[@]}" -- --check
+
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q (goldens verify-only)"
+# Drop UPDATE_GOLDEN if the caller's environment carries it: the gate
+# must *verify* fixtures, never silently rewrite them. Regeneration is a
+# deliberate, reviewed step (see header).
+env -u UPDATE_GOLDEN cargo test -q
 
 echo "==> cargo clippy (first-party crates) -- -D warnings"
-# The vendored offline stand-ins under vendor/ are exempt; every crate
-# this repo owns is linted with warnings as errors.
-cargo clippy --all-targets \
-    -p maestro -p maestro-geom -p maestro-tech -p maestro-netlist \
-    -p maestro-estimator -p maestro-place -p maestro-route \
-    -p maestro-fullcustom -p maestro-floorplan -p maestro-bench \
-    -- -D warnings
+cargo clippy --all-targets "${FIRST_PARTY[@]}" -- -D warnings
 
 echo "==> tier-1 gate passed"

@@ -6,7 +6,9 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use maestro::estimator::multi_aspect::{sc_candidates, sc_candidates_uncached, sc_candidates_using};
+use maestro::estimator::multi_aspect::{
+    sc_candidates, sc_candidates_uncached, sc_candidates_using,
+};
 use maestro::estimator::prob::{self, ProbTable, RowOccupancy};
 use maestro::estimator::standard_cell::{
     estimate_with_rows, estimate_with_rows_uncached, total_tracks_uncached, total_tracks_using,
@@ -126,7 +128,10 @@ fn aspect_sweep_shares_one_cache() {
     let again = sc_candidates_using(&stats, &tech, 5, &table);
     assert_eq!(again, isolated);
     let second = table.stats();
-    assert_eq!(second.misses, first.misses, "warm sweep recomputed: {second:?}");
+    assert_eq!(
+        second.misses, first.misses,
+        "warm sweep recomputed: {second:?}"
+    );
     assert!(second.hits > first.hits, "warm sweep bypassed the cache");
 }
 
@@ -153,8 +158,7 @@ fn parallel_run_all_is_byte_identical_to_serial_on_assets() {
 fn parallel_run_with_isolated_table_matches_shared() {
     let modules = asset_modules();
     let shared = Pipeline::new(builtin::nmos25());
-    let isolated =
-        Pipeline::new(builtin::nmos25()).with_prob_table(Arc::new(ProbTable::new()));
+    let isolated = Pipeline::new(builtin::nmos25()).with_prob_table(Arc::new(ProbTable::new()));
     let a = shared.run_all(modules.iter()).expect("estimates");
     let b = isolated
         .run_all_parallel(modules.iter(), 4)

@@ -133,7 +133,11 @@ fn report_renders_markdown_with_floorplan() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("# maestro design report"), "{text}");
     assert!(text.contains("shape candidates"), "{text}");
@@ -176,6 +180,136 @@ fn layout_svg_flag_writes_a_drawing() {
     );
     let svg = std::fs::read_to_string(&path).expect("svg written");
     assert!(svg.starts_with("<svg") && svg.contains("<rect"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn estimate_trace_writes_parseable_jsonl_with_stage_spans() {
+    let dir = std::env::temp_dir().join("maestro-cli-trace-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("run.jsonl");
+    let out = cli()
+        .args([
+            "estimate",
+            &asset("table1.mnl"),
+            "--jobs",
+            "4",
+            "--trace",
+            &trace_path.to_string_lossy(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let events = maestro::trace::report::parse_trace(&text).expect("every line parses");
+    assert!(!events.is_empty());
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e {
+            maestro::trace::Event::Span { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    for expected in [
+        "cli.estimate",
+        "pipeline.run_all",
+        "pipeline.worker",
+        "pipeline.module",
+    ] {
+        assert!(
+            span_names.contains(&expected),
+            "missing {expected}: {span_names:?}"
+        );
+    }
+    // ProbTable counters are always present, even on a full-custom-only
+    // suite that never queries the cache.
+    for counter in ["prob.hits", "prob.misses"] {
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                maestro::trace::Event::Counter { name, .. } if name == counter
+            )),
+            "missing counter {counter}"
+        );
+    }
+    let _ = std::fs::remove_file(trace_path);
+}
+
+#[test]
+fn perf_report_folds_a_trace_into_bench_json() {
+    let dir = std::env::temp_dir().join("maestro-cli-perf-report-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("run.jsonl");
+    let bench_path = dir.join("BENCH_cli_test.json");
+    let run = cli()
+        .args([
+            "estimate",
+            &asset("table1.mnl"),
+            &asset("counter4.mnl"),
+            "--jobs",
+            "2",
+            "--trace",
+            &trace_path.to_string_lossy(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(run.status.success());
+    let out = cli()
+        .args([
+            "perf-report",
+            &trace_path.to_string_lossy(),
+            "--label",
+            "cli_test",
+            "--out",
+            &bench_path.to_string_lossy(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("perf report `cli_test`"), "{text}");
+
+    let json = std::fs::read_to_string(&bench_path).expect("bench json written");
+    assert!(json.contains("\"label\": \"cli_test\""), "{json}");
+    assert!(json.contains("cli.estimate"), "{json}");
+
+    // The acceptance bar: per-stage self times must account for the wall
+    // clock of the traced run to within 5 %.
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace readable");
+    let report =
+        maestro::trace::report::PerfReport::from_trace(&trace_text, "check").expect("trace parses");
+    let wall = report.wall_us as f64;
+    let work = report.work_us as f64;
+    assert!(wall > 0.0);
+    assert!(
+        (work - wall).abs() <= 0.05 * wall,
+        "stage self-times {work} µs vs wall {wall} µs drift beyond 5%"
+    );
+    let _ = std::fs::remove_file(trace_path);
+    let _ = std::fs::remove_file(bench_path);
+}
+
+#[test]
+fn perf_report_rejects_a_malformed_trace() {
+    let dir = std::env::temp_dir().join("maestro-cli-bad-trace-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bad.jsonl");
+    std::fs::write(&path, "this is not json\n").expect("written");
+    let out = cli()
+        .args(["perf-report", &path.to_string_lossy()])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("trace line 1"), "{err}");
     let _ = std::fs::remove_file(path);
 }
 
