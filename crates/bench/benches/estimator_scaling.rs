@@ -110,7 +110,13 @@ fn bench_batch(c: &mut Criterion) {
                     let rows = standard_cell::initial_rows(stats, &tech, MAX_ROWS);
                     let primary =
                         standard_cell::estimate_with_rows_using(stats, &tech, rows, &table);
-                    let sweep = sc_candidates_using(stats, &tech, DEFAULT_CANDIDATES, &table);
+                    let sweep = sc_candidates_using(
+                        stats,
+                        &tech,
+                        DEFAULT_CANDIDATES,
+                        &ScParams::default(),
+                        &table,
+                    );
                     (primary, sweep)
                 })
                 .collect::<Vec<_>>()

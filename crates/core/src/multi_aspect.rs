@@ -18,7 +18,7 @@ use maestro_tech::ProcessDb;
 
 use crate::full_custom::FcEstimate;
 use crate::prob::{ProbTable, MAX_ROWS};
-use crate::standard_cell::{estimate_with_rows_using, initial_rows, ScEstimate};
+use crate::standard_cell::{estimate_with_rows_using, initial_rows, ScEstimate, ScParams};
 
 /// Default number of candidates, the paper's "four or five".
 pub const DEFAULT_CANDIDATES: usize = 5;
@@ -34,10 +34,19 @@ pub const DEFAULT_CANDIDATES: usize = 5;
 ///
 /// Panics if the module has no devices or `count == 0`.
 pub fn sc_candidates(stats: &NetlistStats, tech: &ProcessDb, count: usize) -> Vec<ScEstimate> {
-    sc_candidates_using(stats, tech, count, &ProbTable::shared())
+    sc_candidates_using(
+        stats,
+        tech,
+        count,
+        &ScParams::default(),
+        &ProbTable::shared(),
+    )
 }
 
-/// [`sc_candidates`] against an explicit probability table.
+/// [`sc_candidates`] against explicit estimator parameters and an
+/// explicit probability table. The window centres on `params.rows` when
+/// set (instead of the §5 seed) and never exceeds `params.max_rows`, so
+/// a pipeline-level row override shifts the whole sweep.
 ///
 /// # Panics
 ///
@@ -46,9 +55,10 @@ pub fn sc_candidates_using(
     stats: &NetlistStats,
     tech: &ProcessDb,
     count: usize,
+    params: &ScParams,
     table: &ProbTable,
 ) -> Vec<ScEstimate> {
-    candidate_rows(stats, tech, count)
+    candidate_rows(stats, tech, count, params)
         .into_iter()
         .map(|n| estimate_with_rows_using(stats, tech, n, table))
         .collect()
@@ -66,24 +76,36 @@ pub fn sc_candidates_uncached(
     tech: &ProcessDb,
     count: usize,
 ) -> Vec<ScEstimate> {
-    candidate_rows(stats, tech, count)
+    candidate_rows(stats, tech, count, &ScParams::default())
         .into_iter()
         .map(|n| crate::standard_cell::estimate_with_rows_uncached(stats, tech, n))
         .collect()
 }
 
-/// The candidate row counts: a window of `count` row counts centred on the
-/// §5 seed, clamped, deduplicated and ascending.
-fn candidate_rows(stats: &NetlistStats, tech: &ProcessDb, count: usize) -> Vec<u32> {
+/// The candidate row counts: a window of `count` row counts centred on
+/// the resolved seed (`params.rows`, else §5), clamped to
+/// `1..=params.max_rows`, deduplicated and ascending.
+fn candidate_rows(
+    stats: &NetlistStats,
+    tech: &ProcessDb,
+    count: usize,
+    params: &ScParams,
+) -> Vec<u32> {
     assert!(count > 0, "need at least one candidate");
-    let seed = initial_rows(stats, tech, MAX_ROWS);
-    let half = (count / 2) as i64;
-    let mut rows: Vec<u32> = (-half..=half + (count as i64 + 1) % 2)
-        .map(|delta| (seed as i64 + delta).clamp(1, MAX_ROWS as i64) as u32)
+    let max_rows = params.max_rows.clamp(1, MAX_ROWS);
+    let seed = params
+        .rows
+        .map(|r| r.clamp(1, max_rows))
+        .unwrap_or_else(|| initial_rows(stats, tech, params.max_rows));
+    // Exactly `count` deltas centred on the seed (an even count's odd
+    // slot goes toward more rows), so no post-hoc truncation can skew
+    // the window.
+    let lo = seed as i64 - (count as i64 - 1) / 2;
+    let mut rows: Vec<u32> = (lo..lo + count as i64)
+        .map(|r| r.clamp(1, max_rows as i64) as u32)
         .collect();
     rows.sort_unstable();
     rows.dedup();
-    rows.truncate(count);
     rows
 }
 
@@ -177,6 +199,32 @@ mod tests {
             let a = p.area().get();
             let target = est.total_exact.get();
             assert!(a >= target && a <= target + 2 * (a as f64).sqrt() as i64 + 4);
+        }
+    }
+
+    #[test]
+    fn candidate_window_is_exact_for_all_counts() {
+        // Regression: even counts used to generate `count + 2` deltas
+        // and truncate asymmetrically. The window must hold exactly
+        // `count` row counts centred on the §5 seed whenever clamping
+        // doesn't intervene, and never more than `count`.
+        let tech = builtin::nmos25();
+        let stats = sc_stats(&generate::ripple_adder(4));
+        let seed = initial_rows(&stats, &tech, MAX_ROWS) as i64;
+        for count in 1..=8usize {
+            let rows = candidate_rows(&stats, &tech, count, &ScParams::default());
+            assert!(rows.len() <= count, "count {count} gave {rows:?}");
+            for w in rows.windows(2) {
+                assert!(w[0] < w[1], "count {count} not ascending: {rows:?}");
+            }
+            let lo = seed - (count as i64 - 1) / 2;
+            let hi = lo + count as i64 - 1;
+            if lo >= 1 && hi <= MAX_ROWS as i64 {
+                assert_eq!(rows.len(), count, "count {count} gave {rows:?}");
+                assert_eq!(rows[0] as i64, lo, "count {count} window {rows:?}");
+                assert_eq!(*rows.last().unwrap() as i64, hi);
+                assert!(rows.contains(&(seed as u32)));
+            }
         }
     }
 

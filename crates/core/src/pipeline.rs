@@ -93,6 +93,7 @@ impl Pipeline {
                         &stats,
                         &self.tech,
                         crate::multi_aspect::DEFAULT_CANDIDATES,
+                        &self.sc_params,
                         &self.prob,
                     );
                     (Some(primary), candidates)
@@ -318,6 +319,20 @@ mod tests {
         let p = Pipeline::new(builtin::nmos25()).with_sc_params(ScParams::with_rows(5));
         let rec = p.run_module(&generate::ripple_adder(4)).unwrap();
         assert_eq!(rec.standard_cell.unwrap().rows, 5);
+    }
+
+    #[test]
+    fn sc_params_override_recentres_the_candidate_sweep() {
+        // The multi-aspect sweep must follow the caller's row override,
+        // not the §5 seed: five candidates centred on rows = 5.
+        let p = Pipeline::new(builtin::nmos25()).with_sc_params(ScParams::with_rows(5));
+        let rec = p.run_module(&generate::ripple_adder(4)).unwrap();
+        let rows: Vec<u32> = rec
+            .standard_cell_candidates
+            .iter()
+            .map(|c| c.rows)
+            .collect();
+        assert_eq!(rows, vec![3, 4, 5, 6, 7]);
     }
 
     #[test]

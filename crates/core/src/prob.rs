@@ -50,7 +50,13 @@ pub const MAX_COMPONENTS: u32 = 256;
 
 /// Binomial coefficient C(n, k) as `f64`.
 ///
-/// Exact for all inputs the estimator reaches (n ≤ 64).
+/// Exact for `n ≤ 55`; beyond that the multiplicative loop accumulates
+/// rounding error faster than `.round()` can absorb (the first miss is
+/// `C(56, 23)`), so values up to [`MAX_ROWS`] can be off by a few units —
+/// a relative error below 1e-13, far inside the tolerance of the Eq. 2
+/// probabilities built from the ratios of these coefficients. The kernel
+/// is kept as-is because [`ProbTable`] goldens pin its exact bits; see
+/// `fast_binomial_exactness_bound_is_55` for the exhaustive cross-check.
 fn binomial(n: u32, k: u32) -> f64 {
     if k > n {
         return 0.0;
@@ -508,6 +514,50 @@ mod tests {
         assert_eq!(binomial(5, 5), 1.0);
         assert_eq!(binomial(3, 4), 0.0);
         assert_eq!(binomial(52, 5), 2_598_960.0);
+    }
+
+    #[test]
+    fn fast_binomial_exactness_bound_is_55() {
+        // Exhaustive cross-check of the f64 kernel against an exact u128
+        // computation over the estimator's whole domain (n ≤ MAX_ROWS).
+        // The multiplicative u128 loop is exact: after j steps `acc` holds
+        // C(n, j+1) · (j+1)! / (j+1)! — each division is by a product of
+        // consecutive integers that already divides the numerator.
+        fn exact_u128(n: u32, k: u32) -> u128 {
+            let k = k.min(n - k);
+            let mut acc: u128 = 1;
+            for j in 0..k {
+                acc = acc * (n - j) as u128 / (j + 1) as u128;
+            }
+            acc
+        }
+        let mut first_miss = None;
+        let mut max_abs = 0.0f64;
+        for n in 0..=MAX_ROWS {
+            for k in 0..=n {
+                let fast = binomial(n, k);
+                let exact = exact_u128(n, k) as f64;
+                let diff = (fast - exact).abs();
+                if n <= 55 {
+                    assert_eq!(
+                        fast, exact,
+                        "C({n},{k}) must be exact below the documented bound"
+                    );
+                } else if diff > 0.0 {
+                    first_miss.get_or_insert((n, k));
+                    max_abs = max_abs.max(diff);
+                    // Relative error stays negligible for Eq. 2 ratios.
+                    assert!(
+                        diff / exact < 1e-13,
+                        "C({n},{k}): fast={fast} exact={exact}"
+                    );
+                }
+            }
+        }
+        // The bound is tight: the kernel does diverge past 55, starting
+        // exactly where the doc says it does.
+        assert_eq!(first_miss, Some((56, 23)));
+        assert!(max_abs > 0.0);
     }
 
     #[test]

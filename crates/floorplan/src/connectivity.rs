@@ -129,6 +129,7 @@ struct OrderState<'a> {
     cached_cost: f64,
     cached_plan: Floorplan,
     undo: Option<UndoSwap>,
+    evals_full: u64,
 }
 
 #[derive(Clone)]
@@ -163,6 +164,10 @@ impl OrderState<'_> {
     }
 
     fn refresh(&mut self) {
+        // Every evaluation here is inherently "full": it runs a complete
+        // inner floorplan. Reverts restore the cached plan snapshot, so
+        // they cost nothing.
+        self.evals_full += 1;
         self.cached_plan = self.plan_for(&self.order);
         self.cached_cost = self.cost_of(&self.cached_plan, &self.order);
     }
@@ -199,6 +204,10 @@ impl AnnealState for OrderState<'_> {
         self.cached_cost = undo.prev_cost;
         self.cached_plan = undo.prev_plan;
     }
+
+    fn eval_counts(&self) -> (u64, u64) {
+        (self.evals_full, 0)
+    }
 }
 
 /// Floorplans `blocks` taking global connectivity into account. Returns
@@ -232,6 +241,7 @@ pub fn floorplan_connected(
         cached_cost: 0.0,
         cached_plan: floorplan(blocks, &params.inner),
         undo: None,
+        evals_full: 0,
     };
     state.refresh();
     if blocks.len() > 1 {

@@ -2,6 +2,7 @@
 //! shape-curve combination.
 
 use maestro_geom::{Lambda, LambdaArea, Point, Rect, ShapeCurve, ShapePoint};
+use maestro_place::postfix::{IncrementalPostfix, Tok};
 use maestro_place::{anneal, AnnealSchedule, AnnealState};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -168,6 +169,35 @@ enum Elem {
     Op(Cut),
 }
 
+/// How a [`PlanState`] recomputes its cost after a move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvalMode {
+    /// Recombine every shape curve on each move and each revert — the
+    /// original implementation, kept as the differential reference.
+    Full,
+    /// Recombine only the covering subtree's curves; reverts restore
+    /// journaled state.
+    Delta,
+}
+
+/// `elems` as abstract postfix tokens (vertical cut = op 0, matching the
+/// combine order in [`PlanState::root_curve`]).
+fn plan_tok(elems: &[Elem]) -> impl Fn(usize) -> Tok + '_ {
+    |i| match elems[i] {
+        Elem::Leaf(b) => Tok::Operand(b),
+        Elem::Op(Cut::Vertical) => Tok::Op(0),
+        Elem::Op(Cut::Horizontal) => Tok::Op(1),
+    }
+}
+
+fn plan_comb(op: u8, l: &ShapeCurve, r: &ShapeCurve) -> ShapeCurve {
+    if op == 0 {
+        l.beside(r)
+    } else {
+        l.stacked(r)
+    }
+}
+
 /// The annealing state over block Polish expressions. The evaluation
 /// combines full shape curves (Stockmeyer), so each expression's cost is
 /// the best achievable chip area over all block realizations.
@@ -176,8 +206,15 @@ struct PlanState<'b> {
     blocks: &'b [Block],
     elems: Vec<Elem>,
     aspect_limit: Option<f64>,
+    mode: EvalMode,
     cached_cost: f64,
+    /// Delta-mode incremental curve evaluation.
+    post: IncrementalPostfix<ShapeCurve>,
+    /// Pre-move cost snapshot for O(1) restore on revert.
+    snap_cost: f64,
     undo: Option<(usize, usize, bool)>, // (i, j, is_chain) — chain stores range
+    evals_full: u64,
+    evals_delta: u64,
 }
 
 impl PlanState<'_> {
@@ -216,9 +253,49 @@ impl PlanState<'_> {
         stack.pop().expect("valid expression")
     }
 
+    fn delta_cost(&self) -> f64 {
+        point_cost(
+            best_point(self.post.root_val(), self.aspect_limit),
+            self.aspect_limit,
+        )
+    }
+
     fn refresh(&mut self) {
-        let curve = self.root_curve();
-        self.cached_cost = point_cost(best_point(&curve, self.aspect_limit), self.aspect_limit);
+        self.evals_full += 1;
+        match self.mode {
+            EvalMode::Full => {
+                let curve = self.root_curve();
+                self.cached_cost =
+                    point_cost(best_point(&curve, self.aspect_limit), self.aspect_limit);
+            }
+            EvalMode::Delta => {
+                let blocks = self.blocks;
+                let elems = &self.elems;
+                self.post.rebuild(
+                    elems.len(),
+                    plan_tok(elems),
+                    |b| blocks[b as usize].curve().clone(),
+                    plan_comb,
+                );
+                self.cached_cost = self.delta_cost();
+            }
+        }
+    }
+
+    /// Delta re-evaluation after the expression changed within element
+    /// positions `lo..=hi`.
+    fn apply_delta(&mut self, lo: usize, hi: usize) {
+        self.evals_delta += 1;
+        let blocks = self.blocks;
+        let elems = &self.elems;
+        self.post.update(
+            plan_tok(elems),
+            |b| blocks[b as usize].curve().clone(),
+            plan_comb,
+            lo,
+            hi,
+        );
+        self.cached_cost = self.delta_cost();
     }
 }
 
@@ -293,7 +370,26 @@ impl AnnealState for PlanState<'_> {
                 }
             }
         }
-        self.refresh();
+        match self.mode {
+            EvalMode::Full => self.refresh(),
+            EvalMode::Delta => {
+                // Element-position span touched by the move: a chain
+                // `(s, e, true)` flipped elements `s..e` (empty ⇒ no-op),
+                // a swap `(i, j, false)` touched exactly `i` and `j`.
+                let span = match self.undo {
+                    Some((s, e, true)) if s == e => None,
+                    Some((s, e, true)) => Some((s, e - 1)),
+                    Some((i, j, false)) => Some((i.min(j), i.max(j))),
+                    None => unreachable!("undo set above"),
+                };
+                self.snap_cost = self.cached_cost;
+                match span {
+                    Some((lo, hi)) => self.apply_delta(lo, hi),
+                    // A following revert must be a no-op.
+                    None => self.post.clear_undo(),
+                }
+            }
+        }
         self.cached_cost
     }
 
@@ -310,7 +406,17 @@ impl AnnealState for PlanState<'_> {
                 self.elems.swap(i, j);
             }
         }
-        self.refresh();
+        match self.mode {
+            EvalMode::Full => self.refresh(),
+            EvalMode::Delta => {
+                self.post.revert();
+                self.cached_cost = self.snap_cost;
+            }
+        }
+    }
+
+    fn eval_counts(&self) -> (u64, u64) {
+        (self.evals_full, self.evals_delta)
     }
 }
 
@@ -395,6 +501,22 @@ fn build_tree(blocks: &[Block], elems: &[Elem]) -> Tree {
 ///
 /// Panics if `blocks` is empty.
 pub fn floorplan(blocks: &[Block], params: &PlanParams) -> Floorplan {
+    floorplan_with(blocks, params, EvalMode::Delta)
+}
+
+/// [`floorplan`] on the full-refresh reference path: every move and
+/// revert recombines every shape curve. Output is bit-identical to
+/// [`floorplan`]; kept for differential testing of the delta evaluator.
+///
+/// # Panics
+///
+/// Panics if `blocks` is empty.
+#[doc(hidden)]
+pub fn floorplan_full_refresh(blocks: &[Block], params: &PlanParams) -> Floorplan {
+    floorplan_with(blocks, params, EvalMode::Full)
+}
+
+fn floorplan_with(blocks: &[Block], params: &PlanParams, mode: EvalMode) -> Floorplan {
     assert!(!blocks.is_empty(), "cannot floorplan zero blocks");
     let _plan_span = maestro_trace::span("floorplan");
     maestro_trace::counter("floorplan.blocks", blocks.len() as u64);
@@ -418,12 +540,23 @@ pub fn floorplan(blocks: &[Block], params: &PlanParams) -> Floorplan {
         i = end;
     }
 
+    let post = IncrementalPostfix::build(
+        elems.len(),
+        plan_tok(&elems),
+        |b| blocks[b as usize].curve().clone(),
+        plan_comb,
+    );
     let mut state = PlanState {
         blocks,
         elems,
         aspect_limit: params.aspect_limit,
+        mode,
         cached_cost: 0.0,
+        post,
+        snap_cost: 0.0,
         undo: None,
+        evals_full: 0,
+        evals_delta: 0,
     };
     state.refresh();
     if n > 1 {
@@ -527,6 +660,28 @@ mod tests {
         let p1 = floorplan(&blocks, &PlanParams::quick());
         let p2 = floorplan(&blocks, &PlanParams::quick());
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn delta_matches_full_refresh() {
+        // The incremental curve evaluator must not change a single
+        // accept/reject decision: final floorplans are bit-identical.
+        let blocks = vec![
+            soft("a", 4000),
+            soft("b", 2500),
+            Block::hard("c", Lambda::new(80), Lambda::new(25)),
+            soft("d", 1200),
+            soft("e", 900),
+            soft("f", 3100),
+        ];
+        for params in [
+            PlanParams::quick(),
+            PlanParams::quick().with_aspect_limit(1.5),
+        ] {
+            let delta = floorplan(&blocks, &params);
+            let full = floorplan_full_refresh(&blocks, &params);
+            assert_eq!(delta, full);
+        }
     }
 
     #[test]

@@ -44,4 +44,4 @@ pub mod polish;
 pub mod synthesize;
 pub mod wiring;
 
-pub use synthesize::{synthesize, FcLayout, SynthesisParams};
+pub use synthesize::{synthesize, synthesize_full_refresh, FcLayout, SynthesisParams};

@@ -6,7 +6,8 @@
 //! the Wong–Liu move set explores the slicing-floorplan space without
 //! ever producing an invalid layout.
 
-use maestro_geom::{Lambda, LambdaArea, Rect};
+use maestro_geom::{Lambda, LambdaArea, Point, Rect};
+use maestro_place::postfix::{IncrementalPostfix, Tok, UpdateResult};
 use serde::{Deserialize, Serialize};
 
 /// A cut operator.
@@ -313,6 +314,282 @@ impl PolishExpr {
     pub fn unswap(&mut self, pair: (usize, usize)) {
         self.elems.swap(pair.0, pair.1);
     }
+
+    /// Builds an incremental evaluator for this expression — the
+    /// delta-update counterpart of [`PolishExpr::evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression is invalid or `tile_sizes` is shorter
+    /// than the tile count.
+    pub fn delta_eval(&self, tile_sizes: &[(Lambda, Lambda)]) -> DeltaEval {
+        assert!(
+            tile_sizes.len() >= self.rotated.len(),
+            "a size per tile is required"
+        );
+        let mut eval = DeltaEval {
+            post: IncrementalPostfix::build(
+                self.elems.len(),
+                tok_at(&self.elems),
+                leaf_at(self, tile_sizes),
+                combine,
+            ),
+            ox: Vec::new(),
+            oy: Vec::new(),
+            placements: Vec::new(),
+            changed_tiles: Vec::new(),
+            undo_origins: Vec::new(),
+            undo_placements: Vec::new(),
+            descent: Vec::new(),
+        };
+        eval.derive_all(self);
+        eval
+    }
+}
+
+/// `elems` as abstract postfix tokens (vertical cut = op 0).
+fn tok_at(elems: &[Elem]) -> impl Fn(usize) -> Tok + '_ {
+    |i| match elems[i] {
+        Elem::Tile(t) => Tok::Operand(t),
+        Elem::Op(Cut::Vertical) => Tok::Op(0),
+        Elem::Op(Cut::Horizontal) => Tok::Op(1),
+    }
+}
+
+/// Leaf dimensions under the expression's current rotation flags.
+fn leaf_at<'a>(
+    expr: &'a PolishExpr,
+    tile_sizes: &'a [(Lambda, Lambda)],
+) -> impl Fn(u32) -> (Lambda, Lambda) + 'a {
+    |t| {
+        let (w, h) = tile_sizes[t as usize];
+        if expr.rotated[t as usize] {
+            (h, w)
+        } else {
+            (w, h)
+        }
+    }
+}
+
+/// The slicing combine: identical arithmetic to [`PolishExpr::evaluate`].
+fn combine(op: u8, l: &(Lambda, Lambda), r: &(Lambda, Lambda)) -> (Lambda, Lambda) {
+    match op {
+        0 => (l.0 + r.0, l.1.max(r.1)),
+        _ => (l.0.max(r.0), l.1 + r.1),
+    }
+}
+
+/// An incrementally maintained evaluation of a [`PolishExpr`]: subtree
+/// dimensions plus absolute per-tile placements, updated per move in time
+/// proportional to the touched subtree. All arithmetic is integer
+/// ([`Lambda`]), so the maintained state is *bit-identical* to a fresh
+/// [`PolishExpr::evaluate`] of the same expression.
+///
+/// The owner applies a move to the expression, then calls
+/// [`DeltaEval::update`] with the touched element range; on rejection it
+/// undoes the move and calls [`DeltaEval::revert`].
+#[derive(Debug, Clone)]
+pub struct DeltaEval {
+    post: IncrementalPostfix<(Lambda, Lambda)>,
+    /// Absolute origin per expression position.
+    ox: Vec<Lambda>,
+    oy: Vec<Lambda>,
+    /// Placement per tile, kept in step with the origins.
+    placements: Vec<Rect>,
+    /// Tiles whose placement changed in the last update/rebuild.
+    changed_tiles: Vec<u32>,
+    // Undo journals for the placement layer (the parse/value journal
+    // lives inside `post`).
+    undo_origins: Vec<(u32, Lambda, Lambda)>,
+    undo_placements: Vec<(u32, Rect)>,
+    /// Descent scratch, kept to avoid per-move allocation.
+    descent: Vec<(u32, Lambda, Lambda)>,
+}
+
+impl DeltaEval {
+    /// Overall bounding width.
+    pub fn width(&self) -> Lambda {
+        self.post.root_val().0
+    }
+
+    /// Overall bounding height.
+    pub fn height(&self) -> Lambda {
+        self.post.root_val().1
+    }
+
+    /// Bounding-box area.
+    pub fn area(&self) -> LambdaArea {
+        self.width() * self.height()
+    }
+
+    /// Placement of each tile, indexed like the tile list.
+    pub fn placements(&self) -> &[Rect] {
+        &self.placements
+    }
+
+    /// Tiles re-placed by the most recent [`DeltaEval::update`] (or all
+    /// tiles after a build/rebuild).
+    pub fn changed_tiles(&self) -> &[u32] {
+        &self.changed_tiles
+    }
+
+    /// Current expression position of `tile`'s operand.
+    pub fn tile_pos(&self, tile: usize) -> usize {
+        self.post.operand_pos(tile as u32) as usize
+    }
+
+    /// Snapshots the evaluation in [`PolishExpr::evaluate`]'s format.
+    pub fn to_evaluated(&self) -> Evaluated {
+        Evaluated {
+            width: self.width(),
+            height: self.height(),
+            placements: self.placements.clone(),
+        }
+    }
+
+    /// Delta-updates after `expr` changed within element positions
+    /// `lo..=hi` (inclusive): recomputes the covering subtree's
+    /// dimensions, then re-derives origins only where they moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds for the expression.
+    pub fn update(
+        &mut self,
+        expr: &PolishExpr,
+        tile_sizes: &[(Lambda, Lambda)],
+        lo: usize,
+        hi: usize,
+    ) {
+        let result = self.post.update(
+            tok_at(&expr.elems),
+            leaf_at(expr, tile_sizes),
+            combine,
+            lo,
+            hi,
+        );
+        self.undo_origins.clear();
+        self.undo_placements.clear();
+        self.replace_from(expr, result);
+    }
+
+    /// Recomputes placements below `result.anchor`, skipping subtrees
+    /// whose origin is unchanged and whose span the move did not touch.
+    fn replace_from(&mut self, expr: &PolishExpr, result: UpdateResult) {
+        self.changed_tiles.clear();
+        let anchor = result.anchor;
+        let (s, e) = result.span;
+        self.descent.clear();
+        self.descent
+            .push((anchor, self.ox[anchor as usize], self.oy[anchor as usize]));
+        while let Some((p, x, y)) = self.descent.pop() {
+            let untouched = self.post.span_start(p) > e || p < s;
+            if untouched && self.ox[p as usize] == x && self.oy[p as usize] == y {
+                continue;
+            }
+            if self.ox[p as usize] != x || self.oy[p as usize] != y {
+                self.undo_origins
+                    .push((p, self.ox[p as usize], self.oy[p as usize]));
+                self.ox[p as usize] = x;
+                self.oy[p as usize] = y;
+            }
+            self.visit(expr, p, x, y);
+        }
+    }
+
+    /// Places a leaf or pushes an operator's children at their origins.
+    fn visit(&mut self, expr: &PolishExpr, p: u32, x: Lambda, y: Lambda) {
+        match expr.elems[p as usize] {
+            Elem::Tile(t) => {
+                let (w, h) = *self.post.val(p);
+                let rect = Rect::new(Point::new(x, y), w, h);
+                if self.placements[t as usize] != rect {
+                    self.undo_placements.push((t, self.placements[t as usize]));
+                    self.placements[t as usize] = rect;
+                    self.changed_tiles.push(t);
+                }
+            }
+            Elem::Op(cut) => {
+                let (l, r) = self.post.kids(p);
+                let ldim = *self.post.val(l);
+                match cut {
+                    Cut::Vertical => {
+                        self.descent.push((l, x, y));
+                        self.descent.push((r, x + ldim.0, y));
+                    }
+                    Cut::Horizontal => {
+                        self.descent.push((l, x, y));
+                        self.descent.push((r, x, y + ldim.1));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores the state before the most recent [`DeltaEval::update`];
+    /// the caller must already have undone the expression move. A no-op
+    /// when nothing was journaled.
+    pub fn revert(&mut self) {
+        self.post.revert();
+        for (p, x, y) in self.undo_origins.drain(..).rev() {
+            self.ox[p as usize] = x;
+            self.oy[p as usize] = y;
+        }
+        for (t, rect) in self.undo_placements.drain(..).rev() {
+            self.placements[t as usize] = rect;
+        }
+    }
+
+    /// Drops the undo journals so a following [`DeltaEval::revert`] is a
+    /// no-op — for moves that did not change the expression.
+    pub fn clear_undo(&mut self) {
+        self.post.clear_undo();
+        self.undo_origins.clear();
+        self.undo_placements.clear();
+    }
+
+    /// Fully re-evaluates `expr` from scratch (e.g. after wholesale
+    /// expression replacement), reusing buffers.
+    pub fn rebuild(&mut self, expr: &PolishExpr, tile_sizes: &[(Lambda, Lambda)]) {
+        self.post.rebuild(
+            expr.elems.len(),
+            tok_at(&expr.elems),
+            leaf_at(expr, tile_sizes),
+            combine,
+        );
+        self.undo_origins.clear();
+        self.undo_placements.clear();
+        self.derive_all(expr);
+    }
+
+    /// Derives every origin and placement top-down from the root.
+    fn derive_all(&mut self, expr: &PolishExpr) {
+        let len = expr.elems.len();
+        self.ox.clear();
+        self.ox.resize(len, Lambda::ZERO);
+        self.oy.clear();
+        self.oy.resize(len, Lambda::ZERO);
+        self.placements.clear();
+        self.placements
+            .resize(expr.tile_count(), Rect::from_size(Lambda::ONE, Lambda::ONE));
+        self.changed_tiles.clear();
+        self.descent.clear();
+        self.descent
+            .push((self.post.root(), Lambda::ZERO, Lambda::ZERO));
+        while let Some((p, x, y)) = self.descent.pop() {
+            self.ox[p as usize] = x;
+            self.oy[p as usize] = y;
+            match expr.elems[p as usize] {
+                Elem::Tile(t) => {
+                    let (w, h) = *self.post.val(p);
+                    self.placements[t as usize] = Rect::new(Point::new(x, y), w, h);
+                    self.changed_tiles.push(t);
+                }
+                Elem::Op(_) => self.visit(expr, p, x, y),
+            }
+        }
+        self.changed_tiles.sort_unstable();
+    }
 }
 
 #[cfg(test)]
@@ -434,6 +711,81 @@ mod tests {
         let ev = e.evaluate(&tile_sizes);
         let tile_area: i64 = tile_sizes.iter().map(|(w, h)| w.get() * h.get()).sum();
         assert!(ev.area().get() >= tile_area);
+    }
+
+    /// Drives a [`DeltaEval`] through every Wong–Liu move kind with
+    /// random accept/reject decisions; after each step the incremental
+    /// state must equal a fresh [`PolishExpr::evaluate`].
+    #[test]
+    fn delta_eval_matches_full_evaluate_under_random_moves() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for n in [1usize, 2, 3, 7, 12] {
+            let tile_sizes: Vec<(Lambda, Lambda)> = (0..n)
+                .map(|i| {
+                    (
+                        Lambda::new(3 + (i as i64 * 7) % 11),
+                        Lambda::new(2 + (i as i64 * 5) % 9),
+                    )
+                })
+                .collect();
+            let mut e = PolishExpr::initial(n);
+            let mut eval = e.delta_eval(&tile_sizes);
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            for step in 0..300 {
+                let before = e.clone();
+                let range = match rng.gen_range(0..4u8) {
+                    0 => e
+                        .swap_adjacent_operands(rng.gen_range(0..n.max(2)))
+                        .map(|(i, j)| (i.min(j), i.max(j))),
+                    1 => e
+                        .complement_chain(rng.gen_range(0..n.max(1)))
+                        .map(|(s, end)| (s, end - 1)),
+                    2 => e
+                        .swap_operand_operator(rng.gen_range(0..n.max(1)))
+                        .map(|(i, j)| (i.min(j), i.max(j))),
+                    _ => {
+                        let t = e.flip_rotation(rng.gen_range(0..n));
+                        let p = e
+                            .elems
+                            .iter()
+                            .position(|el| *el == Elem::Tile(t as u32))
+                            .unwrap();
+                        Some((p, p))
+                    }
+                };
+                let Some((lo, hi)) = range else {
+                    continue;
+                };
+                eval.update(&e, &tile_sizes, lo, hi);
+                let reference = e.evaluate(&tile_sizes);
+                assert_eq!(eval.to_evaluated(), reference, "n={n} step={step}");
+                if rng.gen_bool(0.4) {
+                    // Reject: undo the move and revert the evaluation.
+                    e = before;
+                    eval.revert();
+                    assert_eq!(
+                        eval.to_evaluated(),
+                        e.evaluate(&tile_sizes),
+                        "n={n} step={step} revert"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_eval_rebuild_resets_to_any_expression() {
+        let tile_sizes = sizes(&[(10, 4), (6, 8), (5, 5), (7, 3)]);
+        let mut e = PolishExpr::initial(4);
+        let mut eval = e.delta_eval(&tile_sizes);
+        e.swap_adjacent_operands(1);
+        e.complement_chain(0);
+        eval.rebuild(&e, &tile_sizes);
+        assert_eq!(eval.to_evaluated(), e.evaluate(&tile_sizes));
+        let mut all: Vec<u32> = eval.changed_tiles().to_vec();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3], "rebuild re-places every tile");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::polish::{Evaluated, PolishExpr};
+use crate::polish::{DeltaEval, Evaluated, PolishExpr};
 use crate::wiring;
 
 /// Parameters of a synthesis run.
@@ -124,6 +124,18 @@ impl FcLayout {
     }
 }
 
+/// How a [`SynthState`] recomputes its cost after a move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvalMode {
+    /// Re-evaluate the whole expression and every net on each move and
+    /// each revert. The original implementation, kept as the reference
+    /// for differential testing.
+    Full,
+    /// Re-evaluate only the covering Polish subtree and the nets
+    /// incident to re-placed tiles; reverts restore journaled state.
+    Delta,
+}
+
 /// The annealing state over Polish expressions.
 #[derive(Clone)]
 struct SynthState<'m> {
@@ -132,9 +144,29 @@ struct SynthState<'m> {
     expr: PolishExpr,
     wire_weight: f64,
     aspect_weight: f64,
+    mode: EvalMode,
     cached_cost: f64,
+    /// Full-mode evaluation cache (unused, but kept current, in delta
+    /// mode only at rebuild points).
     cached_eval: Evaluated,
+    /// Delta-mode incremental evaluation.
+    eval: DeltaEval,
+    /// Per-net component tile indices, in module net order.
+    net_comps: Vec<Vec<usize>>,
+    /// Nets with ≥ 2 pins incident to each tile.
+    tile_nets: Vec<Vec<u32>>,
+    /// Cached per-net HPWL contributions, in module net order.
+    net_hpwl: Vec<f64>,
+    /// Scratch: dirty flags + list of nets touched by the current move.
+    net_dirty: Vec<bool>,
+    dirty_nets: Vec<u32>,
+    /// Journal of `(net, previous HPWL)` overwritten by the current move.
+    undo_hpwl: Vec<(u32, f64)>,
+    /// Pre-move cost snapshot for O(1) restore on revert.
+    snap_cost: f64,
     undo: Option<Undo>,
+    evals_full: u64,
+    evals_delta: u64,
 }
 
 #[derive(Clone)]
@@ -146,6 +178,20 @@ enum Undo {
 }
 
 impl SynthState<'_> {
+    /// Area term of the cost: bounding area scaled by the elongation
+    /// penalty. Shared by both evaluation modes so they stay
+    /// bit-identical.
+    fn box_cost(&self, width: Lambda, height: Lambda, area: LambdaArea) -> f64 {
+        let (w, h) = (width.as_f64(), height.as_f64());
+        let aspect = if w > 0.0 && h > 0.0 {
+            w.max(h) / w.min(h)
+        } else {
+            1.0
+        };
+        let elongation = 1.0 + self.aspect_weight * (aspect - 2.0).max(0.0);
+        area.as_f64() * elongation
+    }
+
     fn evaluate_cost(&self, eval: &Evaluated) -> f64 {
         let mut hpwl = 0.0f64;
         for (_, net) in self.module.nets() {
@@ -168,19 +214,90 @@ impl SynthState<'_> {
             }
             hpwl += (max_x - min_x) + (max_y - min_y);
         }
-        let (w, h) = (eval.width.as_f64(), eval.height.as_f64());
-        let aspect = if w > 0.0 && h > 0.0 {
-            w.max(h) / w.min(h)
-        } else {
-            1.0
-        };
-        let elongation = 1.0 + self.aspect_weight * (aspect - 2.0).max(0.0);
-        eval.area().as_f64() * elongation + self.wire_weight * hpwl
+        self.box_cost(eval.width, eval.height, eval.area()) + self.wire_weight * hpwl
     }
 
+    /// HPWL contribution of one net from the delta evaluator's current
+    /// placements. Mirrors the per-net loop in
+    /// [`SynthState::evaluate_cost`] operation-for-operation.
+    fn net_contribution(&self, net: usize) -> f64 {
+        let comps = &self.net_comps[net];
+        if comps.len() < 2 {
+            return 0.0;
+        }
+        let placements = self.eval.placements();
+        let mut min_x = f64::MAX;
+        let mut max_x = f64::MIN;
+        let mut min_y = f64::MAX;
+        let mut max_y = f64::MIN;
+        for &d in comps {
+            let r = placements[d];
+            let cx = r.origin().x.as_f64() + r.width().as_f64() / 2.0;
+            let cy = r.origin().y.as_f64() + r.height().as_f64() / 2.0;
+            min_x = min_x.min(cx);
+            max_x = max_x.max(cx);
+            min_y = min_y.min(cy);
+            max_y = max_y.max(cy);
+        }
+        (max_x - min_x) + (max_y - min_y)
+    }
+
+    /// Cost from the cached per-net HPWLs. Summing every entry in net
+    /// order (two-pin-less nets hold +0.0) reproduces the reference
+    /// accumulation bit-for-bit.
+    fn delta_cost(&self) -> f64 {
+        let mut hpwl = 0.0f64;
+        for &h in &self.net_hpwl {
+            hpwl += h;
+        }
+        self.box_cost(self.eval.width(), self.eval.height(), self.eval.area())
+            + self.wire_weight * hpwl
+    }
+
+    /// Full re-evaluation, in whichever representation the mode uses.
     fn refresh(&mut self) {
-        self.cached_eval = self.expr.evaluate(&self.tiles);
-        self.cached_cost = self.evaluate_cost(&self.cached_eval);
+        self.evals_full += 1;
+        match self.mode {
+            EvalMode::Full => {
+                self.cached_eval = self.expr.evaluate(&self.tiles);
+                self.cached_cost = self.evaluate_cost(&self.cached_eval);
+            }
+            EvalMode::Delta => {
+                self.eval.rebuild(&self.expr, &self.tiles);
+                for k in 0..self.net_hpwl.len() {
+                    let v = self.net_contribution(k);
+                    self.net_hpwl[k] = v;
+                }
+                self.cached_cost = self.delta_cost();
+            }
+        }
+    }
+
+    /// Delta re-evaluation after the expression changed within element
+    /// positions `lo..=hi`: updates the covering subtree's dimensions
+    /// and origins, then recomputes only the nets incident to tiles
+    /// whose placement actually moved.
+    fn apply_delta(&mut self, lo: usize, hi: usize) {
+        self.evals_delta += 1;
+        self.eval.update(&self.expr, &self.tiles, lo, hi);
+        self.undo_hpwl.clear();
+        self.dirty_nets.clear();
+        for &t in self.eval.changed_tiles() {
+            for &k in &self.tile_nets[t as usize] {
+                if !self.net_dirty[k as usize] {
+                    self.net_dirty[k as usize] = true;
+                    self.dirty_nets.push(k);
+                }
+            }
+        }
+        for idx in 0..self.dirty_nets.len() {
+            let k = self.dirty_nets[idx] as usize;
+            self.net_dirty[k] = false;
+            let fresh = self.net_contribution(k);
+            let old = std::mem::replace(&mut self.net_hpwl[k], fresh);
+            self.undo_hpwl.push((k as u32, old));
+        }
+        self.cached_cost = self.delta_cost();
     }
 }
 
@@ -194,23 +311,53 @@ impl AnnealState for SynthState<'_> {
         let undo = match rng.gen_range(0..4u8) {
             0 => self
                 .expr
-                .swap_adjacent_operands(rng.gen_range(0..n.max(2)))
+                .swap_adjacent_operands(rng.gen_range(0..n))
                 .map(Undo::Swap)
                 .unwrap_or(Undo::None),
             1 => self
                 .expr
-                .complement_chain(rng.gen_range(0..n.max(1)))
+                .complement_chain(rng.gen_range(0..n))
                 .map(Undo::Chain)
                 .unwrap_or(Undo::None),
             2 => self
                 .expr
-                .swap_operand_operator(rng.gen_range(0..n.max(1)))
+                .swap_operand_operator(rng.gen_range(0..n))
                 .map(Undo::Swap)
                 .unwrap_or(Undo::None),
             _ => Undo::Rotation(self.expr.flip_rotation(rng.gen_range(0..n))),
         };
-        self.undo = Some(undo);
-        self.refresh();
+        match self.mode {
+            EvalMode::Full => {
+                self.undo = Some(undo);
+                self.refresh();
+            }
+            EvalMode::Delta => {
+                // Element-position span touched by the move. A chain
+                // `(s, e)` flips elements `s..e`; the rotation leaves its
+                // operand in place, so its position is still current.
+                let span = match &undo {
+                    Undo::Swap((i, j)) => Some((*i.min(j), *i.max(j))),
+                    Undo::Chain((s, e)) => Some((*s, e - 1)),
+                    Undo::Rotation(tile) => {
+                        let p = self.eval.tile_pos(*tile);
+                        Some((p, p))
+                    }
+                    Undo::None => None,
+                };
+                self.undo = Some(undo);
+                self.snap_cost = self.cached_cost;
+                match span {
+                    Some((lo, hi)) => self.apply_delta(lo, hi),
+                    None => {
+                        // Rejected move: nothing changed, but the engine
+                        // may still call `revert`, which must then be a
+                        // no-op.
+                        self.eval.clear_undo();
+                        self.undo_hpwl.clear();
+                    }
+                }
+            }
+        }
         self.cached_cost
     }
 
@@ -223,7 +370,20 @@ impl AnnealState for SynthState<'_> {
             }
             Undo::None => {}
         }
-        self.refresh();
+        match self.mode {
+            EvalMode::Full => self.refresh(),
+            EvalMode::Delta => {
+                self.eval.revert();
+                for (k, v) in self.undo_hpwl.drain(..).rev() {
+                    self.net_hpwl[k as usize] = v;
+                }
+                self.cached_cost = self.snap_cost;
+            }
+        }
+    }
+
+    fn eval_counts(&self) -> (u64, u64) {
+        (self.evals_full, self.evals_delta)
     }
 }
 
@@ -238,6 +398,29 @@ pub fn synthesize(
     module: &Module,
     tech: &ProcessDb,
     params: &SynthesisParams,
+) -> Result<FcLayout, NetlistError> {
+    synthesize_with(module, tech, params, EvalMode::Delta)
+}
+
+/// [`synthesize`] on the full-refresh reference path: every move and
+/// revert re-evaluates the whole expression and every net. Output is
+/// bit-identical to [`synthesize`]; kept (and exercised by the
+/// differential suite) to pin the delta evaluator to the original
+/// semantics.
+#[doc(hidden)]
+pub fn synthesize_full_refresh(
+    module: &Module,
+    tech: &ProcessDb,
+    params: &SynthesisParams,
+) -> Result<FcLayout, NetlistError> {
+    synthesize_with(module, tech, params, EvalMode::Full)
+}
+
+fn synthesize_with(
+    module: &Module,
+    tech: &ProcessDb,
+    params: &SynthesisParams,
+    mode: EvalMode,
 ) -> Result<FcLayout, NetlistError> {
     if module.device_count() == 0 {
         return Err(NetlistError::invalid("cannot lay out an empty module"));
@@ -254,16 +437,44 @@ pub fn synthesize(
         .collect();
 
     let expr = PolishExpr::initial(tiles.len());
+    let net_comps: Vec<Vec<usize>> = module
+        .nets()
+        .map(|(_, net)| net.components().iter().map(|d| d.index()).collect())
+        .collect();
+    let mut tile_nets: Vec<Vec<u32>> = vec![Vec::new(); tiles.len()];
+    for (k, comps) in net_comps.iter().enumerate() {
+        // One-pin nets never contribute HPWL, so they never need
+        // recomputation either.
+        if comps.len() < 2 {
+            continue;
+        }
+        for &d in comps {
+            tile_nets[d].push(k as u32);
+        }
+    }
     let initial_eval = expr.evaluate(&tiles);
+    let delta = expr.delta_eval(&tiles);
+    let net_count = net_comps.len();
     let mut state = SynthState {
         module,
         tiles,
         expr,
         wire_weight: params.wire_weight,
         aspect_weight: params.aspect_weight,
+        mode,
         cached_cost: 0.0,
         cached_eval: initial_eval,
+        eval: delta,
+        net_comps,
+        tile_nets,
+        net_hpwl: vec![0.0; net_count],
+        net_dirty: vec![false; net_count],
+        dirty_nets: Vec::new(),
+        undo_hpwl: Vec::new(),
+        snap_cost: 0.0,
         undo: None,
+        evals_full: 0,
+        evals_delta: 0,
     };
     state.refresh();
     let initial_expr = state.expr.clone();
@@ -278,7 +489,10 @@ pub fn synthesize(
         state.refresh();
     }
 
-    let eval = state.cached_eval.clone();
+    let eval = match state.mode {
+        EvalMode::Full => state.cached_eval.clone(),
+        EvalMode::Delta => state.eval.to_evaluated(),
+    };
     let wire_area = wiring::wiring_area(
         module,
         &eval,
@@ -379,6 +593,37 @@ mod tests {
             for b in &l.placements()[i + 1..] {
                 assert!(!a.overlaps_strictly(*b), "{a} overlaps {b}");
             }
+        }
+    }
+
+    #[test]
+    fn tiny_modules_synthesize_under_long_schedules() {
+        // One- and two-device modules must survive the full default
+        // schedule (tens of thousands of proposed moves): most move
+        // kinds are no-ops there, and every index draw must stay in
+        // bounds.
+        let tech = builtin::nmos25();
+        for stages in [1, 2] {
+            let m = library_circuits::pass_chain(stages);
+            let l = synthesize(&m, &tech, &SynthesisParams::default()).unwrap();
+            assert_eq!(l.placements().len(), stages);
+            assert!(l.width().is_positive() && l.height().is_positive());
+        }
+    }
+
+    #[test]
+    fn delta_matches_full_refresh_quick() {
+        // Smoke-level differential; the full default-schedule sweep over
+        // `table1_suite()` lives in `tests/differential.rs`.
+        let tech = builtin::nmos25();
+        for m in [
+            library_circuits::pass_chain(1),
+            library_circuits::pass_chain(5),
+            library_circuits::nmos_full_adder(),
+        ] {
+            let delta = synthesize(&m, &tech, &SynthesisParams::quick()).unwrap();
+            let full = synthesize_full_refresh(&m, &tech, &SynthesisParams::quick()).unwrap();
+            assert_eq!(delta, full, "{} diverged", m.name());
         }
     }
 

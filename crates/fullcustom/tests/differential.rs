@@ -1,0 +1,18 @@
+//! Differential proof of the incremental (delta) cost evaluator: the
+//! annealed result must be bit-identical to the full-refresh reference
+//! for every Table 1 circuit under the default schedule — same RNG draw
+//! sequence, same accept/reject decisions, same final layout.
+
+use maestro_fullcustom::{synthesize, synthesize_full_refresh, SynthesisParams};
+use maestro_netlist::library_circuits;
+use maestro_tech::builtin;
+
+#[test]
+fn delta_and_full_refresh_synthesize_identical_table1_layouts() {
+    let tech = builtin::nmos25();
+    for m in library_circuits::table1_suite() {
+        let delta = synthesize(&m, &tech, &SynthesisParams::default()).unwrap();
+        let full = synthesize_full_refresh(&m, &tech, &SynthesisParams::default()).unwrap();
+        assert_eq!(delta, full, "{} diverged from the reference path", m.name());
+    }
+}

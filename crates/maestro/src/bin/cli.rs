@@ -27,7 +27,7 @@ fn usage() -> &'static str {
      maestro-cli report    <file...> [--tech ...] [--aspect LIMIT] [--svg out.svg]\n  \
      maestro-cli layout    <file> [--tech ...] [--rows N] [--svg out.svg]\n  \
      maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT] [--svg out.svg]\n  \
-     maestro-cli perf-report <trace.jsonl> [--label NAME] [--out file.json]\n\n\
+     maestro-cli perf-report <trace.jsonl>... [--label NAME] [--out file.json]\n\n\
      any command also accepts --trace <file.jsonl> to record a stage-level\n\
      trace of the run (fold it with perf-report)."
 }
@@ -358,12 +358,22 @@ fn cmd_floorplan(opts: &Options) -> Result<(), String> {
 
 fn cmd_perf_report(opts: &Options) -> Result<(), String> {
     use maestro::trace::report::PerfReport;
-    let [path] = opts.files.as_slice() else {
-        return Err("perf-report takes exactly one trace file".to_owned());
-    };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if opts.files.is_empty() {
+        return Err("perf-report takes at least one trace file".to_owned());
+    }
     let label = opts.label.as_deref().unwrap_or("run");
-    let report = PerfReport::from_trace(&text, label).map_err(|e| e.to_string())?;
+    // Span IDs restart per traced process, so each file is folded on its
+    // own and the reports merged — never the raw event streams.
+    let mut report: Option<PerfReport> = None;
+    for path in &opts.files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let one = PerfReport::from_trace(&text, label).map_err(|e| format!("{path}: {e}"))?;
+        match &mut report {
+            Some(acc) => acc.merge(&one),
+            None => report = Some(one),
+        }
+    }
+    let report = report.expect("at least one file");
     let out = opts
         .out
         .clone()

@@ -22,10 +22,25 @@ pub trait AnnealState: Clone {
 
     /// Applies one random move and returns the new cost. The move must be
     /// revertible by the next [`AnnealState::revert`] call.
+    ///
+    /// Implementations should cache whatever pre-move state `revert`
+    /// needs here (cost, touched cache entries), so rejection is cheap.
     fn propose_and_apply(&mut self, rng: &mut StdRng) -> f64;
 
     /// Undoes the single most recently applied move.
+    ///
+    /// Must restore the cached pre-move `(cost, eval)` snapshot taken by
+    /// [`AnnealState::propose_and_apply`] — proportional to the move's
+    /// touched state, never a second full re-evaluation.
     fn revert(&mut self);
+
+    /// Cumulative `(full, delta)` cost-evaluation tallies since the state
+    /// was built. A *full* evaluation recomputes the whole cost from
+    /// scratch; a *delta* evaluation recomputes only what a move touched.
+    /// States without instrumentation report `(0, 0)`.
+    fn eval_counts(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Cooling-schedule parameters.
@@ -117,6 +132,7 @@ pub fn anneal<S: AnnealState>(state: &mut S, schedule: &AnnealSchedule, seed: u6
     // trace call even when a sink is listening.
     let mut accepted = 0u64;
     let mut rejected = 0u64;
+    let (evals_full_before, evals_delta_before) = state.eval_counts();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut temp = schedule.initial_temp.max(1e-9);
     let mut current = state.cost();
@@ -178,6 +194,20 @@ pub fn anneal<S: AnnealState>(state: &mut S, schedule: &AnnealSchedule, seed: u6
     trace::counter("anneal.rounds", schedule.rounds as u64);
     trace::counter("anneal.accepted", accepted);
     trace::counter("anneal.rejected", rejected);
+    let (evals_full, evals_delta) = state.eval_counts();
+    if (evals_full, evals_delta) != (evals_full_before, evals_delta_before) {
+        // Best-restore can rewind the tallies below the starting point
+        // (the snapshot carries its own counters); saturate rather than
+        // report a wrapped delta.
+        trace::counter(
+            "anneal.evals_full",
+            evals_full.saturating_sub(evals_full_before),
+        );
+        trace::counter(
+            "anneal.evals_delta",
+            evals_delta.saturating_sub(evals_delta_before),
+        );
+    }
     trace::metric("anneal.temp_final", temp);
     current
 }

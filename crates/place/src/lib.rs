@@ -43,6 +43,7 @@
 pub mod anneal;
 pub mod feedthrough;
 pub mod placement;
+pub mod postfix;
 pub mod row_model;
 
 pub use anneal::{anneal, AnnealSchedule, AnnealState};

@@ -167,6 +167,19 @@ impl PlacedModule {
     }
 }
 
+/// How a [`PlaceState`] recomputes its cost after a move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvalMode {
+    /// Recompute every cell coordinate and every net on each move and
+    /// each revert — the original implementation, kept as the
+    /// differential reference.
+    Full,
+    /// Recompute only the touched rows' coordinates and the nets
+    /// incident to cells that actually moved; reverts restore journaled
+    /// state.
+    Delta,
+}
+
 /// The annealing state: device-to-row assignment with order within rows.
 #[derive(Clone)]
 struct PlaceState {
@@ -182,8 +195,28 @@ struct PlaceState {
     y_pitch: f64,
     balance_weight: f64,
     target_row_width: f64,
+    mode: EvalMode,
     cached_cost: f64,
+    /// Cached x center per device (delta mode).
+    x: Vec<f64>,
+    /// Cached total cell width per row (delta mode).
+    row_width: Vec<i64>,
+    /// Cached per-net HPWL contributions, in net order (delta mode).
+    net_hpwl: Vec<f64>,
+    /// Nets with ≥ 2 pins incident to each device.
+    dev_nets: Vec<Vec<u32>>,
+    /// Scratch: dirty flags + list of nets touched by the current move.
+    net_dirty: Vec<bool>,
+    dirty_nets: Vec<u32>,
+    // Undo journals for the caches overwritten by the current move.
+    undo_x: Vec<(u32, f64)>,
+    undo_hpwl: Vec<(u32, f64)>,
+    undo_roww: Vec<(u32, i64)>,
+    /// Pre-move cost snapshot for O(1) restore on revert.
+    snap_cost: f64,
     undo: Option<UndoMove>,
+    evals_full: u64,
+    evals_delta: u64,
 }
 
 #[derive(Clone)]
@@ -238,8 +271,127 @@ impl PlaceState {
         hpwl + self.balance_weight * balance
     }
 
+    /// HPWL contribution of one net from the cached centers. Mirrors the
+    /// per-net loop in [`PlaceState::compute_cost`]
+    /// operation-for-operation.
+    fn net_contribution(&self, k: usize) -> f64 {
+        let net = &self.nets[k];
+        if net.len() < 2 {
+            return 0.0;
+        }
+        let mut min_x = f64::MAX;
+        let mut max_x = f64::MIN;
+        let mut min_y = f64::MAX;
+        let mut max_y = f64::MIN;
+        for &d in net {
+            let cx = self.x[d as usize];
+            let cy = self.row_of[d as usize] as f64 * self.y_pitch;
+            min_x = min_x.min(cx);
+            max_x = max_x.max(cx);
+            min_y = min_y.min(cy);
+            max_y = max_y.max(cy);
+        }
+        (max_x - min_x) + (max_y - min_y)
+    }
+
+    /// Cost from the cached per-net HPWLs and row widths. Summing in net
+    /// and row order reproduces the reference accumulation bit-for-bit
+    /// (two-pin-less nets hold +0.0).
+    fn delta_cost(&self) -> f64 {
+        let mut hpwl = 0.0;
+        for &h in &self.net_hpwl {
+            hpwl += h;
+        }
+        let balance: f64 = self
+            .row_width
+            .iter()
+            .map(|&w| (w as f64 - self.target_row_width).abs())
+            .sum();
+        hpwl + self.balance_weight * balance
+    }
+
+    /// Full re-evaluation, in whichever representation the mode uses.
     fn refresh_cost(&mut self) {
-        self.cached_cost = self.compute_cost();
+        self.evals_full += 1;
+        match self.mode {
+            EvalMode::Full => self.cached_cost = self.compute_cost(),
+            EvalMode::Delta => {
+                self.x = self.x_centers();
+                for r in 0..self.rows.len() {
+                    self.row_width[r] = self.rows[r].iter().map(|&d| self.widths[d as usize]).sum();
+                }
+                for k in 0..self.net_hpwl.len() {
+                    let v = self.net_contribution(k);
+                    self.net_hpwl[k] = v;
+                }
+                self.cached_cost = self.delta_cost();
+                // A rebuild is not revertible.
+                self.undo_x.clear();
+                self.undo_hpwl.clear();
+                self.undo_roww.clear();
+            }
+        }
+    }
+
+    /// Marks every ≥ 2-pin net incident to `d` for recomputation.
+    fn mark_device(&mut self, d: u32) {
+        for &k in &self.dev_nets[d as usize] {
+            if !self.net_dirty[k as usize] {
+                self.net_dirty[k as usize] = true;
+                self.dirty_nets.push(k);
+            }
+        }
+    }
+
+    /// Recomputes one row's x prefix (journaling overwrites and marking
+    /// moved cells' nets) and its cached width.
+    fn recompute_row(&mut self, r: u32) {
+        let mut acc = 0.0f64;
+        let mut wsum = 0i64;
+        for i in 0..self.rows[r as usize].len() {
+            let d = self.rows[r as usize][i] as usize;
+            let w = self.widths[d] as f64;
+            let nx = acc + w / 2.0;
+            if nx != self.x[d] {
+                self.undo_x
+                    .push((d as u32, std::mem::replace(&mut self.x[d], nx)));
+                self.mark_device(d as u32);
+            }
+            acc += w;
+            wsum += self.widths[d];
+        }
+        if wsum != self.row_width[r as usize] {
+            self.undo_roww
+                .push((r, std::mem::replace(&mut self.row_width[r as usize], wsum)));
+        }
+    }
+
+    /// Delta re-evaluation after a move that touched `touched_rows` and
+    /// moved `moved` devices (either list may repeat an entry).
+    fn apply_delta(&mut self, touched_rows: [u32; 2], moved: [u32; 2]) {
+        self.evals_delta += 1;
+        self.undo_x.clear();
+        self.undo_hpwl.clear();
+        self.undo_roww.clear();
+        self.dirty_nets.clear();
+        self.recompute_row(touched_rows[0]);
+        if touched_rows[1] != touched_rows[0] {
+            self.recompute_row(touched_rows[1]);
+        }
+        // Moved devices may keep their x (equal-width swap) but still
+        // change row — their nets are always dirty.
+        self.mark_device(moved[0]);
+        if moved[1] != moved[0] {
+            self.mark_device(moved[1]);
+        }
+        for idx in 0..self.dirty_nets.len() {
+            let k = self.dirty_nets[idx] as usize;
+            self.net_dirty[k] = false;
+            let fresh = self.net_contribution(k);
+            let old = std::mem::replace(&mut self.net_hpwl[k], fresh);
+            self.undo_hpwl.push((k as u32, old));
+        }
+        self.cached_cost = self.delta_cost();
     }
 }
 
@@ -250,6 +402,7 @@ impl AnnealState for PlaceState {
 
     fn propose_and_apply(&mut self, rng: &mut StdRng) -> f64 {
         let n = self.widths.len() as u32;
+        let (touched_rows, moved);
         if rng.gen_bool(0.5) || self.rows.len() == 1 {
             // Swap two distinct devices.
             let a = rng.gen_range(0..n);
@@ -271,6 +424,8 @@ impl AnnealState for PlaceState {
             self.row_of[a as usize] = rb;
             self.row_of[b as usize] = ra;
             self.undo = Some(UndoMove::Swap { a, b });
+            touched_rows = [ra, rb];
+            moved = [a, b];
         } else {
             // Relocate a device to a random position in a random row.
             let d = rng.gen_range(0..n);
@@ -289,8 +444,16 @@ impl AnnealState for PlaceState {
                 row: from_row,
                 index: from_idx,
             });
+            touched_rows = [from_row, to_row];
+            moved = [d, d];
         }
-        self.refresh_cost();
+        match self.mode {
+            EvalMode::Full => self.refresh_cost(),
+            EvalMode::Delta => {
+                self.snap_cost = self.cached_cost;
+                self.apply_delta(touched_rows, moved);
+            }
+        }
         self.cached_cost
     }
 
@@ -322,7 +485,25 @@ impl AnnealState for PlaceState {
                 self.row_of[device as usize] = row;
             }
         }
-        self.refresh_cost();
+        match self.mode {
+            EvalMode::Full => self.refresh_cost(),
+            EvalMode::Delta => {
+                for (d, v) in self.undo_x.drain(..).rev() {
+                    self.x[d as usize] = v;
+                }
+                for (k, v) in self.undo_hpwl.drain(..).rev() {
+                    self.net_hpwl[k as usize] = v;
+                }
+                for (r, v) in self.undo_roww.drain(..).rev() {
+                    self.row_width[r as usize] = v;
+                }
+                self.cached_cost = self.snap_cost;
+            }
+        }
+    }
+
+    fn eval_counts(&self) -> (u64, u64) {
+        (self.evals_full, self.evals_delta)
     }
 }
 
@@ -339,6 +520,31 @@ pub fn place(
     module: &Module,
     tech: &ProcessDb,
     params: &PlaceParams,
+) -> Result<PlacedModule, NetlistError> {
+    place_with(module, tech, params, EvalMode::Delta)
+}
+
+/// [`place`] on the full-refresh reference path: every move and revert
+/// recomputes every coordinate and every net. Output is bit-identical to
+/// [`place`]; kept for differential testing of the delta evaluator.
+///
+/// # Errors
+///
+/// Same as [`place`].
+#[doc(hidden)]
+pub fn place_full_refresh(
+    module: &Module,
+    tech: &ProcessDb,
+    params: &PlaceParams,
+) -> Result<PlacedModule, NetlistError> {
+    place_with(module, tech, params, EvalMode::Full)
+}
+
+fn place_with(
+    module: &Module,
+    tech: &ProcessDb,
+    params: &PlaceParams,
+    mode: EvalMode,
 ) -> Result<PlacedModule, NetlistError> {
     if module.device_count() == 0 {
         return Err(NetlistError::invalid("cannot place an empty module"));
@@ -382,6 +588,19 @@ pub fn place(
         .collect();
 
     let total_width: i64 = widths.iter().map(|w| w.get()).sum();
+    let mut dev_nets: Vec<Vec<u32>> = vec![Vec::new(); module.device_count()];
+    for (k, net) in nets.iter().enumerate() {
+        // One-pin nets never contribute HPWL, so they never need
+        // recomputation either.
+        if net.len() < 2 {
+            continue;
+        }
+        for &d in net {
+            dev_nets[d as usize].push(k as u32);
+        }
+    }
+    let net_count = nets.len();
+    let row_count = rows.len();
     let mut state = PlaceState {
         widths: widths.iter().map(|w| w.get()).collect(),
         nets,
@@ -390,8 +609,21 @@ pub fn place(
         y_pitch: (tech.row_height() + tech.track_pitch() * 3).as_f64(),
         balance_weight: params.balance_weight,
         target_row_width: total_width as f64 / params.rows as f64,
+        mode,
         cached_cost: 0.0,
+        x: Vec::new(),
+        row_width: vec![0; row_count],
+        net_hpwl: vec![0.0; net_count],
+        dev_nets,
+        net_dirty: vec![false; net_count],
+        dirty_nets: Vec::new(),
+        undo_x: Vec::new(),
+        undo_hpwl: Vec::new(),
+        undo_roww: Vec::new(),
+        snap_cost: 0.0,
         undo: None,
+        evals_full: 0,
+        evals_delta: 0,
     };
     state.refresh_cost();
     // Keep the folded initial placement as a fallback: annealing must
@@ -568,6 +800,23 @@ mod tests {
         let a = place(&m, &tech, &quick_params(2)).expect("places");
         let b = place(&m, &tech, &quick_params(2)).expect("places");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delta_matches_full_refresh() {
+        // The incremental coordinate/HPWL caches must not change a
+        // single accept/reject decision: final placements are
+        // bit-identical.
+        let tech = builtin::nmos25();
+        for (m, rows) in [
+            (generate::counter(4), 1),
+            (generate::ripple_adder(3), 3),
+            (generate::shift_register(12), 4),
+        ] {
+            let delta = place(&m, &tech, &quick_params(rows)).expect("places");
+            let full = place_full_refresh(&m, &tech, &quick_params(rows)).expect("places");
+            assert_eq!(delta, full, "{} diverged", m.name());
+        }
     }
 
     #[test]

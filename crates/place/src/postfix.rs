@@ -1,0 +1,594 @@
+//! Incremental (delta) evaluation of postfix slicing expressions.
+//!
+//! All three annealers in this workspace walk postfix ("Polish")
+//! expressions whose per-node values combine bottom-up: integer tile
+//! dimensions in the full-custom synthesizer, Stockmeyer shape curves in
+//! the floorplanner. Re-evaluating the whole expression per move makes
+//! the Metropolis loop quadratic; every Wong–Liu move, however, only
+//! perturbs a contiguous token range, and the smallest subtree covering
+//! that range is the only part of the tree whose values can change.
+//!
+//! [`IncrementalPostfix`] maintains the parse (children, parent and
+//! span-start links) and the per-node values, re-parses just the covering
+//! subtree on [`IncrementalPostfix::update`], propagates values up the
+//! parent chain until they stop changing, and journals every overwrite so
+//! [`IncrementalPostfix::revert`] restores the pre-move state in time
+//! proportional to what the move touched — never a second full
+//! evaluation.
+//!
+//! Values are pure functions of the leaf values below them, so a delta
+//! update is *bit-identical* to a full rebuild: cached nodes hold exactly
+//! the value a recomputation would produce.
+
+use std::mem;
+
+/// A postfix token, abstract over the element types the annealers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tok {
+    /// An operand (leaf) carrying its operand id.
+    Operand(u32),
+    /// An operator; the discriminant is interpreted by the combine
+    /// closure (the slicing annealers use 0/1 for the two cut kinds).
+    Op(u8),
+}
+
+/// Sentinel for "no child" on operand positions.
+const NONE: u32 = u32::MAX;
+
+/// What an [`IncrementalPostfix::update`] touched, for callers that
+/// maintain derived per-leaf state (e.g. placements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateResult {
+    /// Smallest subtree covering the changed tokens, as an inclusive
+    /// position range `(start, op)`.
+    pub span: (u32, u32),
+    /// Position to re-derive downstream state from: the lowest ancestor
+    /// of the span whose value (and therefore origin, for placement-like
+    /// derivations) is unchanged. Every perturbed node lies in its
+    /// subtree.
+    pub anchor: u32,
+}
+
+/// One journaled parse-link overwrite (see [`IncrementalPostfix::update`]).
+#[derive(Debug, Clone, Copy)]
+struct UndoLink {
+    pos: u32,
+    kids: (u32, u32),
+    parent: u32,
+    start: u32,
+}
+
+/// An incrementally evaluated postfix expression over values of type `V`.
+///
+/// The token stream itself lives with the caller (the annealing states
+/// already store their expressions); every method takes a `tok` accessor
+/// so no tokens are copied per move.
+#[derive(Debug, Clone)]
+pub struct IncrementalPostfix<V> {
+    /// Subtree value per position.
+    vals: Vec<V>,
+    /// Children positions per operator position (`NONE` for operands).
+    kids: Vec<(u32, u32)>,
+    /// Parent position (the root points at itself).
+    parent: Vec<u32>,
+    /// Span start: leftmost position of the subtree rooted here.
+    start: Vec<u32>,
+    /// Operand id → position.
+    pos_of: Vec<u32>,
+    root: u32,
+    // Undo journal for the most recent update (cleared on each update).
+    undo_vals: Vec<(u32, V)>,
+    undo_links: Vec<UndoLink>,
+    undo_pos: Vec<(u32, u32)>,
+    /// Parse scratch, kept to avoid per-move allocation.
+    stack: Vec<u32>,
+}
+
+impl<V: Clone + PartialEq> IncrementalPostfix<V> {
+    /// Fully evaluates the expression `tok(0..len)`; `leaf` supplies
+    /// operand values, `comb` combines two child values under an
+    /// operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token stream is not a valid postfix expression.
+    pub fn build(
+        len: usize,
+        tok: impl Fn(usize) -> Tok,
+        leaf: impl Fn(u32) -> V,
+        comb: impl Fn(u8, &V, &V) -> V,
+    ) -> Self {
+        let operands = len / 2 + 1;
+        let mut this = IncrementalPostfix {
+            vals: Vec::with_capacity(len),
+            kids: vec![(NONE, NONE); len],
+            parent: vec![0; len],
+            start: vec![0; len],
+            pos_of: vec![NONE; operands],
+            root: 0,
+            undo_vals: Vec::new(),
+            undo_links: Vec::new(),
+            undo_pos: Vec::new(),
+            stack: Vec::new(),
+        };
+        this.rebuild(len, tok, leaf, comb);
+        this
+    }
+
+    /// Re-evaluates the whole expression from scratch, reusing buffers.
+    /// Clears the undo journal (a rebuild is not revertible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token stream is not a valid postfix expression.
+    pub fn rebuild(
+        &mut self,
+        len: usize,
+        tok: impl Fn(usize) -> Tok,
+        leaf: impl Fn(u32) -> V,
+        comb: impl Fn(u8, &V, &V) -> V,
+    ) {
+        self.vals.clear();
+        self.kids.clear();
+        self.kids.resize(len, (NONE, NONE));
+        self.parent.clear();
+        self.parent.resize(len, 0);
+        self.start.clear();
+        self.start.resize(len, 0);
+        self.undo_vals.clear();
+        self.undo_links.clear();
+        self.undo_pos.clear();
+        self.stack.clear();
+        for p in 0..len {
+            match tok(p) {
+                Tok::Operand(id) => {
+                    let id = id as usize;
+                    if id >= self.pos_of.len() {
+                        self.pos_of.resize(id + 1, NONE);
+                    }
+                    self.pos_of[id] = p as u32;
+                    self.start[p] = p as u32;
+                    self.vals.push(leaf(id as u32));
+                    self.stack.push(p as u32);
+                }
+                Tok::Op(o) => {
+                    let r = self.stack.pop().expect("valid postfix expression");
+                    let l = self.stack.pop().expect("valid postfix expression");
+                    self.kids[p] = (l, r);
+                    self.start[p] = self.start[l as usize];
+                    self.parent[l as usize] = p as u32;
+                    self.parent[r as usize] = p as u32;
+                    let v = comb(o, &self.vals[l as usize], &self.vals[r as usize]);
+                    self.vals.push(v);
+                    self.stack.push(p as u32);
+                }
+            }
+        }
+        let root = self.stack.pop().expect("non-empty expression");
+        assert!(self.stack.is_empty(), "valid expression leaves one root");
+        self.root = root;
+        self.parent[root as usize] = root;
+    }
+
+    /// Delta-evaluates after the caller changed tokens (or leaf inputs)
+    /// within positions `lo..=hi`: re-parses the smallest subtree
+    /// covering the range and propagates values upward until unchanged.
+    ///
+    /// Requirements, satisfied by the Wong–Liu move set: token changes
+    /// preserve the operand/operator *type multiset* within `lo..=hi`
+    /// (operand–operand and operator–operator rewrites anywhere in the
+    /// range; a single adjacent operand↔operator transposition), so the
+    /// covering subtree's interval — and every parse link above it — is
+    /// identical before and after the move.
+    ///
+    /// Journals every overwrite; call [`IncrementalPostfix::revert`]
+    /// (after restoring the tokens) to undo.
+    pub fn update(
+        &mut self,
+        tok: impl Fn(usize) -> Tok,
+        leaf: impl Fn(u32) -> V,
+        comb: impl Fn(u8, &V, &V) -> V,
+        lo: usize,
+        hi: usize,
+    ) -> UpdateResult {
+        debug_assert!(lo <= hi && hi < self.vals.len());
+        self.undo_vals.clear();
+        self.undo_links.clear();
+        self.undo_pos.clear();
+
+        let (span_start, span_end) = if lo == hi && matches!(tok(lo), Tok::Operand(_)) {
+            // Leaf-only change (tile rotation): no structure to re-parse.
+            let id = match tok(lo) {
+                Tok::Operand(id) => id,
+                Tok::Op(_) => unreachable!(),
+            };
+            let new = leaf(id);
+            if new != self.vals[lo] {
+                self.undo_vals
+                    .push((lo as u32, mem::replace(&mut self.vals[lo], new)));
+            }
+            (lo, lo)
+        } else {
+            // Smallest operator position `e ≥ hi` whose balance does not
+            // exceed the minimum balance over `[lo, e)` roots the
+            // smallest subtree covering `lo..=hi` (balance walks move by
+            // ±1, so a lower dip before `e` would start the span inside
+            // the range).
+            let len = self.vals.len();
+            let mut rb: i64 = 0;
+            let mut min_rb = i64::MAX;
+            let mut found = None;
+            for p in lo..len {
+                let is_op = matches!(tok(p), Tok::Op(_));
+                rb += if is_op { -1 } else { 1 };
+                if p >= hi && is_op && rb <= min_rb {
+                    found = Some(p);
+                    break;
+                }
+                min_rb = min_rb.min(rb);
+            }
+            let e = found.expect("a valid expression's root covers any range");
+            let s = self.start[e] as usize;
+            debug_assert!(s <= lo);
+            self.reparse_span(&tok, &leaf, &comb, s, e);
+            (s, e)
+        };
+
+        // Propagate upward until a recombined value matches its cache;
+        // ancestors above that point cannot change (pure functions of
+        // their children).
+        let mut p = span_end as u32;
+        let anchor = loop {
+            if p == self.root {
+                break p;
+            }
+            let par = self.parent[p as usize];
+            let (l, r) = self.kids[par as usize];
+            let o = match tok(par as usize) {
+                Tok::Op(o) => o,
+                Tok::Operand(_) => unreachable!("parents are operators"),
+            };
+            let new = comb(o, &self.vals[l as usize], &self.vals[r as usize]);
+            if new == self.vals[par as usize] {
+                break par;
+            }
+            self.undo_vals
+                .push((par, mem::replace(&mut self.vals[par as usize], new)));
+            p = par;
+        };
+        UpdateResult {
+            span: (span_start as u32, span_end as u32),
+            anchor,
+        }
+    }
+
+    /// Re-parses positions `s..=e` (one complete subtree), journaling
+    /// every overwritten value and link.
+    fn reparse_span(
+        &mut self,
+        tok: &impl Fn(usize) -> Tok,
+        leaf: &impl Fn(u32) -> V,
+        comb: &impl Fn(u8, &V, &V) -> V,
+        s: usize,
+        e: usize,
+    ) {
+        self.stack.clear();
+        for p in s..=e {
+            self.undo_links.push(UndoLink {
+                pos: p as u32,
+                kids: self.kids[p],
+                parent: self.parent[p],
+                start: self.start[p],
+            });
+            match tok(p) {
+                Tok::Operand(id) => {
+                    self.undo_pos.push((id, self.pos_of[id as usize]));
+                    self.pos_of[id as usize] = p as u32;
+                    self.kids[p] = (NONE, NONE);
+                    self.start[p] = p as u32;
+                    let new = leaf(id);
+                    if new != self.vals[p] {
+                        self.undo_vals
+                            .push((p as u32, mem::replace(&mut self.vals[p], new)));
+                    }
+                    self.stack.push(p as u32);
+                }
+                Tok::Op(o) => {
+                    let r = self.stack.pop().expect("span is a complete subtree");
+                    let l = self.stack.pop().expect("span is a complete subtree");
+                    self.kids[p] = (l, r);
+                    self.start[p] = self.start[l as usize];
+                    self.parent[l as usize] = p as u32;
+                    self.parent[r as usize] = p as u32;
+                    let new = comb(o, &self.vals[l as usize], &self.vals[r as usize]);
+                    if new != self.vals[p] {
+                        self.undo_vals
+                            .push((p as u32, mem::replace(&mut self.vals[p], new)));
+                    }
+                    self.stack.push(p as u32);
+                }
+            }
+        }
+        debug_assert_eq!(
+            self.stack.as_slice(),
+            &[e as u32],
+            "span reduces to one root"
+        );
+        self.stack.clear();
+    }
+
+    /// Restores the state before the most recent
+    /// [`IncrementalPostfix::update`] (the caller must have already
+    /// restored the tokens). A no-op when nothing was journaled.
+    pub fn revert(&mut self) {
+        for (id, p) in self.undo_pos.drain(..).rev() {
+            self.pos_of[id as usize] = p;
+        }
+        for u in self.undo_links.drain(..).rev() {
+            self.kids[u.pos as usize] = u.kids;
+            self.parent[u.pos as usize] = u.parent;
+            self.start[u.pos as usize] = u.start;
+        }
+        for (p, v) in self.undo_vals.drain(..).rev() {
+            self.vals[p as usize] = v;
+        }
+    }
+
+    /// Drops the undo journal so a following [`IncrementalPostfix::revert`]
+    /// is a no-op — for moves that turned out not to change anything.
+    pub fn clear_undo(&mut self) {
+        self.undo_vals.clear();
+        self.undo_links.clear();
+        self.undo_pos.clear();
+    }
+
+    /// The root position.
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// The root's value.
+    pub fn root_val(&self) -> &V {
+        &self.vals[self.root as usize]
+    }
+
+    /// The value of the subtree rooted at `p`.
+    pub fn val(&self, p: u32) -> &V {
+        &self.vals[p as usize]
+    }
+
+    /// Children of the operator at `p` (`(NONE, NONE)` for operands —
+    /// test with [`IncrementalPostfix::is_leaf`]).
+    pub fn kids(&self, p: u32) -> (u32, u32) {
+        self.kids[p as usize]
+    }
+
+    /// `true` if position `p` holds an operand.
+    pub fn is_leaf(&self, p: u32) -> bool {
+        self.kids[p as usize].0 == NONE
+    }
+
+    /// Span start (leftmost position) of the subtree rooted at `p`.
+    pub fn span_start(&self, p: u32) -> u32 {
+        self.start[p as usize]
+    }
+
+    /// Position of operand `id`.
+    pub fn operand_pos(&self, id: u32) -> u32 {
+        self.pos_of[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    // A toy value: (width, height) with V-cut = (sum, max) and
+    // H-cut = (max, sum), mirroring the slicing combine.
+    type Dim = (i64, i64);
+
+    fn comb(op: u8, l: &Dim, r: &Dim) -> Dim {
+        match op {
+            0 => (l.0 + r.0, l.1.max(r.1)),
+            _ => (l.0.max(r.0), l.1 + r.1),
+        }
+    }
+
+    /// Serpentine expression over n operands (like PolishExpr::initial).
+    fn serpentine(n: usize) -> Vec<Tok> {
+        let per_row = (n as f64).sqrt().ceil() as usize;
+        let mut toks = Vec::new();
+        let mut rows = 0usize;
+        let mut i = 0usize;
+        while i < n {
+            let end = (i + per_row).min(n);
+            toks.push(Tok::Operand(i as u32));
+            for t in i + 1..end {
+                toks.push(Tok::Operand(t as u32));
+                toks.push(Tok::Op(0));
+            }
+            rows += 1;
+            if rows >= 2 {
+                toks.push(Tok::Op(1));
+            }
+            i = end;
+        }
+        toks
+    }
+
+    fn sizes(n: usize) -> Vec<Dim> {
+        (0..n)
+            .map(|i| (3 + (i as i64 * 7) % 11, 2 + (i as i64 * 5) % 9))
+            .collect()
+    }
+
+    fn full(toks: &[Tok], dims: &[Dim]) -> IncrementalPostfix<Dim> {
+        IncrementalPostfix::build(toks.len(), |i| toks[i], |id| dims[id as usize], comb)
+    }
+
+    #[test]
+    fn build_matches_stack_evaluation() {
+        for n in 1..=17 {
+            let toks = serpentine(n);
+            let dims = sizes(n);
+            let inc = full(&toks, &dims);
+            let mut stack: Vec<Dim> = Vec::new();
+            for t in &toks {
+                match *t {
+                    Tok::Operand(id) => stack.push(dims[id as usize]),
+                    Tok::Op(o) => {
+                        let r = stack.pop().unwrap();
+                        let l = stack.pop().unwrap();
+                        stack.push(comb(o, &l, &r));
+                    }
+                }
+            }
+            assert_eq!(*inc.root_val(), stack.pop().unwrap(), "n={n}");
+        }
+    }
+
+    /// Randomized moves mirroring the Wong–Liu set; after each move a
+    /// delta update must match a from-scratch rebuild, and a revert must
+    /// restore the previous state exactly.
+    #[test]
+    fn update_and_revert_match_full_rebuild() {
+        let n = 13;
+        let mut toks = serpentine(n);
+        let mut dims = sizes(n);
+        let mut inc = full(&toks, &dims);
+        let mut rng = StdRng::seed_from_u64(7);
+        for step in 0..400 {
+            let before_toks = toks.clone();
+            let before_dims = dims.clone();
+            let reference_before = full(&toks, &dims);
+            // Apply a random structure- or leaf-changing move.
+            let (lo, hi) = match rng.gen_range(0..4u8) {
+                0 => {
+                    // Swap two adjacent operands.
+                    let ops: Vec<usize> = (0..toks.len())
+                        .filter(|&i| matches!(toks[i], Tok::Operand(_)))
+                        .collect();
+                    let k = rng.gen_range(0..ops.len() - 1);
+                    toks.swap(ops[k], ops[k + 1]);
+                    (ops[k], ops[k + 1])
+                }
+                1 => {
+                    // Complement an operator chain.
+                    let starts: Vec<usize> = (0..toks.len())
+                        .filter(|&i| {
+                            matches!(toks[i], Tok::Op(_))
+                                && (i == 0 || matches!(toks[i - 1], Tok::Operand(_)))
+                        })
+                        .collect();
+                    let s = starts[rng.gen_range(0..starts.len())];
+                    let mut e = s;
+                    while e < toks.len() {
+                        match toks[e] {
+                            Tok::Op(o) => {
+                                toks[e] = Tok::Op(1 - o);
+                                e += 1;
+                            }
+                            Tok::Operand(_) => break,
+                        }
+                    }
+                    (s, e - 1)
+                }
+                2 => {
+                    // Operand–operator transposition where valid.
+                    let bounds: Vec<usize> = (0..toks.len() - 1)
+                        .filter(|&i| {
+                            matches!(toks[i], Tok::Operand(_)) && matches!(toks[i + 1], Tok::Op(_))
+                        })
+                        .collect();
+                    let mut done = None;
+                    let off = rng.gen_range(0..bounds.len());
+                    for probe in 0..bounds.len() {
+                        let i = bounds[(off + probe) % bounds.len()];
+                        toks.swap(i, i + 1);
+                        if postfix_valid(&toks) {
+                            done = Some((i, i + 1));
+                            break;
+                        }
+                        toks.swap(i, i + 1);
+                    }
+                    match done {
+                        Some(pair) => pair,
+                        None => continue,
+                    }
+                }
+                _ => {
+                    // Leaf resize (rotation analogue).
+                    let id = rng.gen_range(0..n);
+                    dims[id] = (dims[id].1, dims[id].0);
+                    let p = inc.operand_pos(id as u32) as usize;
+                    (p, p)
+                }
+            };
+            let result = inc.update(|i| toks[i], |id| dims[id as usize], comb, lo, hi);
+            let reference = full(&toks, &dims);
+            assert_eq!(inc.root_val(), reference.root_val(), "step {step}");
+            assert_eq!(inc.vals, reference.vals, "step {step}");
+            assert_eq!(inc.kids, reference.kids, "step {step}");
+            assert_eq!(inc.parent, reference.parent, "step {step}");
+            assert_eq!(inc.start, reference.start, "step {step}");
+            assert_eq!(inc.pos_of, reference.pos_of, "step {step}");
+            assert!(result.span.0 <= lo as u32 && result.span.1 >= hi as u32);
+            if rng.gen_bool(0.5) {
+                // Reject: undo tokens, revert, and require exact restore.
+                toks = before_toks;
+                dims = before_dims;
+                inc.revert();
+                assert_eq!(inc.vals, reference_before.vals, "revert step {step}");
+                assert_eq!(inc.kids, reference_before.kids, "revert step {step}");
+                assert_eq!(inc.parent, reference_before.parent, "revert step {step}");
+                assert_eq!(inc.start, reference_before.start, "revert step {step}");
+                assert_eq!(inc.pos_of, reference_before.pos_of, "revert step {step}");
+            }
+        }
+    }
+
+    fn postfix_valid(toks: &[Tok]) -> bool {
+        let mut bal = 0i64;
+        for t in toks {
+            bal += match t {
+                Tok::Operand(_) => 1,
+                Tok::Op(_) => -1,
+            };
+            if bal < 1 {
+                return false;
+            }
+        }
+        bal == 1
+    }
+
+    #[test]
+    fn single_operand_updates_in_place() {
+        let toks = [Tok::Operand(0)];
+        let mut dims = vec![(4i64, 9i64)];
+        let mut inc = full(&toks, &dims);
+        assert_eq!(*inc.root_val(), (4, 9));
+        dims[0] = (9, 4);
+        let r = inc.update(|i| toks[i], |id| dims[id as usize], comb, 0, 0);
+        assert_eq!(*inc.root_val(), (9, 4));
+        assert_eq!(r.anchor, 0);
+        inc.revert();
+        assert_eq!(*inc.root_val(), (4, 9));
+    }
+
+    #[test]
+    fn clear_undo_makes_revert_a_noop() {
+        let toks = serpentine(5);
+        let dims = sizes(5);
+        let mut inc = full(&toks, &dims);
+        let before = inc.vals.clone();
+        let mut dims2 = dims.clone();
+        dims2[2] = (100, 100);
+        let p = inc.operand_pos(2) as usize;
+        inc.update(|i| toks[i], |id| dims2[id as usize], comb, p, p);
+        inc.clear_undo();
+        inc.revert();
+        assert_ne!(inc.vals, before, "revert after clear_undo must not rewind");
+    }
+}

@@ -362,6 +362,35 @@ impl PerfReport {
         out
     }
 
+    /// Merges another folded run into this report, as if the two runs had
+    /// executed back to back: stage counts and times add, counters sum,
+    /// wall and work clocks accumulate, and metrics take the other run's
+    /// value (last wins, matching [`fold`]). This is how `perf-report`
+    /// combines several trace files — span IDs restart per process, so
+    /// traces must be folded separately and merged, never concatenated.
+    pub fn merge(&mut self, other: &PerfReport) {
+        self.wall_us += other.wall_us;
+        self.work_us += other.work_us;
+        for s in &other.stages {
+            match self.stages.iter_mut().find(|mine| mine.name == s.name) {
+                Some(mine) => {
+                    mine.count += s.count;
+                    mine.total_us += s.total_us;
+                    mine.self_us += s.self_us;
+                }
+                None => self.stages.push(s.clone()),
+            }
+        }
+        self.stages
+            .sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_default() += value;
+        }
+        for (name, value) in &other.metrics {
+            self.metrics.insert(name.clone(), *value);
+        }
+    }
+
     /// A terminal-friendly stage table.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -473,6 +502,55 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn merge_combines_runs_as_if_back_to_back() {
+        // Two runs with overlapping span IDs (each process restarts its
+        // counter at 1) — merging folded reports must not cross-wire them.
+        let a = fold(
+            &[
+                span(1, 0, "root", 0, 100),
+                span(2, 1, "anneal", 10, 60),
+                Event::Counter {
+                    name: "anneal.evals_delta".to_owned(),
+                    value: 40,
+                    thread: "main".to_owned(),
+                },
+            ],
+            "t",
+        );
+        let b = fold(
+            &[
+                span(1, 0, "root", 0, 50),
+                span(2, 1, "estimate", 5, 20),
+                Event::Counter {
+                    name: "anneal.evals_delta".to_owned(),
+                    value: 2,
+                    thread: "main".to_owned(),
+                },
+                Event::Metric {
+                    name: "m".to_owned(),
+                    value: 7.5,
+                    thread: "main".to_owned(),
+                },
+            ],
+            "t",
+        );
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.wall_us, a.wall_us + b.wall_us);
+        assert_eq!(merged.work_us, a.work_us + b.work_us);
+        let root = merged.stages.iter().find(|s| s.name == "root").unwrap();
+        assert_eq!((root.count, root.total_us), (2, 150));
+        assert!(merged.stages.iter().any(|s| s.name == "anneal"));
+        assert!(merged.stages.iter().any(|s| s.name == "estimate"));
+        assert_eq!(merged.counters["anneal.evals_delta"], 42);
+        assert_eq!(merged.metrics["m"], 7.5);
+        // Largest self time still leads after the merge.
+        for w in merged.stages.windows(2) {
+            assert!(w[0].self_us >= w[1].self_us);
+        }
     }
 
     #[test]

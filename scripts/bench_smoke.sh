@@ -1,33 +1,43 @@
 #!/usr/bin/env bash
 # Bench smoke: the perf-trajectory artifact for CI.
 #
-#   ./scripts/bench_smoke.sh [label]      # default label: pr2
+#   ./scripts/bench_smoke.sh [label]      # default label: pr3
 #
-# Two cheap checks that keep the perf tooling honest without a full
+# Three cheap checks that keep the perf tooling honest without a full
 # criterion run:
 #
 #   1. `CRITERION_QUICK=1 cargo bench` — the vendored criterion's
 #      short-iteration mode (10 iters, 50 ms budget) exercises the
 #      estimator_scaling harness end to end, catching bench bitrot.
-#   2. A traced `estimate --jobs 4` over the Table 1 suite, folded by
-#      `perf-report` into BENCH_<label>.json — machine-readable per-stage
-#      totals that successive PRs can diff.
+#   2. A traced `estimate --jobs 4` over the Table 1 suite — the
+#      estimation-engine stages.
+#   3. A traced `layout` over the transistor-level Table 1 suite — the
+#      full-custom synthesizer's annealing stages, including the
+#      `anneal.evals_full` / `anneal.evals_delta` counter pair.
+#
+# `perf-report` folds both traces into one BENCH_<label>.json —
+# machine-readable per-stage totals that successive PRs can diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-LABEL="${1:-pr2}"
+LABEL="${1:-pr3}"
 
 echo "==> criterion smoke (CRITERION_QUICK=1, estimator_scaling)"
 CRITERION_QUICK=1 cargo bench -q -p maestro-bench --bench estimator_scaling
 
 echo "==> traced estimate over the Table 1 suite"
 cargo build --release -q -p maestro
-TRACE_FILE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
-trap 'rm -f "$TRACE_FILE"' EXIT
+ESTIMATE_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
+LAYOUT_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
+trap 'rm -f "$ESTIMATE_TRACE" "$LAYOUT_TRACE"' EXIT
 ./target/release/maestro-cli estimate assets/table1.mnl assets/counter4.mnl \
-    --jobs 4 --trace "$TRACE_FILE" > /dev/null
+    --jobs 4 --trace "$ESTIMATE_TRACE" > /dev/null
+
+echo "==> traced full-custom synthesis over the Table 1 suite"
+./target/release/maestro-cli layout assets/table1.mnl \
+    --trace "$LAYOUT_TRACE" > /dev/null
 
 echo "==> perf-report -> BENCH_${LABEL}.json"
-./target/release/maestro-cli perf-report "$TRACE_FILE" \
+./target/release/maestro-cli perf-report "$ESTIMATE_TRACE" "$LAYOUT_TRACE" \
     --label "$LABEL" --out "BENCH_${LABEL}.json"
 
 echo "==> bench smoke passed"

@@ -119,13 +119,13 @@ fn aspect_sweep_shares_one_cache() {
     let stats = sc_stats(&module);
     let tech = builtin::nmos25();
     let table = ProbTable::new();
-    let isolated = sc_candidates_using(&stats, &tech, 5, &table);
+    let isolated = sc_candidates_using(&stats, &tech, 5, &ScParams::default(), &table);
     assert_eq!(isolated, sc_candidates(&stats, &tech, 5));
     let first = table.stats();
     assert!(first.misses > 0, "first sweep must populate the table");
     // A repeated sweep over the same module must be served entirely from
     // the shared cache: same results, zero new distribution computations.
-    let again = sc_candidates_using(&stats, &tech, 5, &table);
+    let again = sc_candidates_using(&stats, &tech, 5, &ScParams::default(), &table);
     assert_eq!(again, isolated);
     let second = table.stats();
     assert_eq!(

@@ -162,12 +162,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks a routine with a borrowed input.
-    pub fn bench_with_input<I: ?Sized, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
     where
         F: FnOnce(&mut Bencher, &I),
     {

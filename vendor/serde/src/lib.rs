@@ -377,7 +377,10 @@ mod tests {
         assert_eq!(i32::from_value(&42i32.to_value()).unwrap(), 42);
         assert_eq!(u64::from_value(&7u64.to_value()).unwrap(), 7);
         assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
-        assert_eq!(String::from_value(&"hi".to_owned().to_value()).unwrap(), "hi");
+        assert_eq!(
+            String::from_value(&"hi".to_owned().to_value()).unwrap(),
+            "hi"
+        );
         assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
     }
 
@@ -395,12 +398,12 @@ mod tests {
         assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), None);
         let mut m = BTreeMap::new();
         m.insert(5i64, "five".to_owned());
-        assert_eq!(BTreeMap::<i64, String>::from_value(&m.to_value()).unwrap(), m);
-        let t = (1u8, -2i64, "x".to_owned());
         assert_eq!(
-            <(u8, i64, String)>::from_value(&t.to_value()).unwrap(),
-            t
+            BTreeMap::<i64, String>::from_value(&m.to_value()).unwrap(),
+            m
         );
+        let t = (1u8, -2i64, "x".to_owned());
+        assert_eq!(<(u8, i64, String)>::from_value(&t.to_value()).unwrap(), t);
     }
 
     #[test]
