@@ -148,23 +148,39 @@ fn bench_batch(c: &mut Criterion) {
                 .collect::<Vec<_>>()
         })
     });
+    // Fresh prob table AND stats cache per iteration: each sample measures
+    // a cold batch, not the process-wide memo warming across iterations.
     group.bench_function("cached_serial", |b| {
         b.iter(|| {
-            let pipeline = Pipeline::new(tech.clone()).with_prob_table(Arc::new(ProbTable::new()));
+            let pipeline = Pipeline::new(tech.clone())
+                .with_prob_table(Arc::new(ProbTable::new()))
+                .with_stats_cache(Arc::new(StatsCache::new()));
             pipeline.run_all(modules.iter()).expect("batch estimates")
         })
     });
     for jobs in [2usize, 8] {
         group.bench_function(format!("cached_parallel_{jobs}_jobs"), |b| {
             b.iter(|| {
-                let pipeline =
-                    Pipeline::new(tech.clone()).with_prob_table(Arc::new(ProbTable::new()));
+                let pipeline = Pipeline::new(tech.clone())
+                    .with_prob_table(Arc::new(ProbTable::new()))
+                    .with_stats_cache(Arc::new(StatsCache::new()));
                 pipeline
                     .run_all_parallel(modules.iter(), jobs)
                     .expect("batch estimates")
             })
         });
     }
+    // The resolve-once path this PR adds: same batch, one warm shared
+    // cache, so only the estimation math is left per iteration.
+    group.bench_function("cached_serial_warm_resolve", |b| {
+        let cache = Arc::new(StatsCache::new());
+        b.iter(|| {
+            let pipeline = Pipeline::new(tech.clone())
+                .with_prob_table(Arc::new(ProbTable::new()))
+                .with_stats_cache(Arc::clone(&cache));
+            pipeline.run_all(modules.iter()).expect("batch estimates")
+        })
+    });
     group.finish();
 }
 

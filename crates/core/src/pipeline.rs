@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use maestro_netlist::{mnl, LayoutStyle, Module, NetlistError, NetlistStats};
+use maestro_netlist::{mnl, LayoutStyle, Module, NetlistError, NetlistStats, StatsCache};
 use maestro_tech::ProcessDb;
 use maestro_trace as trace;
 
@@ -26,23 +26,36 @@ use crate::report::{EstimateRecord, ResultsDb};
 use crate::standard_cell::ScParams;
 use crate::{full_custom, standard_cell};
 
+/// Below this many total nets in a batch, [`Pipeline::run_all_parallel`]
+/// takes the serial path regardless of the requested job count: thread
+/// spawning costs more than estimating a hand-full of nets (the Table 1
+/// suite alone carries ~80 nets and stays parallel).
+pub const DEFAULT_PARALLEL_NET_THRESHOLD: usize = 48;
+
 /// The module-area-estimation pipeline of the paper's Figure 1.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     tech: ProcessDb,
     sc_params: ScParams,
     prob: Arc<ProbTable>,
+    /// Resolve-once memo for `NetlistStats`; `None` runs the uncached
+    /// reference path (differential testing).
+    stats: Option<Arc<StatsCache>>,
+    parallel_net_threshold: usize,
 }
 
 impl Pipeline {
     /// Creates a pipeline over a process database with default
     /// standard-cell parameters, memoizing Eq. 2–3 in the process-wide
-    /// [`ProbTable::shared`] cache.
+    /// [`ProbTable::shared`] cache and netlist resolution in the
+    /// process-wide [`StatsCache::shared`] memo.
     pub fn new(tech: ProcessDb) -> Self {
         Pipeline {
             tech,
             sc_params: ScParams::default(),
             prob: ProbTable::shared(),
+            stats: Some(StatsCache::shared()),
+            parallel_net_threshold: DEFAULT_PARALLEL_NET_THRESHOLD,
         }
     }
 
@@ -59,6 +72,28 @@ impl Pipeline {
         self
     }
 
+    /// Uses an explicit netlist resolution cache instead of the shared
+    /// one (isolating cache statistics in tests and benchmarks).
+    pub fn with_stats_cache(mut self, cache: Arc<StatsCache>) -> Self {
+        self.stats = Some(cache);
+        self
+    }
+
+    /// Disables netlist resolution memoization: every consumer re-runs
+    /// [`NetlistStats::resolve`] from scratch. This is the reference path
+    /// the differential suite compares the cached pipeline against.
+    pub fn without_stats_cache(mut self) -> Self {
+        self.stats = None;
+        self
+    }
+
+    /// Overrides the net-count threshold below which
+    /// [`Pipeline::run_all_parallel`] stays serial (`0` always fans out).
+    pub fn with_parallel_threshold(mut self, total_nets: usize) -> Self {
+        self.parallel_net_threshold = total_nets;
+        self
+    }
+
     /// The process database in use.
     pub fn tech(&self) -> &ProcessDb {
         &self.tech
@@ -67,6 +102,24 @@ impl Pipeline {
     /// The probability table estimates are served from.
     pub fn prob_table(&self) -> &Arc<ProbTable> {
         &self.prob
+    }
+
+    /// The netlist resolution cache, unless running uncached.
+    pub fn stats_cache(&self) -> Option<&Arc<StatsCache>> {
+        self.stats.as_ref()
+    }
+
+    /// Resolves a module's statistics through the cache (shared `Arc` per
+    /// (module, technology, style)), or uncached when disabled.
+    fn resolve_stats(
+        &self,
+        module: &Module,
+        style: LayoutStyle,
+    ) -> Result<Arc<NetlistStats>, NetlistError> {
+        match &self.stats {
+            Some(cache) => cache.resolve(module, &self.tech, style),
+            None => NetlistStats::resolve(module, &self.tech, style).map(Arc::new),
+        }
     }
 
     /// Estimates one module under every style its templates resolve for.
@@ -79,28 +132,23 @@ impl Pipeline {
     pub fn run_module(&self, module: &Module) -> Result<EstimateRecord, NetlistError> {
         let _module_span = trace::span_with("pipeline.module", || module.name().to_owned());
         trace::counter("estimate.nets", module.net_count() as u64);
-        let (sc, sc_candidates) =
-            match NetlistStats::resolve(module, &self.tech, LayoutStyle::StandardCell) {
-                Ok(stats) if stats.device_count() > 0 => {
-                    let _sc_span = trace::span("estimate.standard_cell");
-                    let primary = standard_cell::estimate_using(
-                        &stats,
-                        &self.tech,
-                        &self.sc_params,
-                        &self.prob,
-                    );
-                    let candidates = crate::multi_aspect::sc_candidates_using(
-                        &stats,
-                        &self.tech,
-                        crate::multi_aspect::DEFAULT_CANDIDATES,
-                        &self.sc_params,
-                        &self.prob,
-                    );
-                    (Some(primary), candidates)
-                }
-                _ => (None, Vec::new()),
-            };
-        let fc = match NetlistStats::resolve(module, &self.tech, LayoutStyle::FullCustom) {
+        let (sc, sc_candidates) = match self.resolve_stats(module, LayoutStyle::StandardCell) {
+            Ok(stats) if stats.device_count() > 0 => {
+                let _sc_span = trace::span("estimate.standard_cell");
+                let primary =
+                    standard_cell::estimate_using(&stats, &self.tech, &self.sc_params, &self.prob);
+                let candidates = crate::multi_aspect::sc_candidates_using(
+                    &stats,
+                    &self.tech,
+                    crate::multi_aspect::DEFAULT_CANDIDATES,
+                    &self.sc_params,
+                    &self.prob,
+                );
+                (Some(primary), candidates)
+            }
+            _ => (None, Vec::new()),
+        };
+        let fc = match self.resolve_stats(module, LayoutStyle::FullCustom) {
             Ok(stats) if stats.device_count() > 0 => {
                 let _fc_span = trace::span("estimate.full_custom");
                 Some(full_custom::estimate(&stats, &self.tech))
@@ -191,7 +239,11 @@ impl Pipeline {
     /// probability table; results are merged in the modules' original
     /// order, so the produced [`ResultsDb`] — and its JSON serialization —
     /// is identical to the serial run's. `jobs` is clamped to
-    /// `1..=modules.len()`; `jobs <= 1` degenerates to the serial loop.
+    /// `1..=modules.len()`; `jobs <= 1` degenerates to the serial loop, as
+    /// do batches totalling fewer nets than the pipeline's parallel
+    /// threshold ([`DEFAULT_PARALLEL_NET_THRESHOLD`] unless overridden via
+    /// [`Pipeline::with_parallel_threshold`]) — thread spawn cost swamps
+    /// the estimation work on tiny batches.
     ///
     /// # Errors
     ///
@@ -208,7 +260,8 @@ impl Pipeline {
     {
         let modules: Vec<&Module> = modules.into_iter().collect();
         let jobs = jobs.clamp(1, modules.len().max(1));
-        if jobs <= 1 {
+        let total_nets: usize = modules.iter().map(|m| m.net_count()).sum();
+        if jobs <= 1 || total_nets < self.parallel_net_threshold {
             return self.run_all(modules);
         }
         let batch = trace::span_with("pipeline.run_all", || {
@@ -370,6 +423,78 @@ mod tests {
         let serial = p.run_all(modules.iter()).unwrap_err();
         let parallel = p.run_all_parallel(modules.iter(), 4).unwrap_err();
         assert_eq!(format!("{serial}"), format!("{parallel}"));
+    }
+
+    #[test]
+    fn small_batch_falls_back_to_serial_path() {
+        let collector = Arc::new(trace::Collector::new());
+        let p = Pipeline::new(builtin::nmos25());
+        let modules = [generate::counter(2), generate::counter(3)];
+        let total_nets: usize = modules.iter().map(|m| m.net_count()).sum();
+        assert!(
+            total_nets < DEFAULT_PARALLEL_NET_THRESHOLD,
+            "fixture must stay under the threshold, has {total_nets} nets"
+        );
+        trace::with_sink(Arc::clone(&collector) as Arc<dyn trace::Sink>, || {
+            p.run_all_parallel(modules.iter(), 8).expect("estimates");
+        });
+        let spans = collector.spans();
+        let batch = spans
+            .iter()
+            .find(|s| s.name == "pipeline.run_all")
+            .expect("batch span present");
+        assert!(
+            batch.detail.starts_with("serial"),
+            "expected serial fallback, got detail {:?}",
+            batch.detail
+        );
+        assert!(
+            !spans.iter().any(|s| s.name == "pipeline.worker"),
+            "serial fallback must not spawn workers"
+        );
+    }
+
+    #[test]
+    fn threshold_zero_forces_the_parallel_path() {
+        let collector = Arc::new(trace::Collector::new());
+        let p = Pipeline::new(builtin::nmos25()).with_parallel_threshold(0);
+        let modules = [generate::counter(2), generate::counter(3)];
+        trace::with_sink(Arc::clone(&collector) as Arc<dyn trace::Sink>, || {
+            p.run_all_parallel(modules.iter(), 2).expect("estimates");
+        });
+        let spans = collector.spans();
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "pipeline.worker").count(),
+            2,
+            "threshold 0 must fan out even for tiny batches"
+        );
+    }
+
+    #[test]
+    fn pipeline_resolves_each_module_once_per_style() {
+        use maestro_netlist::StatsCache;
+        let cache = Arc::new(StatsCache::new());
+        let p = Pipeline::new(builtin::nmos25()).with_stats_cache(Arc::clone(&cache));
+        let module = generate::counter(4);
+        p.run_module(&module).expect("estimates");
+        let first = cache.stats();
+        assert_eq!(first.misses, 2, "one resolve per style, both fresh");
+        assert_eq!(first.hits, 0);
+        p.run_module(&module).expect("estimates again");
+        let second = cache.stats();
+        assert_eq!(second.misses, 2, "re-running must not re-resolve");
+        assert_eq!(second.hits, 2);
+    }
+
+    #[test]
+    fn uncached_pipeline_matches_cached_byte_for_byte() {
+        let modules = library_circuits::table1_suite();
+        let cached = Pipeline::new(builtin::nmos25());
+        let uncached = Pipeline::new(builtin::nmos25()).without_stats_cache();
+        assert!(uncached.stats_cache().is_none());
+        let a = cached.run_all(modules.iter()).expect("cached run");
+        let b = uncached.run_all(modules.iter()).expect("uncached run");
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Floorplan blocks: named shape curves fed by the estimator.
 
-use maestro_estimator::EstimateRecord;
+use maestro_estimator::{EstimateRecord, Pipeline};
 use maestro_geom::{Lambda, LambdaArea, ShapeCurve};
+use maestro_netlist::{Module, NetlistError};
 use serde::{Deserialize, Serialize};
 
 /// A module as the floorplanner sees it: a name and a curve of feasible
@@ -92,6 +93,25 @@ impl Block {
         }
     }
 
+    /// Estimates a module through `pipeline` and builds its block, the
+    /// Figure 1 estimator → floorplanner hand-off in one call. The
+    /// pipeline's resolve-once cache makes repeat floorplans of the same
+    /// module skip the netlist analysis.
+    ///
+    /// Returns `Ok(None)` when the record carries no estimate.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Pipeline::run_module`].
+    pub fn from_module(
+        pipeline: &Pipeline,
+        module: &Module,
+        steps: usize,
+    ) -> Result<Option<Block>, NetlistError> {
+        let record = pipeline.run_module(module)?;
+        Ok(Block::from_record(&record, steps))
+    }
+
     /// Block name.
     pub fn name(&self) -> &str {
         &self.name
@@ -170,5 +190,21 @@ mod tests {
             standard_cell_candidates: Vec::new(),
         };
         assert!(Block::from_record(&none, 4).is_none());
+    }
+
+    #[test]
+    fn from_module_runs_the_pipeline_and_matches_from_record() {
+        use maestro_netlist::generate;
+        use maestro_tech::builtin;
+
+        let pipeline = Pipeline::new(builtin::nmos25());
+        let module = generate::ripple_adder(2);
+        let via_module = Block::from_module(&pipeline, &module, 4)
+            .expect("estimates")
+            .expect("has an estimate");
+        let record = pipeline.run_module(&module).expect("estimates");
+        let via_record = Block::from_record(&record, 4).expect("has an estimate");
+        assert_eq!(via_module, via_record);
+        assert_eq!(via_module.name(), "ripple_adder_2");
     }
 }

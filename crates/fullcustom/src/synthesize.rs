@@ -2,7 +2,7 @@
 //! wiring allocation → the "real" full-custom module.
 
 use maestro_geom::{AspectRatio, Lambda, LambdaArea};
-use maestro_netlist::{DeviceId, LayoutStyle, Module, NetlistError, NetlistStats};
+use maestro_netlist::{DeviceId, LayoutStyle, Module, NetlistError, StatsCache};
 use maestro_place::{anneal, AnnealSchedule, AnnealState};
 use maestro_tech::ProcessDb;
 use maestro_trace as trace;
@@ -427,7 +427,9 @@ fn synthesize_with(
     }
     let _synth_span = trace::span_with("fullcustom.synthesize", || module.name().to_owned());
     trace::counter("fullcustom.devices", module.device_count() as u64);
-    let stats = NetlistStats::resolve(module, tech, LayoutStyle::FullCustom)?;
+    // Served from the shared resolve-once cache: synthesis after an
+    // estimate of the same module re-uses the estimate's analysis.
+    let stats = StatsCache::shared().resolve(module, tech, LayoutStyle::FullCustom)?;
     let tiles: Vec<(Lambda, Lambda)> = (0..module.device_count())
         .map(|i| {
             let d = module.device(DeviceId::new(i as u32));

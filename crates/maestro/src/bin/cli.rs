@@ -27,7 +27,8 @@ fn usage() -> &'static str {
      maestro-cli report    <file...> [--tech ...] [--aspect LIMIT] [--svg out.svg]\n  \
      maestro-cli layout    <file> [--tech ...] [--rows N] [--svg out.svg]\n  \
      maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT] [--svg out.svg]\n  \
-     maestro-cli perf-report <trace.jsonl>... [--label NAME] [--out file.json]\n\n\
+     maestro-cli perf-report <trace.jsonl>... [--label NAME] [--out file.json]\n  \
+     \x20                     [--baseline BENCH.json] [--max-regression PCT] [--noise-floor-us N]\n\n\
      any command also accepts --trace <file.jsonl> to record a stage-level\n\
      trace of the run (fold it with perf-report)."
 }
@@ -68,6 +69,9 @@ struct Options {
     trace: Option<String>,
     label: Option<String>,
     out: Option<String>,
+    baseline: Option<String>,
+    max_regression: f64,
+    noise_floor_us: u64,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -82,6 +86,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         trace: None,
         label: None,
         out: None,
+        baseline: None,
+        max_regression: 30.0,
+        noise_floor_us: 25_000,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -117,6 +124,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--out" => {
                 opts.out = Some(it.next().ok_or("--out needs a path")?.clone());
+            }
+            "--baseline" => {
+                opts.baseline = Some(it.next().ok_or("--baseline needs a path")?.clone());
+            }
+            "--max-regression" => {
+                let v = it.next().ok_or("--max-regression needs a percentage")?;
+                let pct: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad regression percentage `{v}`"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err("--max-regression must be a non-negative percentage".to_owned());
+                }
+                opts.max_regression = pct;
+            }
+            "--noise-floor-us" => {
+                let v = it.next().ok_or("--noise-floor-us needs a value")?;
+                opts.noise_floor_us = v.parse().map_err(|_| format!("bad noise floor `{v}`"))?;
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             file => opts.files.push(file.to_owned()),
@@ -181,7 +205,12 @@ fn cmd_layout(opts: &Options) -> Result<(), String> {
         for module in load_modules(file)? {
             // Gate-level modules go through place & route; transistor-level
             // through the synthesizer — decided by which table resolves.
-            if NetlistStats::resolve(&module, &tech, LayoutStyle::StandardCell).is_ok() {
+            // Probing via the shared cache means `place` below re-uses this
+            // very resolution instead of re-scanning the module.
+            if StatsCache::shared()
+                .resolve(&module, &tech, LayoutStyle::StandardCell)
+                .is_ok()
+            {
                 let rows = opts.rows.unwrap_or(2);
                 let placed = place(
                     &module,
@@ -328,8 +357,11 @@ fn cmd_floorplan(opts: &Options) -> Result<(), String> {
     let mut blocks = Vec::new();
     for file in &opts.files {
         for module in load_modules(file)? {
-            let record = pipeline.run_module(&module).map_err(|e| e.to_string())?;
-            if let Some(block) = Block::from_record(&record, 5) {
+            // One estimator pass per module; the pipeline's resolve-once
+            // cache carries the analysis into any later layout commands.
+            if let Some(block) =
+                Block::from_module(&pipeline, &module, 5).map_err(|e| e.to_string())?
+            {
                 blocks.push(block);
             }
         }
@@ -381,6 +413,36 @@ fn cmd_perf_report(opts: &Options) -> Result<(), String> {
     std::fs::write(&out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
     print!("{}", report.render());
     println!("wrote {out}");
+    // The CI trace-regression gate: against a committed baseline report,
+    // any stage whose self time grew beyond the envelope fails the run.
+    if let Some(path) = &opts.baseline {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let baseline = maestro::trace::report::PerfReport::from_json(&text)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let found = maestro::trace::report::regressions(
+            &report,
+            &baseline,
+            opts.max_regression / 100.0,
+            opts.noise_floor_us,
+        );
+        if !found.is_empty() {
+            let mut msg = format!(
+                "{} stage(s) regressed more than {}% against {path} \
+                 (noise floor {} µs):",
+                found.len(),
+                opts.max_regression,
+                opts.noise_floor_us
+            );
+            for r in &found {
+                msg.push_str(&format!("\n  {r}"));
+            }
+            return Err(msg);
+        }
+        println!(
+            "no stage regressed more than {}% against {path}",
+            opts.max_regression
+        );
+    }
     Ok(())
 }
 

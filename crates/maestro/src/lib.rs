@@ -57,7 +57,7 @@ pub mod prelude {
     pub use maestro_fullcustom::{synthesize, FcLayout, SynthesisParams};
     pub use maestro_geom::{AspectRatio, Lambda, LambdaArea};
     pub use maestro_netlist::{
-        LayoutStyle, Module, ModuleBuilder, NetlistError, NetlistStats, PortDirection,
+        LayoutStyle, Module, ModuleBuilder, NetlistError, NetlistStats, PortDirection, StatsCache,
     };
     pub use maestro_place::{place, PlaceParams, PlacedModule};
     pub use maestro_route::{route, RoutedModule};

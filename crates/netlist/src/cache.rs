@@ -1,0 +1,387 @@
+//! Resolve-once memoization for [`NetlistStats`].
+//!
+//! `NetlistStats::resolve` is the estimator stack's hot setup cost: every
+//! consumer — the standard-cell estimator, the multi-aspect sweep, the
+//! full-custom estimator, placement, synthesis — re-scans the module and
+//! re-queries the technology tables. Inside a floorplanner's iterate loop
+//! the same `(module, technology, style)` triple recurs thousands of
+//! times, so resolution must be paid once per triple, not once per
+//! consumer.
+//!
+//! [`StatsCache`] is that memo: a concurrent map keyed by
+//! ([`ModuleFingerprint`], [`maestro_tech::TechRevision`],
+//! [`LayoutStyle`]) returning `Arc<NetlistStats>`. Failed resolutions are
+//! cached too (a transistor-level module probed under the standard-cell
+//! style fails identically every time), so even the error path costs one
+//! scan per key.
+//!
+//! Concurrency contract (stronger than `ProbTable`'s): each key is
+//! computed **exactly once** even under races — late arrivals block on the
+//! winner's [`OnceLock`] slot instead of duplicating the scan — and
+//! distinct keys never serialize against each other's computation.
+//!
+//! Every lookup emits a `netlist.resolve.hits` / `netlist.resolve.misses`
+//! trace counter increment (no-ops when tracing is disabled), so traced
+//! runs surface cache effectiveness in `perf-report`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use maestro_tech::ProcessDb;
+use maestro_trace as trace;
+
+use crate::{LayoutStyle, Module, NetlistError, NetlistStats};
+
+/// A 128-bit content fingerprint of a [`Module`].
+///
+/// Covers everything `NetlistStats::resolve` can observe — the module
+/// name, every device (name, template, pin bindings), every net (name,
+/// attached pins and ports) and every port (name, direction, net) — in a
+/// canonical length-prefixed byte encoding, so *any* mutation that could
+/// change resolution output changes the fingerprint. The converse is
+/// deliberately not guaranteed: two modules that differ only in, say,
+/// declaration order get distinct fingerprints even though their stats
+/// may coincide. Over-separation only costs a duplicate cache entry;
+/// under-separation would serve wrong answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModuleFingerprint(u128);
+
+/// FNV-1a, 128-bit variant: tiny, dependency-free and plenty for a cache
+/// key that only needs to separate the modules of one run (collisions
+/// need ~2^64 distinct modules).
+struct Fnv128(u128);
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+
+    fn new() -> Self {
+        Fnv128(Self::OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Length-prefixed string: `"ab" + "c"` and `"a" + "bc"` must hash
+    /// differently.
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+impl ModuleFingerprint {
+    /// Fingerprints a module's full content.
+    pub fn of(module: &Module) -> Self {
+        let mut h = Fnv128::new();
+        h.str(module.name());
+        h.u64(module.port_count() as u64);
+        for (_, port) in module.ports() {
+            h.str(port.name());
+            h.u64(port.direction() as u64);
+            h.u64(port.net().index() as u64);
+        }
+        h.u64(module.device_count() as u64);
+        for (_, device) in module.devices() {
+            h.str(device.name());
+            h.str(device.template());
+            h.u64(device.pins().len() as u64);
+            for (pin, net) in device.pins() {
+                h.str(pin);
+                h.u64(net.index() as u64);
+            }
+        }
+        h.u64(module.net_count() as u64);
+        for (_, net) in module.nets() {
+            h.str(net.name());
+            h.u64(net.pins().len() as u64);
+            for pin in net.pins() {
+                h.u64(pin.device.index() as u64);
+                h.str(&pin.pin);
+            }
+            h.u64(net.ports().len() as u64);
+            for port in net.ports() {
+                h.u64(port.index() as u64);
+            }
+        }
+        ModuleFingerprint(h.0)
+    }
+}
+
+impl fmt::Display for ModuleFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Cache statistics of a [`StatsCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the memo.
+    pub hits: u64,
+    /// Lookups that ran `NetlistStats::resolve` (successfully or not).
+    pub misses: u64,
+    /// Distinct keys currently cached (including cached failures).
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit/miss growth since an `earlier` snapshot of the same cache.
+    /// `entries` carries the current level (it is not a monotonic
+    /// counter). Saturates if the snapshots are swapped.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            entries: self.entries,
+        }
+    }
+}
+
+/// One memo slot. The `OnceLock` guarantees the resolve runs exactly once
+/// per key: the losing thread of an insertion race blocks in
+/// `get_or_init` until the winner's computation lands, instead of
+/// duplicating it.
+type Slot = Arc<OnceLock<Result<Arc<NetlistStats>, NetlistError>>>;
+
+/// The concurrent resolve-once memo for [`NetlistStats`].
+///
+/// # Examples
+///
+/// ```
+/// use maestro_netlist::{generate, LayoutStyle, StatsCache};
+/// use maestro_tech::builtin;
+///
+/// let cache = StatsCache::new();
+/// let tech = builtin::nmos25();
+/// let m = generate::counter(3);
+/// let first = cache.resolve(&m, &tech, LayoutStyle::StandardCell).unwrap();
+/// // The second lookup — even through a clone — shares the same Arc.
+/// let second = cache.resolve(&m.clone(), &tech, LayoutStyle::StandardCell).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&first, &second));
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct StatsCache {
+    memo: RwLock<HashMap<(ModuleFingerprint, u64, LayoutStyle), Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl StatsCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        StatsCache::default()
+    }
+
+    /// The process-wide shared cache: entry points that carry no explicit
+    /// cache (placement, full-custom synthesis, the CLI's layout-style
+    /// probe) memoize here, so one invocation resolves each
+    /// (module, technology, style) triple exactly once across every
+    /// consumer.
+    pub fn shared() -> Arc<StatsCache> {
+        static SHARED: OnceLock<Arc<StatsCache>> = OnceLock::new();
+        SHARED.get_or_init(|| Arc::new(StatsCache::new())).clone()
+    }
+
+    /// Memoized [`NetlistStats::resolve`]: returns the shared `Arc` for
+    /// the (module content, technology revision, style) key, scanning the
+    /// module only on first use. Failures are memoized too and replayed
+    /// on every later lookup of the same key.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`NetlistStats::resolve`].
+    pub fn resolve(
+        &self,
+        module: &Module,
+        tech: &ProcessDb,
+        style: LayoutStyle,
+    ) -> Result<Arc<NetlistStats>, NetlistError> {
+        let key = (ModuleFingerprint::of(module), tech.revision().id(), style);
+        let slot = {
+            let read = self.memo.read().expect("stats memo poisoned");
+            read.get(&key).cloned()
+        };
+        let slot = match slot {
+            Some(slot) => slot,
+            None => {
+                let mut write = self.memo.write().expect("stats memo poisoned");
+                Arc::clone(write.entry(key).or_default())
+            }
+        };
+        // Outside both locks: concurrent *distinct* keys compute freely in
+        // parallel; concurrent *same-key* callers block here until the one
+        // winning closure finishes, so the scan runs exactly once per key.
+        let mut computed = false;
+        let result = slot
+            .get_or_init(|| {
+                computed = true;
+                NetlistStats::resolve(module, tech, style).map(Arc::new)
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            trace::counter("netlist.resolve.misses", 1);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            trace::counter("netlist.resolve.hits", 1);
+        }
+        result
+    }
+
+    /// Hit/miss/entry counters (hits and misses are read `Relaxed`; exact
+    /// only in quiescence, indicative under concurrency).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.memo.read().expect("stats memo poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, library_circuits, ModuleBuilder};
+    use maestro_tech::builtin;
+
+    #[test]
+    fn fingerprint_is_stable_across_clones_and_rebuilds() {
+        let m = generate::counter(4);
+        assert_eq!(ModuleFingerprint::of(&m), ModuleFingerprint::of(&m.clone()));
+        // Two independent constructions of the same circuit agree.
+        assert_eq!(
+            ModuleFingerprint::of(&generate::counter(4)),
+            ModuleFingerprint::of(&m)
+        );
+        assert_ne!(
+            ModuleFingerprint::of(&generate::counter(5)),
+            ModuleFingerprint::of(&m)
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_name_boundary_shifts() {
+        // Length prefixing: moving a character between adjacent strings
+        // must not collide.
+        let build = |dev: &str, tpl: &str| {
+            let mut b = ModuleBuilder::new("m");
+            let n = b.net("n");
+            b.device(dev, tpl, [("A", n)]);
+            b.finish()
+        };
+        assert_ne!(
+            ModuleFingerprint::of(&build("ab", "INV")),
+            ModuleFingerprint::of(&build("a", "bINV"))
+        );
+    }
+
+    #[test]
+    fn resolve_hits_after_first_miss_and_shares_the_arc() {
+        let cache = StatsCache::new();
+        let tech = builtin::nmos25();
+        let m = library_circuits::nmos_full_adder();
+        let a = cache.resolve(&m, &tech, LayoutStyle::FullCustom).unwrap();
+        let b = cache.resolve(&m, &tech, LayoutStyle::FullCustom).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+        // A different style is a different key.
+        let _ = cache.resolve(&m, &tech, LayoutStyle::StandardCell);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn failures_are_memoized() {
+        let cache = StatsCache::new();
+        let tech = builtin::nmos25();
+        // Transistor-level templates do not resolve as standard cells.
+        let m = library_circuits::nmos_full_adder();
+        let e1 = cache
+            .resolve(&m, &tech, LayoutStyle::StandardCell)
+            .unwrap_err();
+        let e2 = cache
+            .resolve(&m, &tech, LayoutStyle::StandardCell)
+            .unwrap_err();
+        assert_eq!(format!("{e1}"), format!("{e2}"));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn tech_mutation_invalidates_without_evicting_the_old_entry() {
+        let cache = StatsCache::new();
+        let tech = builtin::nmos25();
+        let m = library_circuits::pass_chain(4);
+        let old = cache.resolve(&m, &tech, LayoutStyle::FullCustom).unwrap();
+        let mut patched = tech.clone();
+        patched
+            .add_device(maestro_tech::DeviceTemplate::new(
+                "exotic",
+                maestro_tech::DeviceClass::NmosEnhancement,
+                maestro_geom::Lambda::new(10),
+                maestro_geom::Lambda::new(10),
+            ))
+            .expect("adds");
+        let fresh = cache
+            .resolve(&m, &patched, LayoutStyle::FullCustom)
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&old, &fresh),
+            "a mutated technology must re-resolve"
+        );
+        assert_eq!(cache.stats().misses, 2);
+        // The original technology's entry is still live.
+        let again = cache.resolve(&m, &tech, LayoutStyle::FullCustom).unwrap();
+        assert!(Arc::ptr_eq(&old, &again));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn shared_cache_is_one_instance() {
+        assert!(Arc::ptr_eq(&StatsCache::shared(), &StatsCache::shared()));
+    }
+
+    #[test]
+    fn delta_since_subtracts_and_saturates() {
+        let a = CacheStats {
+            hits: 10,
+            misses: 4,
+            entries: 3,
+        };
+        let b = CacheStats {
+            hits: 12,
+            misses: 4,
+            entries: 5,
+        };
+        assert_eq!(
+            b.delta_since(&a),
+            CacheStats {
+                hits: 2,
+                misses: 0,
+                entries: 5
+            }
+        );
+        assert_eq!(a.delta_since(&b).hits, 0, "swapped snapshots saturate");
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`NetlistStats`] — the "mathematical representation": the paper's
 //!   `N`, `H`, `Wi`/`Xi`, `yi` and port statistics, resolved against a
 //!   [`maestro_tech::ProcessDb`];
+//! * [`StatsCache`] — the resolve-once memo over [`NetlistStats`], keyed
+//!   by ([`ModuleFingerprint`], technology revision, [`LayoutStyle`]);
 //! * [`generate`] — seeded synthetic circuit generators (random logic plus
 //!   structured shift registers, adders, decoders, counters, mux trees);
 //! * [`library_circuits`] — the re-created Table 1 and Table 2 experiment
@@ -39,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 pub mod depth;
 mod error;
 pub mod expand;
@@ -51,6 +54,7 @@ pub mod spice;
 mod stats;
 pub mod validate;
 
+pub use cache::{CacheStats, ModuleFingerprint, StatsCache};
 pub use error::{NetlistError, ParseErrorKind};
 pub use ids::{DeviceId, NetId, PortId};
 pub use module::{Device, Module, ModuleBuilder, Net, PinRef, Port, PortDirection};

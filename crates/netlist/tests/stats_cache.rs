@@ -1,0 +1,230 @@
+//! Integration tests for the resolve-once [`StatsCache`]:
+//!
+//! * property tests that [`ModuleFingerprint`] separates semantically
+//!   distinct modules (and only those) — mutations that change what
+//!   [`NetlistStats::resolve`] observes must change the key;
+//! * a concurrency stress test proving one cache instance hands out one
+//!   computation per key with no deadlock under thread contention.
+
+use std::sync::{Arc, Barrier};
+
+use maestro_netlist::generate::{self, RandomLogicConfig};
+use maestro_netlist::{
+    LayoutStyle, Module, ModuleBuilder, ModuleFingerprint, NetlistStats, StatsCache,
+};
+use maestro_tech::builtin;
+use proptest::prelude::*;
+
+/// A structural edit applied while rebuilding a module from its parts.
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    /// Faithful rebuild — the control arm.
+    None,
+    /// Append one extra device on a fresh net.
+    AddDevice,
+    /// Drop the last device.
+    DropLastDevice,
+    /// Swap one device's template for a different known one.
+    Retemplate(usize),
+    /// Move one device's first pin onto a fresh net.
+    Rewire(usize),
+}
+
+/// Rebuilds `module` through a fresh [`ModuleBuilder`], applying the
+/// mutation. A [`Mutation::None`] rebuild is structurally identical, which
+/// is itself part of the property: the fingerprint must not depend on
+/// builder identity or insertion incidentals the module doesn't keep.
+fn rebuild_with(module: &Module, mutation: Mutation) -> Module {
+    let mut b = ModuleBuilder::new(module.name());
+    // Pre-declare every net in original id order: the builder numbers nets
+    // by first reference, and the fingerprint covers net ids.
+    for (_, net) in module.nets() {
+        b.net(net.name());
+    }
+    for (_, port) in module.ports() {
+        b.port(port.name(), port.direction());
+    }
+    let last = module.device_count().saturating_sub(1);
+    for (i, (_, dev)) in module.devices().enumerate() {
+        if matches!(mutation, Mutation::DropLastDevice) && i == last {
+            continue;
+        }
+        let template = match mutation {
+            Mutation::Retemplate(target) if i == target % module.device_count() => {
+                if dev.template() == "INV" {
+                    "NAND2"
+                } else {
+                    "INV"
+                }
+            }
+            _ => dev.template(),
+        };
+        let rewire_first = matches!(
+            mutation,
+            Mutation::Rewire(target) if i == target % module.device_count()
+        );
+        let pins: Vec<(&str, maestro_netlist::NetId)> = dev
+            .pins()
+            .iter()
+            .enumerate()
+            .map(|(p, (pin, net))| {
+                let id = if rewire_first && p == 0 {
+                    b.net("__rewired")
+                } else {
+                    b.net(module.net(*net).name())
+                };
+                (pin.as_str(), id)
+            })
+            .collect();
+        b.device(dev.name(), template, pins);
+    }
+    if matches!(mutation, Mutation::AddDevice) {
+        let a = b.net("__grafted");
+        let y = b.net("__grafted_y");
+        b.device("__extra", "INV", [("A", a), ("Y", y)]);
+    }
+    b.finish()
+}
+
+fn mutation_for(pick: usize, index: usize) -> Mutation {
+    match pick % 4 {
+        0 => Mutation::AddDevice,
+        1 => Mutation::DropLastDevice,
+        2 => Mutation::Retemplate(index),
+        _ => Mutation::Rewire(index),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fingerprint_separates_semantically_distinct_modules(
+        seed in 0u64..300,
+        devices in 3usize..30,
+        pick in 0usize..4,
+        index in 0usize..64,
+    ) {
+        let cfg = RandomLogicConfig { device_count: devices, ..Default::default() };
+        let module = generate::random_logic(seed, &cfg);
+        let base_fp = ModuleFingerprint::of(&module);
+
+        // Control arm: a faithful rebuild keys identically.
+        let same = rebuild_with(&module, Mutation::None);
+        prop_assert_eq!(ModuleFingerprint::of(&same), base_fp);
+
+        // Mutated arm: every structural edit separates.
+        let mutated = rebuild_with(&module, mutation_for(pick, index));
+        let mutated_fp = ModuleFingerprint::of(&mutated);
+        prop_assert_ne!(mutated_fp, base_fp, "mutation {:?}", mutation_for(pick, index));
+
+        // And whenever the edit changes what resolution observes, the
+        // keys MUST differ — the cache-correctness direction.
+        let tech = builtin::nmos25();
+        let before = NetlistStats::resolve(&module, &tech, LayoutStyle::StandardCell);
+        let after = NetlistStats::resolve(&mutated, &tech, LayoutStyle::StandardCell);
+        if let (Ok(before), Ok(after)) = (before, after) {
+            if before != after {
+                prop_assert_ne!(mutated_fp, base_fp);
+            }
+        }
+    }
+
+    #[test]
+    fn cloned_identical_modules_share_one_cache_entry(
+        seed in 0u64..300,
+        devices in 3usize..30,
+    ) {
+        let cfg = RandomLogicConfig { device_count: devices, ..Default::default() };
+        let module = generate::random_logic(seed, &cfg);
+        let clone = module.clone();
+        let rebuilt = rebuild_with(&module, Mutation::None);
+
+        let tech = builtin::nmos25();
+        let cache = StatsCache::new();
+        let first = cache
+            .resolve(&module, &tech, LayoutStyle::StandardCell)
+            .expect("resolves");
+        for other in [&clone, &rebuilt] {
+            let again = cache
+                .resolve(other, &tech, LayoutStyle::StandardCell)
+                .expect("resolves");
+            prop_assert!(Arc::ptr_eq(&first, &again), "distinct allocation returned");
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert_eq!(stats.hits, 2);
+        prop_assert_eq!(stats.entries, 1);
+    }
+}
+
+#[test]
+fn contended_cache_resolves_each_key_exactly_once() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 16;
+
+    let tech = builtin::nmos25();
+    let modules: Vec<Module> = (2..6).map(generate::counter).collect();
+    let cache = Arc::new(StatsCache::new());
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let references: Vec<Arc<NetlistStats>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (cache, barrier, tech, modules) = (&cache, &barrier, &tech, &modules);
+                scope.spawn(move || {
+                    // All threads release together so first-resolve races
+                    // actually happen.
+                    barrier.wait();
+                    let mut seen = Vec::new();
+                    for round in 0..ROUNDS {
+                        for module in modules {
+                            let stats = cache
+                                .resolve(module, tech, LayoutStyle::StandardCell)
+                                .expect("resolves");
+                            if round == 0 {
+                                seen.push(stats);
+                            }
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let mut per_thread = handles.into_iter().map(|h| h.join().expect("no panic"));
+        let references = per_thread.next().expect("at least one thread");
+        // Every thread got the same allocation for every key.
+        for other in per_thread {
+            for (a, b) in references.iter().zip(&other) {
+                assert!(Arc::ptr_eq(a, b), "duplicate computation leaked out");
+            }
+        }
+        references
+    });
+    assert_eq!(references.len(), modules.len());
+
+    let stats = cache.stats();
+    let total = (THREADS * ROUNDS * modules.len()) as u64;
+    assert_eq!(
+        stats.misses,
+        modules.len() as u64,
+        "exactly one miss per distinct key"
+    );
+    assert_eq!(stats.hits, total - stats.misses);
+    assert_eq!(stats.entries, modules.len());
+}
+
+#[test]
+fn distinct_styles_are_distinct_keys() {
+    let tech = builtin::nmos25();
+    let cache = StatsCache::new();
+    let module = generate::counter(3);
+    let sc = cache.resolve(&module, &tech, LayoutStyle::StandardCell);
+    let fc = cache.resolve(&module, &tech, LayoutStyle::FullCustom);
+    // A gate-level module resolves SC; FC is a separate (here failing)
+    // entry, not a hit on the SC slot.
+    assert!(sc.is_ok());
+    assert!(fc.is_err());
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
+}

@@ -2,7 +2,7 @@
 //! output consumed by the channel router.
 
 use maestro_geom::{Lambda, Point};
-use maestro_netlist::{DeviceId, LayoutStyle, Module, NetId, NetlistError, NetlistStats};
+use maestro_netlist::{DeviceId, LayoutStyle, Module, NetId, NetlistError, StatsCache};
 use maestro_tech::ProcessDb;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -553,8 +553,10 @@ fn place_with(
         return Err(NetlistError::invalid("row count must be positive"));
     }
     let _place_span = maestro_trace::span_with("place", || module.name().to_owned());
-    // Resolve templates (errors early, uniform with the estimator).
-    let stats = NetlistStats::resolve(module, tech, LayoutStyle::StandardCell)?;
+    // Resolve templates (errors early, uniform with the estimator). Served
+    // from the shared resolve-once cache: a placement run after a pipeline
+    // estimate of the same module re-uses the estimate's analysis.
+    let stats = StatsCache::shared().resolve(module, tech, LayoutStyle::StandardCell)?;
     let widths: Vec<Lambda> = (0..module.device_count())
         .map(|i| {
             let d = module.device(DeviceId::new(i as u32));

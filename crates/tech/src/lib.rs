@@ -45,4 +45,4 @@ mod process;
 pub use cell_library::{CellLibrary, CellTemplate, PinSide, PinTemplate};
 pub use device::{DeviceClass, DeviceTemplate};
 pub use error::TechError;
-pub use process::ProcessDb;
+pub use process::{ProcessDb, TechRevision};

@@ -2,11 +2,76 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use maestro_geom::{DesignRules, Lambda};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::{CellLibrary, DeviceTemplate, TechError};
+
+/// An identity token that changes whenever a [`ProcessDb`]'s content may
+/// have changed — the invalidation key consumers (the netlist resolution
+/// cache) pair with a module fingerprint.
+///
+/// Semantics:
+///
+/// * every [`ProcessDb::new`] gets a process-unique revision;
+/// * a successful [`ProcessDb::add_device`] bumps the database to a fresh
+///   revision (the only mutator today);
+/// * `Clone` copies the revision: a clone has identical content, so
+///   sharing cache entries with the original is correct — the first
+///   mutation of either side moves it to its own revision;
+/// * [`PartialEq`] always answers `true`, so two databases with equal
+///   content compare equal regardless of construction history (revision is
+///   identity, not content);
+/// * serialization writes the id for debuggability, but deserialization
+///   deliberately *ignores* it and mints a fresh revision — ids are only
+///   unique within one process, so a stored id must never collide with a
+///   live one.
+#[derive(Debug, Clone, Copy)]
+pub struct TechRevision(u64);
+
+impl TechRevision {
+    /// Mints a process-unique revision.
+    pub fn fresh() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        TechRevision(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The numeric id, usable as a cache-key component.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for TechRevision {
+    fn default() -> Self {
+        TechRevision::fresh()
+    }
+}
+
+impl PartialEq for TechRevision {
+    /// Revisions are identity, not content: equality of two databases must
+    /// not depend on how many times each was mutated to reach the same
+    /// state.
+    fn eq(&self, _other: &TechRevision) -> bool {
+        true
+    }
+}
+
+impl Serialize for TechRevision {
+    fn to_value(&self) -> Value {
+        Value::U64(self.0)
+    }
+}
+
+impl Deserialize for TechRevision {
+    fn from_value(_v: &Value) -> Result<Self, DeError> {
+        // Stored ids are only unique within the writing process; a loaded
+        // database gets its own fresh identity.
+        Ok(TechRevision::fresh())
+    }
+}
 
 /// A named fabrication technology, as described in §3 of the paper:
 /// "The process data includes the areas of different types of devices, the
@@ -48,6 +113,11 @@ pub struct ProcessDb {
     port_pitch: Lambda,
     devices: BTreeMap<String, DeviceTemplate>,
     cell_library: CellLibrary,
+    /// Mutation-invalidation token; see [`TechRevision`]. Defaulted (to a
+    /// fresh id) when absent from stored JSON, so pre-revision databases
+    /// still load.
+    #[serde(default)]
+    revision: TechRevision,
 }
 
 impl ProcessDb {
@@ -87,7 +157,15 @@ impl ProcessDb {
             port_pitch,
             devices: BTreeMap::new(),
             cell_library,
+            revision: TechRevision::fresh(),
         }
+    }
+
+    /// The current mutation revision; changes whenever the database's
+    /// content may have changed. Pair with a module fingerprint to key
+    /// memoized resolution results.
+    pub fn revision(&self) -> TechRevision {
+        self.revision
     }
 
     /// Technology name.
@@ -142,6 +220,9 @@ impl ProcessDb {
             });
         }
         self.devices.insert(device.name().to_owned(), device);
+        // Content changed: move to a fresh revision so stale memoized
+        // resolutions keyed on the old one can never be served.
+        self.revision = TechRevision::fresh();
         Ok(())
     }
 
@@ -255,5 +336,51 @@ mod tests {
     fn display_mentions_name_and_lambda() {
         let s = minimal().to_string();
         assert!(s.contains("test") && s.contains("2.5µm"));
+    }
+
+    #[test]
+    fn revisions_are_unique_and_bump_on_mutation() {
+        let a = minimal();
+        let b = minimal();
+        assert_ne!(a.revision().id(), b.revision().id());
+        let mut c = a.clone();
+        assert_eq!(
+            a.revision().id(),
+            c.revision().id(),
+            "a clone shares content, hence revision"
+        );
+        let before = c.revision().id();
+        c.add_device(DeviceTemplate::new(
+            "pd",
+            DeviceClass::NmosEnhancement,
+            Lambda::new(14),
+            Lambda::new(8),
+        ))
+        .expect("adds");
+        assert_ne!(c.revision().id(), before, "mutation must bump");
+        assert_eq!(a.revision().id(), before, "the original is untouched");
+        // A failed mutation leaves the revision alone.
+        let stuck = c.revision().id();
+        assert!(c
+            .add_device(DeviceTemplate::new(
+                "pd",
+                DeviceClass::NmosEnhancement,
+                Lambda::new(14),
+                Lambda::new(8),
+            ))
+            .is_err());
+        assert_eq!(c.revision().id(), stuck);
+    }
+
+    #[test]
+    fn revision_is_identity_not_content() {
+        // Equal-content databases compare equal even though their
+        // revisions differ — and a serde round-trip mints a fresh id.
+        let a = minimal();
+        let b = minimal();
+        assert_eq!(a, b);
+        let restored = ProcessDb::from_value(&a.to_value()).expect("round-trips");
+        assert_eq!(restored, a);
+        assert_ne!(restored.revision().id(), a.revision().id());
     }
 }

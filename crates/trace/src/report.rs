@@ -143,6 +143,157 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
     Ok(fields)
 }
 
+/// A nested JSON value, as far as the `BENCH_<label>.json` schema needs:
+/// objects, arrays, strings and numbers (no booleans or nulls).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Num(f64),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn str_of(&self, key: &str) -> Result<String, String> {
+        match self.get(key) {
+            Some(Json::Str(s)) => Ok(s.clone()),
+            Some(_) => Err(format!("field `{key}` must be a string")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    fn u64_of(&self, key: &str) -> Result<u64, String> {
+        match self.get(key) {
+            Some(Json::Num(n)) if *n >= 0.0 => Ok(*n as u64),
+            Some(_) => Err(format!("field `{key}` must be a non-negative number")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+}
+
+/// Parses one nested JSON document (the report schema subset).
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut chars = text.char_indices().peekable();
+    let value = parse_json_value(text, &mut chars)?;
+    while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+        chars.next();
+    }
+    if let Some((_, c)) = chars.next() {
+        return Err(format!("trailing content starting at `{c}`"));
+    }
+    Ok(value)
+}
+
+fn parse_json_value(
+    text: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Result<Json, String> {
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+        while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<String, String> {
+        match chars.next() {
+            Some((_, '"')) => {}
+            other => return Err(format!("expected string, found {other:?}")),
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some((_, c)) => out.push(c),
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    skip_ws(chars);
+    match chars.peek() {
+        Some((_, '"')) => Ok(Json::Str(parse_string(chars)?)),
+        Some((_, '{')) => {
+            chars.next();
+            let mut fields = Vec::new();
+            skip_ws(chars);
+            if matches!(chars.peek(), Some((_, '}'))) {
+                chars.next();
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(chars);
+                let key = parse_string(chars)?;
+                skip_ws(chars);
+                match chars.next() {
+                    Some((_, ':')) => {}
+                    other => return Err(format!("expected `:` after key, found {other:?}")),
+                }
+                fields.push((key, parse_json_value(text, chars)?));
+                skip_ws(chars);
+                match chars.next() {
+                    Some((_, ',')) => continue,
+                    Some((_, '}')) => return Ok(Json::Obj(fields)),
+                    other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+                }
+            }
+        }
+        Some((_, '[')) => {
+            chars.next();
+            let mut items = Vec::new();
+            skip_ws(chars);
+            if matches!(chars.peek(), Some((_, ']'))) {
+                chars.next();
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_json_value(text, chars)?);
+                skip_ws(chars);
+                match chars.next() {
+                    Some((_, ',')) => continue,
+                    Some((_, ']')) => return Ok(Json::Arr(items)),
+                    other => return Err(format!("expected `,` or `]`, found {other:?}")),
+                }
+            }
+        }
+        Some(&(start, c)) if c == '-' || c.is_ascii_digit() => {
+            let mut end = start;
+            while let Some(&(i, c)) = chars.peek() {
+                if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || c.is_ascii_digit() {
+                    end = i + c.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            let number = &text[start..end];
+            Ok(Json::Num(
+                number
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad number `{number}`"))?,
+            ))
+        }
+        other => Err(format!("unsupported value start {other:?}")),
+    }
+}
+
 fn field<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
     fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
@@ -329,6 +480,70 @@ impl PerfReport {
         Ok(fold(&parse_trace(text)?, label))
     }
 
+    /// Reads back a report serialized by [`PerfReport::to_json`] — the
+    /// committed `BENCH_baseline.json` the CI regression gate diffs
+    /// against. Tolerates unknown keys and arbitrary key order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structural or schema problem as a message.
+    pub fn from_json(text: &str) -> Result<PerfReport, String> {
+        let root = parse_json(text)?;
+        let mut stages = Vec::new();
+        match root.get("stages") {
+            Some(Json::Arr(items)) => {
+                for item in items {
+                    stages.push(StageSummary {
+                        name: item.str_of("name")?,
+                        count: item.u64_of("count")?,
+                        total_us: item.u64_of("total_us")?,
+                        self_us: item.u64_of("self_us")?,
+                    });
+                }
+            }
+            Some(_) => return Err("field `stages` must be an array".to_owned()),
+            None => return Err("missing field `stages`".to_owned()),
+        }
+        let mut counters = BTreeMap::new();
+        match root.get("counters") {
+            Some(Json::Obj(fields)) => {
+                for (name, value) in fields {
+                    match value {
+                        Json::Num(n) if *n >= 0.0 => {
+                            counters.insert(name.clone(), *n as u64);
+                        }
+                        _ => return Err(format!("counter `{name}` must be a non-negative number")),
+                    }
+                }
+            }
+            Some(_) => return Err("field `counters` must be an object".to_owned()),
+            None => return Err("missing field `counters`".to_owned()),
+        }
+        let mut metrics = BTreeMap::new();
+        match root.get("metrics") {
+            Some(Json::Obj(fields)) => {
+                for (name, value) in fields {
+                    match value {
+                        Json::Num(n) => {
+                            metrics.insert(name.clone(), *n);
+                        }
+                        _ => return Err(format!("metric `{name}` must be a number")),
+                    }
+                }
+            }
+            Some(_) => return Err("field `metrics` must be an object".to_owned()),
+            None => return Err("missing field `metrics`".to_owned()),
+        }
+        Ok(PerfReport {
+            label: root.str_of("label")?,
+            wall_us: root.u64_of("wall_us")?,
+            work_us: root.u64_of("work_us")?,
+            stages,
+            counters,
+            metrics,
+        })
+    }
+
     /// Serializes the report as pretty-printed JSON — the
     /// `BENCH_<label>.json` artifact CI diffs across PRs.
     pub fn to_json(&self) -> String {
@@ -431,6 +646,88 @@ impl PerfReport {
         }
         out
     }
+}
+
+/// One stage whose self time grew past the allowed envelope — the unit the
+/// CI trace-regression gate reports and fails on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRegression {
+    /// Stage (span) name.
+    pub name: String,
+    /// Baseline Σ self time (µs); `0` for a stage new since the baseline.
+    pub baseline_self_us: u64,
+    /// Current Σ self time (µs).
+    pub current_self_us: u64,
+    /// Fractional growth over baseline (`0.5` = +50%); infinite for a
+    /// stage the baseline never saw.
+    pub growth: f64,
+}
+
+impl std::fmt::Display for StageRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.baseline_self_us == 0 {
+            write!(
+                f,
+                "{}: self {} µs, new since baseline",
+                self.name, self.current_self_us
+            )
+        } else {
+            write!(
+                f,
+                "{}: self {} µs vs baseline {} µs (+{:.0}%)",
+                self.name,
+                self.current_self_us,
+                self.baseline_self_us,
+                self.growth * 100.0
+            )
+        }
+    }
+}
+
+/// Compares per-stage self times against a baseline run. A stage regresses
+/// when its self time exceeds the baseline's by more than `max_increase`
+/// (fractional: `0.3` = +30%) — or appears with no baseline entry at all —
+/// AND its current self time is at least `noise_floor_us`. The floor keeps
+/// sub-millisecond stages, whose timings are scheduling noise, from
+/// tripping the gate. Regressions come back worst growth first.
+pub fn regressions(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    max_increase: f64,
+    noise_floor_us: u64,
+) -> Vec<StageRegression> {
+    let mut found: Vec<StageRegression> = current
+        .stages
+        .iter()
+        .filter(|stage| stage.self_us >= noise_floor_us.max(1))
+        .filter_map(|stage| {
+            let base = baseline
+                .stages
+                .iter()
+                .find(|b| b.name == stage.name)
+                .map(|b| b.self_us)
+                .unwrap_or(0);
+            let (regressed, growth) = if base == 0 {
+                (true, f64::INFINITY)
+            } else {
+                let growth = stage.self_us as f64 / base as f64 - 1.0;
+                (growth > max_increase, growth)
+            };
+            regressed.then(|| StageRegression {
+                name: stage.name.clone(),
+                baseline_self_us: base,
+                current_self_us: stage.self_us,
+                growth,
+            })
+        })
+        .collect();
+    found.sort_by(|a, b| {
+        b.growth
+            .partial_cmp(&a.growth)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.name.cmp(&b.name))
+    });
+    found
 }
 
 #[cfg(test)]
@@ -618,6 +915,98 @@ mod tests {
         assert!(json.contains("\"m\": 1.5"));
         let rendered = report.render();
         assert!(rendered.contains("root"));
+    }
+
+    #[test]
+    fn report_json_roundtrips_through_from_json() {
+        let events = vec![
+            span(2, 1, "anneal", 10, 60),
+            span(1, 0, "root", 0, 100),
+            Event::Counter {
+                name: "netlist.resolve.misses".to_owned(),
+                value: 7,
+                thread: "main".to_owned(),
+            },
+            Event::Metric {
+                name: "temp".to_owned(),
+                value: 0.5,
+                thread: "main".to_owned(),
+            },
+        ];
+        let report = fold(&events, "pr4");
+        let back = PerfReport::from_json(&report.to_json()).expect("parses own output");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"label\":\"x\",\"wall_us\":1,\"work_us\":1,\"stages\":{},\
+             \"counters\":{},\"metrics\":{}}",
+            "{\"label\":\"x\",\"wall_us\":1,\"work_us\":1,\
+             \"stages\":[{\"name\":\"s\",\"count\":1,\"total_us\":1}],\
+             \"counters\":{},\"metrics\":{}}",
+        ] {
+            assert!(PerfReport::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    fn report_with(stages: &[(&str, u64)]) -> PerfReport {
+        PerfReport {
+            label: "t".to_owned(),
+            wall_us: 0,
+            work_us: 0,
+            stages: stages
+                .iter()
+                .map(|(name, self_us)| StageSummary {
+                    name: (*name).to_owned(),
+                    count: 1,
+                    total_us: *self_us,
+                    self_us: *self_us,
+                })
+                .collect(),
+            counters: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn regression_gate_flags_growth_beyond_envelope_and_floor() {
+        let baseline = report_with(&[("anneal", 100_000), ("route", 40_000), ("tiny", 10)]);
+        let current = report_with(&[
+            ("anneal", 140_000), // +40% over a 30% envelope: regressed
+            ("route", 50_000),   // +25%: inside the envelope
+            ("tiny", 900),       // +8900% but under the noise floor
+        ]);
+        let found = regressions(&current, &baseline, 0.3, 25_000);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].name, "anneal");
+        assert_eq!(found[0].baseline_self_us, 100_000);
+        assert_eq!(found[0].current_self_us, 140_000);
+        assert!((found[0].growth - 0.4).abs() < 1e-9);
+        assert!(found[0].to_string().contains("anneal"));
+    }
+
+    #[test]
+    fn regression_gate_flags_new_heavy_stages_worst_first() {
+        let baseline = report_with(&[("anneal", 100_000)]);
+        let current = report_with(&[("anneal", 200_000), ("surprise", 30_000)]);
+        let found = regressions(&current, &baseline, 0.3, 25_000);
+        let names: Vec<&str> = found.iter().map(|r| r.name.as_str()).collect();
+        // The unbounded (new-stage) growth sorts ahead of the +100%.
+        assert_eq!(names, ["surprise", "anneal"]);
+        assert!(found[0].growth.is_infinite());
+        assert!(found[0].to_string().contains("new since baseline"));
+    }
+
+    #[test]
+    fn regression_gate_passes_a_run_against_itself() {
+        let report = report_with(&[("anneal", 100_000), ("route", 40_000)]);
+        assert!(regressions(&report, &report, 0.3, 0).is_empty());
+        assert!(regressions(&report, &report, 0.0, 0).is_empty());
     }
 
     #[test]

@@ -16,10 +16,15 @@
 #      `anneal.evals_full` / `anneal.evals_delta` counter pair.
 #
 # `perf-report` folds both traces into one BENCH_<label>.json —
-# machine-readable per-stage totals that successive PRs can diff.
+# machine-readable per-stage totals that successive PRs can diff. When a
+# committed BENCH_baseline.json exists, the fold doubles as the CI
+# trace-regression gate: any stage whose self time grew >30% beyond the
+# 25 ms noise floor fails the run. Refresh the baseline deliberately with
+#   ./scripts/bench_smoke.sh baseline
+# and review the diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-LABEL="${1:-pr3}"
+LABEL="${1:-pr4}"
 
 echo "==> criterion smoke (CRITERION_QUICK=1, estimator_scaling)"
 CRITERION_QUICK=1 cargo bench -q -p maestro-bench --bench estimator_scaling
@@ -36,8 +41,14 @@ echo "==> traced full-custom synthesis over the Table 1 suite"
 ./target/release/maestro-cli layout assets/table1.mnl \
     --trace "$LAYOUT_TRACE" > /dev/null
 
-echo "==> perf-report -> BENCH_${LABEL}.json"
+GATE=()
+if [[ "$LABEL" != baseline && -f BENCH_baseline.json ]]; then
+    echo "==> perf-report -> BENCH_${LABEL}.json (gated against BENCH_baseline.json)"
+    GATE=(--baseline BENCH_baseline.json)
+else
+    echo "==> perf-report -> BENCH_${LABEL}.json"
+fi
 ./target/release/maestro-cli perf-report "$ESTIMATE_TRACE" "$LAYOUT_TRACE" \
-    --label "$LABEL" --out "BENCH_${LABEL}.json"
+    --label "$LABEL" --out "BENCH_${LABEL}.json" ${GATE[@]+"${GATE[@]}"}
 
 echo "==> bench smoke passed"

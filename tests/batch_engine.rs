@@ -13,8 +13,9 @@ use maestro::estimator::prob::{self, ProbTable, RowOccupancy};
 use maestro::estimator::standard_cell::{
     estimate_with_rows, estimate_with_rows_uncached, total_tracks_uncached, total_tracks_using,
 };
-use maestro::netlist::{generate, mnl};
+use maestro::netlist::{generate, library_circuits, mnl, StatsCache};
 use maestro::prelude::*;
+use maestro::trace;
 
 fn asset(name: &str) -> PathBuf {
     // Tests run from the package dir (crates/maestro); assets live at the
@@ -176,6 +177,81 @@ fn results_db_json_round_trips_after_parallel_run() {
     let json = db.to_json().expect("serializes");
     let back = ResultsDb::from_json(&json).expect("parses back");
     assert_eq!(json, back.to_json().expect("re-serializes"));
+}
+
+#[test]
+fn cached_and_uncached_runs_are_byte_identical_over_table1() {
+    // The headline differential: the resolve-once cache must be invisible
+    // in the output. Reference = uncached serial run over the paper's
+    // Table 1 suite (plus the Table 2 standard-cell modules for SC
+    // coverage); every cached run, serial and parallel, must serialize to
+    // the same bytes.
+    let mut modules = library_circuits::table1_suite();
+    modules.extend(library_circuits::table2_suite());
+    let uncached = Pipeline::new(builtin::nmos25())
+        .without_stats_cache()
+        .with_parallel_threshold(0);
+    let reference = uncached
+        .run_all(modules.iter())
+        .expect("uncached serial estimates")
+        .to_json()
+        .expect("serializes");
+    let cached = Pipeline::new(builtin::nmos25())
+        .with_stats_cache(Arc::new(StatsCache::new()))
+        .with_parallel_threshold(0);
+    let cached_serial = cached
+        .run_all(modules.iter())
+        .expect("cached serial estimates");
+    assert_eq!(cached_serial.to_json().unwrap(), reference, "serial");
+    for jobs in [1, 2, 8] {
+        let warm_cached = cached
+            .run_all_parallel(modules.iter(), jobs)
+            .expect("cached parallel estimates");
+        assert_eq!(
+            warm_cached.to_json().unwrap(),
+            reference,
+            "cached jobs={jobs}"
+        );
+        let uncached_parallel = uncached
+            .run_all_parallel(modules.iter(), jobs)
+            .expect("uncached parallel estimates");
+        assert_eq!(
+            uncached_parallel.to_json().unwrap(),
+            reference,
+            "uncached jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn batch_resolves_each_module_and_style_exactly_once() {
+    let modules = library_circuits::table1_suite();
+    let cache = Arc::new(StatsCache::new());
+    let pipeline = Pipeline::new(builtin::nmos25())
+        .with_stats_cache(Arc::clone(&cache))
+        .with_parallel_threshold(0);
+    // Cold batch: every (module, style) pair misses once — the SC probe
+    // of these transistor-level modules fails, and the failure is itself
+    // memoized — and nothing hits.
+    let cold = Arc::new(trace::Collector::new());
+    trace::with_sink(Arc::clone(&cold) as Arc<dyn trace::Sink>, || {
+        pipeline.run_all(modules.iter()).expect("estimates");
+    });
+    let per_batch = 2 * modules.len() as u64;
+    assert_eq!(cold.counter_total("netlist.resolve.misses"), per_batch);
+    assert_eq!(cold.counter_total("netlist.resolve.hits"), 0);
+    // Warm batch (parallel this time): all hits, not one new resolve.
+    let warm = Arc::new(trace::Collector::new());
+    trace::with_sink(Arc::clone(&warm) as Arc<dyn trace::Sink>, || {
+        pipeline
+            .run_all_parallel(modules.iter(), 4)
+            .expect("estimates");
+    });
+    assert_eq!(warm.counter_total("netlist.resolve.misses"), 0);
+    assert_eq!(warm.counter_total("netlist.resolve.hits"), per_batch);
+    let stats = cache.stats();
+    assert_eq!(stats.misses, per_batch);
+    assert_eq!(stats.entries as u64, per_batch);
 }
 
 #[test]

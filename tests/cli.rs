@@ -236,6 +236,22 @@ fn estimate_trace_writes_parseable_jsonl_with_stage_spans() {
             "missing counter {counter}"
         );
     }
+    // The resolve-once acceptance bar: over the Table 1 suite (5 modules,
+    // 2 styles probed each) a fresh process resolves each (module, style)
+    // exactly once — 10 misses, not one hit.
+    let counter_total = |wanted: &str| -> u64 {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                maestro::trace::Event::Counter { name, value, .. } if name == wanted => {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .sum()
+    };
+    assert_eq!(counter_total("netlist.resolve.misses"), 10);
+    assert_eq!(counter_total("netlist.resolve.hits"), 0);
     let _ = std::fs::remove_file(trace_path);
 }
 
@@ -295,6 +311,102 @@ fn perf_report_folds_a_trace_into_bench_json() {
     );
     let _ = std::fs::remove_file(trace_path);
     let _ = std::fs::remove_file(bench_path);
+}
+
+/// Records a quick traced estimate and returns the trace path.
+fn record_trace(dir: &std::path::Path) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("temp dir");
+    let trace_path = dir.join("run.jsonl");
+    let run = cli()
+        .args([
+            "estimate",
+            &asset("counter4.mnl"),
+            "--trace",
+            &trace_path.to_string_lossy(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    trace_path
+}
+
+#[test]
+fn perf_report_baseline_gate_passes_a_run_against_itself() {
+    let dir = std::env::temp_dir().join("maestro-cli-gate-pass-test");
+    let trace_path = record_trace(&dir);
+    let baseline_path = dir.join("BENCH_baseline.json");
+    let fold = cli()
+        .args([
+            "perf-report",
+            &trace_path.to_string_lossy(),
+            "--out",
+            &baseline_path.to_string_lossy(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(fold.status.success());
+    // The same trace gated against its own fold can never regress, even
+    // with a zero envelope and no noise floor.
+    let gated = cli()
+        .args([
+            "perf-report",
+            &trace_path.to_string_lossy(),
+            "--out",
+            &dir.join("BENCH_current.json").to_string_lossy(),
+            "--baseline",
+            &baseline_path.to_string_lossy(),
+            "--max-regression",
+            "0",
+            "--noise-floor-us",
+            "0",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        gated.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gated.stderr)
+    );
+    let text = String::from_utf8_lossy(&gated.stdout);
+    assert!(text.contains("no stage regressed"), "{text}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn perf_report_baseline_gate_fails_on_regression() {
+    let dir = std::env::temp_dir().join("maestro-cli-gate-fail-test");
+    let trace_path = record_trace(&dir);
+    // An empty-stage baseline makes every current stage "new since
+    // baseline"; with the noise floor off, that must fail the gate.
+    let baseline_path = dir.join("BENCH_empty.json");
+    std::fs::write(
+        &baseline_path,
+        "{\"label\": \"empty\", \"wall_us\": 1, \"work_us\": 1,\n \
+         \"stages\": [], \"counters\": {}, \"metrics\": {}}",
+    )
+    .expect("baseline written");
+    let gated = cli()
+        .args([
+            "perf-report",
+            &trace_path.to_string_lossy(),
+            "--out",
+            &dir.join("BENCH_current.json").to_string_lossy(),
+            "--baseline",
+            &baseline_path.to_string_lossy(),
+            "--noise-floor-us",
+            "0",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!gated.status.success(), "gate must fail");
+    let err = String::from_utf8_lossy(&gated.stderr);
+    assert!(err.contains("regressed"), "{err}");
+    assert!(err.contains("new since baseline"), "{err}");
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 #[test]

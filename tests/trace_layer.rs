@@ -78,7 +78,9 @@ fn parallel_run_attributes_workers_and_matches_serial_counters() {
     });
     let parallel = Arc::new(trace::Collector::new());
     trace::with_sink(parallel.clone(), || {
-        let p = Pipeline::new(builtin::nmos25());
+        // Threshold 0 guarantees the fan-out path regardless of how few
+        // nets the fixture modules carry.
+        let p = Pipeline::new(builtin::nmos25()).with_parallel_threshold(0);
         p.run_all_parallel(modules.iter(), 4).expect("estimates");
     });
 
@@ -116,12 +118,44 @@ fn parallel_run_attributes_workers_and_matches_serial_counters() {
 }
 
 #[test]
+fn tiny_parallel_batch_takes_the_serial_path() {
+    // Regression guard for the work-size threshold: a batch with fewer
+    // total nets than the default threshold must not spawn workers even
+    // when many jobs are requested.
+    let modules = [generate::ripple_adder(2), library_circuits::pass_chain(4)];
+    let total_nets: usize = modules.iter().map(|m| m.net_count()).sum();
+    assert!(
+        total_nets < maestro::estimator::pipeline::DEFAULT_PARALLEL_NET_THRESHOLD,
+        "fixture must stay tiny, has {total_nets} nets"
+    );
+    let collector = Arc::new(trace::Collector::new());
+    trace::with_sink(collector.clone(), || {
+        let p = Pipeline::new(builtin::nmos25());
+        p.run_all_parallel(modules.iter(), 8).expect("estimates");
+    });
+    let spans = collector.spans();
+    let batch = spans
+        .iter()
+        .find(|s| s.name == "pipeline.run_all")
+        .expect("batch span");
+    assert!(
+        batch.detail.starts_with("serial"),
+        "small batch must fall back to serial, got {:?}",
+        batch.detail
+    );
+    assert!(
+        !spans.iter().any(|s| s.name == "pipeline.worker"),
+        "no workers may spawn below the threshold"
+    );
+}
+
+#[test]
 fn folded_report_self_times_telescope_to_the_root() {
     let collector = Arc::new(trace::Collector::new());
     let modules = modules();
     trace::with_sink(collector.clone(), || {
         let _root = trace::span("cli.estimate");
-        let p = Pipeline::new(builtin::nmos25());
+        let p = Pipeline::new(builtin::nmos25()).with_parallel_threshold(0);
         p.run_all_parallel(modules.iter(), 2).expect("estimates");
     });
     let events = collector.events();
