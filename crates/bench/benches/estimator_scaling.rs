@@ -184,5 +184,35 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling, bench_batch);
+/// Replica-parallel annealing: the same placement problem annealed with a
+/// single walk vs a best-of fan-out of independently seeded walks. On a
+/// multi-core host the replica row approaches the single-walk time (the
+/// walks run concurrently on their own threads); on one core it measures
+/// the serial cost of running every walk back to back — the multi-core
+/// fan-out measurement the PR 4 roadmap left open.
+fn bench_replicas(c: &mut Criterion) {
+    let tech = builtin::nmos25();
+    let module = generate::counter(32);
+    let mut group = c.benchmark_group("anneal/replica_fanout");
+    for &replicas in &[1usize, 4] {
+        group.bench_function(format!("place_{replicas}_replicas"), |b| {
+            b.iter(|| {
+                place(
+                    &module,
+                    &tech,
+                    &PlaceParams {
+                        rows: 4,
+                        replicas,
+                        schedule: maestro::place::AnnealSchedule::quick(),
+                        ..PlaceParams::default()
+                    },
+                )
+                .expect("places")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_batch, bench_replicas);
 criterion_main!(benches);

@@ -42,6 +42,7 @@ pub struct Pipeline {
     /// reference path (differential testing).
     stats: Option<Arc<StatsCache>>,
     parallel_net_threshold: usize,
+    replicas: usize,
 }
 
 impl Pipeline {
@@ -56,7 +57,25 @@ impl Pipeline {
             prob: ProbTable::shared(),
             stats: Some(StatsCache::shared()),
             parallel_net_threshold: DEFAULT_PARALLEL_NET_THRESHOLD,
+            replicas: 1,
         }
+    }
+
+    /// Sets how many independently seeded annealing walks the layout
+    /// stages downstream of this pipeline run per anneal (best final cost
+    /// wins; ties break to the lowest replica index). The analytic
+    /// estimates this pipeline computes are closed-form and unaffected;
+    /// front ends read the value back via [`Pipeline::replicas`] when
+    /// building placement, synthesis, and floorplan parameters. `0` is
+    /// treated as `1`.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas.max(1);
+        self
+    }
+
+    /// The annealing replica count layout stages should use.
+    pub fn replicas(&self) -> usize {
+        self.replicas
     }
 
     /// Overrides the standard-cell estimator parameters.
@@ -494,6 +513,24 @@ mod tests {
         assert!(uncached.stats_cache().is_none());
         let a = cached.run_all(modules.iter()).expect("cached run");
         let b = uncached.run_all(modules.iter()).expect("uncached run");
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    }
+
+    #[test]
+    fn replica_count_clamps_and_never_changes_estimates() {
+        let base = Pipeline::new(builtin::nmos25());
+        let with_replicas = Pipeline::new(builtin::nmos25()).with_replicas(4);
+        assert_eq!(base.replicas(), 1);
+        assert_eq!(with_replicas.replicas(), 4);
+        assert_eq!(
+            Pipeline::new(builtin::nmos25()).with_replicas(0).replicas(),
+            1
+        );
+        // The closed-form estimator must be oblivious to the replica
+        // count — it only parameterizes downstream annealing stages.
+        let modules = [generate::counter(4), generate::ripple_adder(3)];
+        let a = base.run_all(modules.iter()).expect("estimates");
+        let b = with_replicas.run_all(modules.iter()).expect("estimates");
         assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
     }
 

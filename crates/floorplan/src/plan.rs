@@ -3,7 +3,7 @@
 
 use maestro_geom::{Lambda, LambdaArea, Point, Rect, ShapeCurve, ShapePoint};
 use maestro_place::postfix::{IncrementalPostfix, Tok};
-use maestro_place::{anneal, AnnealSchedule, AnnealState};
+use maestro_place::{anneal_replicas, AnnealSchedule, AnnealState};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -22,6 +22,9 @@ pub struct PlanParams {
     /// penalty, steering the annealer toward packable near-rectangles the
     /// way commercial floorplanners take a die-shape constraint.
     pub aspect_limit: Option<f64>,
+    /// Independently seeded annealing walks to run and reduce best-of
+    /// (`1` = single walk, bit-identical to the pre-replica engine).
+    pub replicas: usize,
 }
 
 impl Default for PlanParams {
@@ -30,6 +33,7 @@ impl Default for PlanParams {
             seed: 1988,
             schedule: AnnealSchedule::default(),
             aspect_limit: None,
+            replicas: 1,
         }
     }
 }
@@ -306,29 +310,60 @@ impl AnnealState for PlanState<'_> {
 
     fn propose_and_apply(&mut self, rng: &mut StdRng) -> f64 {
         let n = self.elems.len();
+        // Each move locates its target by a counting scan instead of
+        // collecting candidate positions into a scratch `Vec`: the counts
+        // equal the old lists' lengths, so every RNG draw range — and
+        // therefore the walk — is unchanged, but the move loop no longer
+        // allocates.
         match rng.gen_range(0..3u8) {
             0 => {
                 // M1: swap adjacent operands.
-                let leaves: Vec<usize> = (0..n)
-                    .filter(|&i| matches!(self.elems[i], Elem::Leaf(_)))
-                    .collect();
-                let k = rng.gen_range(0..leaves.len().max(2) - 1);
-                let (i, j) = (leaves[k], leaves[(k + 1).min(leaves.len() - 1)]);
+                let leaf_count = self
+                    .elems
+                    .iter()
+                    .filter(|e| matches!(e, Elem::Leaf(_)))
+                    .count();
+                let k = rng.gen_range(0..leaf_count.max(2) - 1);
+                let k2 = (k + 1).min(leaf_count - 1);
+                let (mut i, mut j) = (0usize, 0usize);
+                let mut seen = 0usize;
+                for (pos, e) in self.elems.iter().enumerate() {
+                    if matches!(e, Elem::Leaf(_)) {
+                        if seen == k {
+                            i = pos;
+                        }
+                        if seen == k2 {
+                            j = pos;
+                            break;
+                        }
+                        seen += 1;
+                    }
+                }
                 self.elems.swap(i, j);
                 self.undo = Some((i, j, false));
             }
             1 => {
                 // M2: complement one operator chain.
-                let starts: Vec<usize> = (0..n)
-                    .filter(|&i| {
-                        matches!(self.elems[i], Elem::Op(_))
-                            && (i == 0 || matches!(self.elems[i - 1], Elem::Leaf(_)))
-                    })
-                    .collect();
-                if starts.is_empty() {
+                let is_start = |elems: &[Elem], i: usize| {
+                    matches!(elems[i], Elem::Op(_))
+                        && (i == 0 || matches!(elems[i - 1], Elem::Leaf(_)))
+                };
+                let start_count = (0..n).filter(|&i| is_start(&self.elems, i)).count();
+                if start_count == 0 {
                     self.undo = Some((0, 0, true));
                 } else {
-                    let start = starts[rng.gen_range(0..starts.len())];
+                    let pick = rng.gen_range(0..start_count);
+                    let mut start = 0usize;
+                    let mut seen = 0usize;
+                    for i in 0..n {
+                        if is_start(&self.elems, i) {
+                            if seen == pick {
+                                start = i;
+                                break;
+                            }
+                            seen += 1;
+                        }
+                    }
                     let mut end = start;
                     while end < n {
                         match self.elems[end] {
@@ -344,23 +379,35 @@ impl AnnealState for PlanState<'_> {
             }
             _ => {
                 // M3: swap an operand–operator boundary, keeping validity.
-                let boundaries: Vec<usize> = (0..n.saturating_sub(1))
-                    .filter(|&i| {
-                        matches!(self.elems[i], Elem::Leaf(_))
-                            && matches!(self.elems[i + 1], Elem::Op(_))
-                    })
-                    .collect();
+                // Every probe re-scans from the unmodified expression
+                // (failed swaps are undone before the next probe), so the
+                // boundary positions match the old collected list.
+                let is_boundary = |elems: &[Elem], i: usize| {
+                    matches!(elems[i], Elem::Leaf(_)) && matches!(elems[i + 1], Elem::Op(_))
+                };
+                let boundary_count = (0..n.saturating_sub(1))
+                    .filter(|&i| is_boundary(&self.elems, i))
+                    .count();
                 let mut done = None;
-                if !boundaries.is_empty() {
-                    let offset = rng.gen_range(0..boundaries.len());
-                    for probe in 0..boundaries.len() {
-                        let i = boundaries[(offset + probe) % boundaries.len()];
-                        self.elems.swap(i, i + 1);
-                        if self.is_valid() {
-                            done = Some((i, i + 1, false));
-                            break;
+                if boundary_count > 0 {
+                    let offset = rng.gen_range(0..boundary_count);
+                    'probe: for probe in 0..boundary_count {
+                        let nth = (offset + probe) % boundary_count;
+                        let mut seen = 0usize;
+                        for i in 0..n - 1 {
+                            if is_boundary(&self.elems, i) {
+                                if seen == nth {
+                                    self.elems.swap(i, i + 1);
+                                    if self.is_valid() {
+                                        done = Some((i, i + 1, false));
+                                        break 'probe;
+                                    }
+                                    self.elems.swap(i, i + 1);
+                                    break;
+                                }
+                                seen += 1;
+                            }
                         }
-                        self.elems.swap(i, i + 1);
                     }
                 }
                 self.undo = Some(done.unwrap_or((0, 0, false)));
@@ -562,11 +609,14 @@ fn floorplan_with(blocks: &[Block], params: &PlanParams, mode: EvalMode) -> Floo
     if n > 1 {
         let initial_elems = state.elems.clone();
         let initial_cost = state.cached_cost;
-        let schedule = params
-            .schedule
-            .clone()
-            .calibrated(&mut state, params.seed, 48);
-        let final_cost = anneal(&mut state, &schedule, params.seed);
+        let final_cost = anneal_replicas(
+            &mut state,
+            &params.schedule,
+            params.seed,
+            params.replicas,
+            48,
+            n,
+        );
         if final_cost > initial_cost {
             state.elems = initial_elems;
             state.refresh();
@@ -660,6 +710,28 @@ mod tests {
         let p1 = floorplan(&blocks, &PlanParams::quick());
         let p2 = floorplan(&blocks, &PlanParams::quick());
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn one_replica_matches_the_default_path_and_four_are_deterministic() {
+        let blocks = vec![soft("a", 1000), soft("b", 2000), soft("c", 1500)];
+        let one = floorplan(&blocks, &PlanParams::quick());
+        let explicit_one = floorplan(
+            &blocks,
+            &PlanParams {
+                replicas: 1,
+                ..PlanParams::quick()
+            },
+        );
+        assert_eq!(one, explicit_one);
+
+        let four_params = PlanParams {
+            replicas: 4,
+            ..PlanParams::quick()
+        };
+        let a = floorplan(&blocks, &four_params);
+        let b = floorplan(&blocks, &four_params);
+        assert_eq!(a, b, "replicas=4 must be reproducible");
     }
 
     #[test]

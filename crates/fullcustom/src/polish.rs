@@ -219,22 +219,60 @@ impl PolishExpr {
         }
     }
 
+    /// Prefix-balance validity: every prefix holds more operands than
+    /// operators and the totals match. Equivalent to
+    /// [`PolishExpr::is_valid`] for any element permutation of an
+    /// already-valid expression (the move set never changes the element
+    /// multiset, so the duplicate-tile check cannot newly fail), but
+    /// allocation-free — this is what the per-move validity probe uses.
+    fn balance_valid(&self) -> bool {
+        let mut operands = 0usize;
+        let mut ops = 0usize;
+        for e in &self.elems {
+            match e {
+                Elem::Tile(_) => operands += 1,
+                Elem::Op(_) => {
+                    ops += 1;
+                    if ops >= operands {
+                        return false;
+                    }
+                }
+            }
+        }
+        operands == self.rotated.len() && ops + 1 == operands
+    }
+
     /// Move M1: swaps two adjacent operands (tiles adjacent in the
     /// expression, ignoring operators between them). Returns the two
     /// element indices swapped, or `None` if fewer than two tiles.
+    ///
+    /// The target pair is located by a counting scan — the count equals
+    /// the old collected list's length, so the `nth_pair` reduction (and
+    /// with it the annealing walk) is unchanged, without the per-move
+    /// position `Vec`.
     pub fn swap_adjacent_operands(&mut self, nth_pair: usize) -> Option<(usize, usize)> {
-        let operand_positions: Vec<usize> = self
+        let operand_count = self
             .elems
             .iter()
-            .enumerate()
-            .filter(|(_, e)| matches!(e, Elem::Tile(_)))
-            .map(|(i, _)| i)
-            .collect();
-        if operand_positions.len() < 2 {
+            .filter(|e| matches!(e, Elem::Tile(_)))
+            .count();
+        if operand_count < 2 {
             return None;
         }
-        let pair = nth_pair % (operand_positions.len() - 1);
-        let (i, j) = (operand_positions[pair], operand_positions[pair + 1]);
+        let pair = nth_pair % (operand_count - 1);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut seen = 0usize;
+        for (pos, e) in self.elems.iter().enumerate() {
+            if matches!(e, Elem::Tile(_)) {
+                if seen == pair {
+                    i = pos;
+                } else if seen == pair + 1 {
+                    j = pos;
+                    break;
+                }
+                seen += 1;
+            }
+        }
         self.elems.swap(i, j);
         Some((i, j))
     }
@@ -242,19 +280,27 @@ impl PolishExpr {
     /// Move M2: complements a maximal chain of operators starting at the
     /// `nth` operator position. Returns the range complemented.
     pub fn complement_chain(&mut self, nth_chain: usize) -> Option<(usize, usize)> {
-        let chain_starts: Vec<usize> = self
-            .elems
-            .iter()
-            .enumerate()
-            .filter(|(i, e)| {
-                matches!(e, Elem::Op(_)) && (*i == 0 || matches!(self.elems[i - 1], Elem::Tile(_)))
-            })
-            .map(|(i, _)| i)
-            .collect();
-        if chain_starts.is_empty() {
+        let is_start = |elems: &[Elem], i: usize| {
+            matches!(elems[i], Elem::Op(_)) && (i == 0 || matches!(elems[i - 1], Elem::Tile(_)))
+        };
+        let chain_count = (0..self.elems.len())
+            .filter(|&i| is_start(&self.elems, i))
+            .count();
+        if chain_count == 0 {
             return None;
         }
-        let start = chain_starts[nth_chain % chain_starts.len()];
+        let pick = nth_chain % chain_count;
+        let mut start = 0usize;
+        let mut seen = 0usize;
+        for i in 0..self.elems.len() {
+            if is_start(&self.elems, i) {
+                if seen == pick {
+                    start = i;
+                    break;
+                }
+                seen += 1;
+            }
+        }
         let mut end = start;
         while end < self.elems.len() {
             match self.elems[end] {
@@ -280,22 +326,38 @@ impl PolishExpr {
     /// Move M3: swaps an adjacent operand–operator pair at the `nth`
     /// such boundary, if the result remains a valid expression. Returns
     /// the swapped indices.
+    ///
+    /// Each probe re-scans for the boundary position from the unmodified
+    /// expression (failed swaps are undone first), so the positions match
+    /// the old collected list; the validity probe checks prefix balance
+    /// only — a swap preserves the element multiset, so that is the whole
+    /// of [`PolishExpr::is_valid`] that can change.
     pub fn swap_operand_operator(&mut self, nth_boundary: usize) -> Option<(usize, usize)> {
-        let boundaries: Vec<usize> = (0..self.elems.len().saturating_sub(1))
-            .filter(|&i| {
-                matches!(self.elems[i], Elem::Tile(_)) && matches!(self.elems[i + 1], Elem::Op(_))
-            })
-            .collect();
-        if boundaries.is_empty() {
+        let is_boundary = |elems: &[Elem], i: usize| {
+            matches!(elems[i], Elem::Tile(_)) && matches!(elems[i + 1], Elem::Op(_))
+        };
+        let boundary_count = (0..self.elems.len().saturating_sub(1))
+            .filter(|&i| is_boundary(&self.elems, i))
+            .count();
+        if boundary_count == 0 {
             return None;
         }
-        for probe in 0..boundaries.len() {
-            let i = boundaries[(nth_boundary + probe) % boundaries.len()];
-            self.elems.swap(i, i + 1);
-            if self.is_valid() {
-                return Some((i, i + 1));
+        for probe in 0..boundary_count {
+            let nth = (nth_boundary + probe) % boundary_count;
+            let mut seen = 0usize;
+            for i in 0..self.elems.len() - 1 {
+                if is_boundary(&self.elems, i) {
+                    if seen == nth {
+                        self.elems.swap(i, i + 1);
+                        if self.balance_valid() {
+                            return Some((i, i + 1));
+                        }
+                        self.elems.swap(i, i + 1);
+                        break;
+                    }
+                    seen += 1;
+                }
             }
-            self.elems.swap(i, i + 1);
         }
         None
     }
@@ -702,6 +764,22 @@ mod tests {
         let t = e.flip_rotation(4);
         e.flip_rotation(t);
         assert_eq!(e, snapshot);
+    }
+
+    #[test]
+    fn swap_operand_operator_balance_probe_keeps_full_validity() {
+        // The M3 probe checks prefix balance only; the result must still
+        // satisfy the full validity predicate (multiset included).
+        for n in [2usize, 3, 5, 9] {
+            let mut e = PolishExpr::initial(n);
+            for nth in 0..2 * n {
+                if let Some(pair) = e.swap_operand_operator(nth) {
+                    assert!(e.is_valid(), "n={n} nth={nth}: {:?}", e.elems());
+                    e.unswap(pair);
+                }
+                assert!(e.is_valid());
+            }
+        }
     }
 
     #[test]

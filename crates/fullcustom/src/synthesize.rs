@@ -3,7 +3,7 @@
 
 use maestro_geom::{AspectRatio, Lambda, LambdaArea};
 use maestro_netlist::{DeviceId, LayoutStyle, Module, NetlistError, StatsCache};
-use maestro_place::{anneal, AnnealSchedule, AnnealState};
+use maestro_place::{anneal_replicas, AnnealSchedule, AnnealState};
 use maestro_tech::ProcessDb;
 use maestro_trace as trace;
 use rand::rngs::StdRng;
@@ -29,6 +29,9 @@ pub struct SynthesisParams {
     /// the synthesizer is steered away from degenerate strip layouts
     /// that a pure area + wirelength cost is indifferent to.
     pub aspect_weight: f64,
+    /// Independently seeded annealing walks to run and reduce best-of
+    /// (`1` = single walk, bit-identical to the pre-replica engine).
+    pub replicas: usize,
 }
 
 impl Default for SynthesisParams {
@@ -38,6 +41,7 @@ impl Default for SynthesisParams {
             schedule: AnnealSchedule::default(),
             wire_weight: 2.0,
             aspect_weight: 0.15,
+            replicas: 1,
         }
     }
 }
@@ -481,11 +485,15 @@ fn synthesize_with(
     state.refresh();
     let initial_expr = state.expr.clone();
     let initial_cost = state.cached_cost;
-    let schedule = params
-        .schedule
-        .clone()
-        .calibrated(&mut state, params.seed, 64);
-    let final_cost = anneal(&mut state, &schedule, params.seed);
+    let work_size = state.tiles.len();
+    let final_cost = anneal_replicas(
+        &mut state,
+        &params.schedule,
+        params.seed,
+        params.replicas,
+        64,
+        work_size,
+    );
     if final_cost > initial_cost {
         state.expr = initial_expr;
         state.refresh();
@@ -533,6 +541,31 @@ mod tests {
         let a = synthesize(&m, &tech, &SynthesisParams::quick()).unwrap();
         let b = synthesize(&m, &tech, &SynthesisParams::quick()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn one_replica_matches_the_default_path_and_four_are_deterministic() {
+        let m = library_circuits::nmos_full_adder();
+        let tech = builtin::nmos25();
+        let one = synthesize(&m, &tech, &SynthesisParams::quick()).unwrap();
+        let explicit_one = synthesize(
+            &m,
+            &tech,
+            &SynthesisParams {
+                replicas: 1,
+                ..SynthesisParams::quick()
+            },
+        )
+        .unwrap();
+        assert_eq!(one, explicit_one);
+
+        let four_params = SynthesisParams {
+            replicas: 4,
+            ..SynthesisParams::quick()
+        };
+        let a = synthesize(&m, &tech, &four_params).unwrap();
+        let b = synthesize(&m, &tech, &four_params).unwrap();
+        assert_eq!(a, b, "replicas=4 must be reproducible");
     }
 
     #[test]

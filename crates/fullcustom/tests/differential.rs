@@ -16,3 +16,25 @@ fn delta_and_full_refresh_synthesize_identical_table1_layouts() {
         assert_eq!(delta, full, "{} diverged from the reference path", m.name());
     }
 }
+
+#[test]
+fn replica_runs_keep_delta_and_full_refresh_identical() {
+    // The best-of reduction must pick the same winner whichever cost
+    // evaluator the replicas ran on — each walk's draw sequence and
+    // accept/reject decisions are evaluator-independent.
+    let tech = builtin::nmos25();
+    let params = SynthesisParams {
+        replicas: 4,
+        ..SynthesisParams::quick()
+    };
+    for m in library_circuits::table1_suite() {
+        let delta = synthesize(&m, &tech, &params).unwrap();
+        let full = synthesize_full_refresh(&m, &tech, &params).unwrap();
+        assert_eq!(
+            delta,
+            full,
+            "{} diverged from the reference path at replicas=4",
+            m.name()
+        );
+    }
+}

@@ -24,9 +24,9 @@ fn usage() -> &'static str {
      maestro-cli estimate  <file> [--tech nmos|cmos|<db.json>] [--rows N] [--jobs N] [--json]\n  \
      maestro-cli expand    <file.mnl>\n  \
      maestro-cli depth     <file.mnl>\n  \
-     maestro-cli report    <file...> [--tech ...] [--aspect LIMIT] [--svg out.svg]\n  \
-     maestro-cli layout    <file> [--tech ...] [--rows N] [--svg out.svg]\n  \
-     maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT] [--svg out.svg]\n  \
+     maestro-cli report    <file...> [--tech ...] [--aspect LIMIT] [--replicas N] [--svg out.svg]\n  \
+     maestro-cli layout    <file> [--tech ...] [--rows N] [--replicas N] [--svg out.svg]\n  \
+     maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT] [--replicas N] [--svg out.svg]\n  \
      maestro-cli perf-report <trace.jsonl>... [--label NAME] [--out file.json]\n  \
      \x20                     [--baseline BENCH.json] [--max-regression PCT] [--noise-floor-us N]\n\n\
      any command also accepts --trace <file.jsonl> to record a stage-level\n\
@@ -64,6 +64,7 @@ struct Options {
     rows: Option<u32>,
     aspect: Option<f64>,
     jobs: usize,
+    replicas: usize,
     json: bool,
     svg: Option<String>,
     trace: Option<String>,
@@ -81,6 +82,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         rows: None,
         aspect: None,
         jobs: 1,
+        replicas: 1,
         json: false,
         svg: None,
         trace: None,
@@ -111,6 +113,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("--jobs must be at least 1".to_owned());
                 }
                 opts.jobs = jobs;
+            }
+            "--replicas" => {
+                let v = it.next().ok_or("--replicas needs a value")?;
+                let replicas: usize = v.parse().map_err(|_| format!("bad replica count `{v}`"))?;
+                if replicas == 0 {
+                    return Err("--replicas must be at least 1".to_owned());
+                }
+                opts.replicas = replicas;
             }
             "--json" => opts.json = true,
             "--svg" => {
@@ -217,6 +227,7 @@ fn cmd_layout(opts: &Options) -> Result<(), String> {
                     &tech,
                     &PlaceParams {
                         rows,
+                        replicas: opts.replicas,
                         ..Default::default()
                     },
                 )
@@ -238,8 +249,11 @@ fn cmd_layout(opts: &Options) -> Result<(), String> {
                     routed.aspect_ratio()
                 );
             } else {
-                let layout = synthesize(&module, &tech, &SynthesisParams::default())
-                    .map_err(|e| e.to_string())?;
+                let params = SynthesisParams {
+                    replicas: opts.replicas,
+                    ..Default::default()
+                };
+                let layout = synthesize(&module, &tech, &params).map_err(|e| e.to_string())?;
                 if let Some(path) = &opts.svg {
                     std::fs::write(path, layout.to_svg()).map_err(|e| format!("{path}: {e}"))?;
                     println!("wrote {path}");
@@ -261,7 +275,7 @@ fn cmd_layout(opts: &Options) -> Result<(), String> {
 
 fn cmd_report(opts: &Options) -> Result<(), String> {
     let tech = load_tech(&opts.tech)?;
-    let pipeline = Pipeline::new(tech.clone());
+    let pipeline = Pipeline::new(tech.clone()).with_replicas(opts.replicas);
     println!("# maestro design report\n");
     println!("process: `{tech}`\n");
     let mut blocks = Vec::new();
@@ -306,7 +320,10 @@ fn cmd_report(opts: &Options) -> Result<(), String> {
         }
     }
     if blocks.len() > 1 {
-        let mut params = PlanParams::default();
+        let mut params = PlanParams {
+            replicas: pipeline.replicas(),
+            ..PlanParams::default()
+        };
         if let Some(limit) = opts.aspect {
             params = params.with_aspect_limit(limit);
         }
@@ -353,7 +370,7 @@ fn cmd_depth(opts: &Options) -> Result<(), String> {
 
 fn cmd_floorplan(opts: &Options) -> Result<(), String> {
     let tech = load_tech(&opts.tech)?;
-    let pipeline = Pipeline::new(tech);
+    let pipeline = Pipeline::new(tech).with_replicas(opts.replicas);
     let mut blocks = Vec::new();
     for file in &opts.files {
         for module in load_modules(file)? {
@@ -366,7 +383,10 @@ fn cmd_floorplan(opts: &Options) -> Result<(), String> {
             }
         }
     }
-    let mut params = PlanParams::default();
+    let mut params = PlanParams {
+        replicas: pipeline.replicas(),
+        ..PlanParams::default()
+    };
     if let Some(limit) = opts.aspect {
         params = params.with_aspect_limit(limit);
     }

@@ -82,7 +82,13 @@ impl AnnealSchedule {
     /// Calibrates the initial temperature from the state: samples `probes`
     /// random moves (each immediately reverted) and sets `T₀` to twice the
     /// mean uphill delta, the classic rule of thumb.
+    ///
+    /// The state is restored to a pre-probe snapshot afterwards, so the
+    /// seeded walk that follows starts from exactly the state it was
+    /// handed — calibration can never leak probe moves into the result,
+    /// even for states whose `revert` is only approximate.
     pub fn calibrated<S: AnnealState>(mut self, state: &mut S, seed: u64, probes: usize) -> Self {
+        let snapshot = state.clone();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CA11B7A7E5);
         let mut uphill_sum = 0.0;
         let mut uphill_count = 0usize;
@@ -96,11 +102,109 @@ impl AnnealSchedule {
                 uphill_count += 1;
             }
         }
+        *state = snapshot;
         if uphill_count > 0 {
             self.initial_temp = (2.0 * uphill_sum / uphill_count as f64).max(1e-6);
         }
         self
     }
+}
+
+/// Work-size floor for the replica fan-out: below this many work items
+/// (nets, tiles, blocks — whatever the caller anneals over) the replica
+/// walks run serially on the caller thread. The reduction is index-based,
+/// so the serial and threaded paths produce bit-identical results; the
+/// threshold only avoids paying thread spawns for toy problems.
+pub const DEFAULT_REPLICA_WORK_THRESHOLD: usize = 16;
+
+/// Derives replica `r`'s RNG seed from the base seed. Replica 0 uses the
+/// base seed unchanged — a one-replica run reproduces the single-walk
+/// result bit for bit — and later replicas take a SplitMix64 step so
+/// nearby base seeds still give decorrelated walks.
+pub fn replica_seed(base: u64, replica: usize) -> u64 {
+    if replica == 0 {
+        return base;
+    }
+    let mut z = base.wrapping_add((replica as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `replicas` independently seeded annealing walks from the same
+/// starting state and reduces to the best final cost with a deterministic
+/// tie-break (lowest cost, then lowest replica index). Each walk
+/// calibrates its own schedule from [`AnnealSchedule::calibrated`] with
+/// `probes` probe moves under its own seed.
+///
+/// `replicas = 1` runs today's calibrate-then-anneal sequence in place —
+/// no clone, no spawn — and is bit-identical to calling [`anneal`]
+/// directly. For `replicas > 1` the walks fan out over scoped threads
+/// (serially when `work_size` is below
+/// [`DEFAULT_REPLICA_WORK_THRESHOLD`]); results land in per-replica slots,
+/// so the reduction is independent of thread scheduling.
+///
+/// Emits `anneal.replicas` and `anneal.replica_best` counters; each
+/// replica thread labels itself `replica-{r}`, so its spans and
+/// accept/reject counters carry per-replica attribution.
+pub fn anneal_replicas<S: AnnealState + Send>(
+    state: &mut S,
+    schedule: &AnnealSchedule,
+    base_seed: u64,
+    replicas: usize,
+    probes: usize,
+    work_size: usize,
+) -> f64 {
+    let replicas = replicas.max(1);
+    if replicas == 1 {
+        let schedule = schedule.clone().calibrated(state, base_seed, probes);
+        let cost = anneal(state, &schedule, base_seed);
+        trace::counter("anneal.replicas", 1);
+        trace::counter("anneal.replica_best", 0);
+        return cost;
+    }
+    let set_span = trace::span_with("anneal.replica_set", || format!("replicas={replicas}"));
+    let set_id = set_span.id();
+    let run_replica = |r: usize, mut local: S| -> (f64, S) {
+        let seed = replica_seed(base_seed, r);
+        let _span = trace::span_under("anneal.replica", set_id, || format!("replica={r}"));
+        let sched = schedule.clone().calibrated(&mut local, seed, probes);
+        let cost = anneal(&mut local, &sched, seed);
+        (cost, local)
+    };
+    let mut slots: Vec<Option<(f64, S)>> = (0..replicas).map(|_| None).collect();
+    if work_size < DEFAULT_REPLICA_WORK_THRESHOLD {
+        for (r, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(run_replica(r, state.clone()));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for (r, slot) in slots.iter_mut().enumerate() {
+                let local = state.clone();
+                let run = &run_replica;
+                scope.spawn(move || {
+                    if trace::enabled() {
+                        trace::set_thread_label(format!("replica-{r}"));
+                    }
+                    *slot = Some(run(r, local));
+                });
+            }
+        });
+    }
+    let mut best_idx = 0usize;
+    let mut best = slots[0].take().expect("replica 0 result");
+    for (r, slot) in slots.iter_mut().enumerate().skip(1) {
+        let (cost, s) = slot.take().expect("replica result");
+        // Strict `<` keeps the lowest replica index on cost ties.
+        if cost < best.0 {
+            best = (cost, s);
+            best_idx = r;
+        }
+    }
+    trace::counter("anneal.replicas", replicas as u64);
+    trace::counter("anneal.replica_best", best_idx as u64);
+    *state = best.1;
+    best.0
 }
 
 /// Runs the Metropolis loop, mutating `state` toward lower cost; returns
@@ -294,6 +398,115 @@ mod tests {
         assert!(sched.initial_temp > 0.0);
         // Calibration must leave the state untouched.
         assert_eq!(s.cost(), before_cost);
+    }
+
+    /// A state whose `revert` is deliberately lossy: every revert leaves a
+    /// unit of residual "damage" behind that inflates the cost. Only the
+    /// snapshot-restore in `calibrated` can undo it.
+    #[derive(Clone)]
+    struct LossyState {
+        inner: SortState,
+        damage: u64,
+    }
+
+    impl AnnealState for LossyState {
+        fn cost(&self) -> f64 {
+            self.inner.cost() + self.damage as f64
+        }
+
+        fn propose_and_apply(&mut self, rng: &mut StdRng) -> f64 {
+            self.inner.propose_and_apply(rng);
+            self.cost()
+        }
+
+        fn revert(&mut self) {
+            self.inner.revert();
+            self.damage += 1;
+        }
+    }
+
+    #[test]
+    fn calibration_restores_the_pre_probe_state_even_under_lossy_revert() {
+        let mut s = LossyState {
+            inner: SortState::new(15, 9),
+            damage: 0,
+        };
+        let before_values = s.inner.values.clone();
+        let before_cost = s.cost();
+        let sched = AnnealSchedule::default().calibrated(&mut s, 5, 50);
+        assert!(sched.initial_temp > 0.0);
+        assert_eq!(s.damage, 0, "probe reverts must not leak into the state");
+        assert_eq!(s.inner.values, before_values);
+        assert_eq!(s.cost(), before_cost);
+    }
+
+    #[test]
+    fn calibration_does_not_perturb_the_seeded_walk() {
+        // The walk after calibration must match a walk from a fresh state
+        // under the same schedule: calibration reads the state but leaves
+        // no trace in it.
+        let mut calibrated_state = SortState::new(20, 3);
+        let sched = AnnealSchedule::quick().calibrated(&mut calibrated_state, 11, 64);
+        let cal_cost = anneal(&mut calibrated_state, &sched, 11);
+
+        let mut fresh = SortState::new(20, 3);
+        let fresh_cost = anneal(&mut fresh, &sched, 11);
+        assert_eq!(cal_cost, fresh_cost);
+        assert_eq!(calibrated_state.values, fresh.values);
+    }
+
+    #[test]
+    fn one_replica_matches_the_single_walk_bit_for_bit() {
+        let mut single = SortState::new(20, 3);
+        let sched = AnnealSchedule::quick().calibrated(&mut single, 7, 32);
+        let single_cost = anneal(&mut single, &sched, 7);
+
+        let mut replica = SortState::new(20, 3);
+        let replica_cost =
+            anneal_replicas(&mut replica, &AnnealSchedule::quick(), 7, 1, 32, usize::MAX);
+        assert_eq!(single_cost, replica_cost);
+        assert_eq!(single.values, replica.values);
+    }
+
+    #[test]
+    fn replica_runs_are_deterministic_and_scheduling_independent() {
+        // The threaded fan-out (work size above the threshold) and the
+        // serial fallback (below it) must agree bit for bit: the reduction
+        // is keyed on replica index, not completion order.
+        let run = |work_size| {
+            let mut s = SortState::new(20, 3);
+            let cost = anneal_replicas(&mut s, &AnnealSchedule::quick(), 7, 4, 32, work_size);
+            (cost, s.values)
+        };
+        let threaded = run(usize::MAX);
+        let serial = run(0);
+        assert_eq!(threaded, serial);
+        assert_eq!(threaded, run(usize::MAX), "repeat runs are identical");
+    }
+
+    #[test]
+    fn replica_reduction_never_loses_to_the_single_walk() {
+        let mut single = SortState::new(30, 5);
+        let single_cost =
+            anneal_replicas(&mut single, &AnnealSchedule::quick(), 9, 1, 32, usize::MAX);
+        let mut multi = SortState::new(30, 5);
+        let multi_cost =
+            anneal_replicas(&mut multi, &AnnealSchedule::quick(), 9, 6, 32, usize::MAX);
+        assert!(
+            multi_cost <= single_cost,
+            "best-of-6 ({multi_cost}) must not exceed replica 0's result ({single_cost})"
+        );
+    }
+
+    #[test]
+    fn replica_seeds_are_distinct_and_replica_zero_keeps_the_base() {
+        let base = 1988;
+        assert_eq!(replica_seed(base, 0), base);
+        let seeds: Vec<u64> = (0..16).map(|r| replica_seed(base, r)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "derived seeds must not collide");
     }
 
     #[test]

@@ -23,13 +23,15 @@ pub fn insert_feedthroughs(placed: &mut PlacedModule) {
         return;
     }
     // Collect insertions first (borrow rules: topologies and rows are both
-    // fields of `placed`).
+    // fields of `placed`). One row buffer is reused across all nets.
     let mut insertions: Vec<(usize, u32, Lambda)> = Vec::new(); // (topology idx, row, x)
+    let mut rows: Vec<u32> = Vec::new();
     for (t_idx, topo) in placed.topologies().iter().enumerate() {
         if topo.pins.len() < 2 {
             continue;
         }
-        let rows: Vec<u32> = topo.pins.iter().map(|&(r, _)| r).collect();
+        rows.clear();
+        rows.extend(topo.pins.iter().map(|&(r, _)| r));
         let r_min = *rows.iter().min().expect("non-empty");
         let r_max = *rows.iter().max().expect("non-empty");
         if r_max == r_min {

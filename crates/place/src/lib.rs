@@ -46,5 +46,8 @@ pub mod placement;
 pub mod postfix;
 pub mod row_model;
 
-pub use anneal::{anneal, AnnealSchedule, AnnealState};
+pub use anneal::{
+    anneal, anneal_replicas, replica_seed, AnnealSchedule, AnnealState,
+    DEFAULT_REPLICA_WORK_THRESHOLD,
+};
 pub use placement::{place, PlaceParams, PlacedCell, PlacedModule, PlacedRow};

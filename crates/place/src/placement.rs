@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::anneal::{anneal, AnnealSchedule, AnnealState};
+use crate::anneal::{anneal_replicas, AnnealSchedule, AnnealState};
 use crate::feedthrough;
 use crate::row_model;
 
@@ -23,6 +23,9 @@ pub struct PlaceParams {
     pub schedule: AnnealSchedule,
     /// Weight of the row-width-imbalance penalty relative to wirelength.
     pub balance_weight: f64,
+    /// Independently seeded annealing walks to run and reduce best-of
+    /// (`1` = single walk, bit-identical to the pre-replica engine).
+    pub replicas: usize,
 }
 
 impl Default for PlaceParams {
@@ -32,6 +35,7 @@ impl Default for PlaceParams {
             seed: 1988,
             schedule: AnnealSchedule::default(),
             balance_weight: 0.5,
+            replicas: 1,
         }
     }
 }
@@ -82,15 +86,19 @@ impl NetTopology {
     /// The rows this net touches (pins and feed-throughs), ascending and
     /// deduplicated.
     pub fn rows_touched(&self) -> Vec<u32> {
-        let mut rows: Vec<u32> = self
-            .pins
-            .iter()
-            .chain(&self.feedthroughs)
-            .map(|&(r, _)| r)
-            .collect();
-        rows.sort_unstable();
-        rows.dedup();
+        let mut rows = Vec::new();
+        self.rows_touched_into(&mut rows);
         rows
+    }
+
+    /// [`NetTopology::rows_touched`] into a caller-provided buffer, so hot
+    /// loops (feed-through insertion, per-move scans) can reuse one
+    /// allocation across nets. Clears `out` first.
+    pub fn rows_touched_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.pins.iter().chain(&self.feedthroughs).map(|&(r, _)| r));
+        out.sort_unstable();
+        out.dedup();
     }
 }
 
@@ -633,11 +641,14 @@ fn place_with(
     let initial_rows_snapshot = state.rows.clone();
     let initial_row_of = state.row_of.clone();
     let initial_cost = state.cached_cost;
-    let schedule = params
-        .schedule
-        .clone()
-        .calibrated(&mut state, params.seed, 64);
-    let annealed_cost = anneal(&mut state, &schedule, params.seed);
+    let annealed_cost = anneal_replicas(
+        &mut state,
+        &params.schedule,
+        params.seed,
+        params.replicas,
+        64,
+        net_count,
+    );
     if annealed_cost > initial_cost {
         state.rows = initial_rows_snapshot;
         state.row_of = initial_row_of;
@@ -819,6 +830,31 @@ mod tests {
             let full = place_full_refresh(&m, &tech, &quick_params(rows)).expect("places");
             assert_eq!(delta, full, "{} diverged", m.name());
         }
+    }
+
+    #[test]
+    fn one_replica_matches_the_pre_replica_path_and_four_are_deterministic() {
+        let m = generate::counter(4);
+        let tech = builtin::nmos25();
+        let one = place(&m, &tech, &quick_params(2)).expect("places");
+        let explicit_one = place(
+            &m,
+            &tech,
+            &PlaceParams {
+                replicas: 1,
+                ..quick_params(2)
+            },
+        )
+        .expect("places");
+        assert_eq!(one, explicit_one, "replicas=1 is the default single walk");
+
+        let four_params = PlaceParams {
+            replicas: 4,
+            ..quick_params(2)
+        };
+        let four_a = place(&m, &tech, &four_params).expect("places");
+        let four_b = place(&m, &tech, &four_params).expect("places");
+        assert_eq!(four_a, four_b, "replicas=4 must be reproducible");
     }
 
     #[test]

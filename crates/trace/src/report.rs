@@ -407,6 +407,32 @@ pub struct PerfReport {
     pub metrics: BTreeMap<String, f64>,
 }
 
+/// Thread-label prefix the annealing engine gives its replica workers.
+/// Spans attributed to such a thread fold into a per-replica stage row
+/// (`anneal@replica-3`) so the report shows how work split across the
+/// replica fan-out.
+pub const REPLICA_THREAD_PREFIX: &str = "replica-";
+
+/// Whether a folded stage name is a per-replica breakdown row.
+///
+/// Replica rows come and go with the `--replicas` flag, so the
+/// [`regressions`] gate never treats one missing from the baseline as a
+/// regression.
+pub fn is_replica_stage(name: &str) -> bool {
+    name.split_once('@')
+        .is_some_and(|(_, thread)| thread.starts_with(REPLICA_THREAD_PREFIX))
+}
+
+/// The stage key a span folds under: per-replica spans split out by their
+/// thread label, everything else groups by plain span name.
+fn stage_key(name: &str, thread: &str) -> String {
+    if thread.starts_with(REPLICA_THREAD_PREFIX) {
+        format!("{name}@{thread}")
+    } else {
+        name.to_owned()
+    }
+}
+
 /// Folds parsed events into a [`PerfReport`].
 pub fn fold(events: &[Event], label: &str) -> PerfReport {
     let mut child_dur: BTreeMap<u64, u64> = BTreeMap::new();
@@ -433,15 +459,23 @@ pub fn fold(events: &[Event], label: &str) -> PerfReport {
     for event in events {
         match event {
             Event::Span {
-                id, name, dur_us, ..
+                id,
+                name,
+                thread,
+                dur_us,
+                ..
             } => {
                 // Self time saturates at zero: a parent that merely waits
                 // on faster cross-thread children can be "covered" by
                 // them (multi-core overlap).
                 let self_us = dur_us.saturating_sub(child_dur.get(id).copied().unwrap_or(0));
                 work_us += self_us;
-                let entry = stages.entry(name.clone()).or_insert_with(|| StageSummary {
-                    name: name.clone(),
+                // Each span lands in exactly one stage row (replica-thread
+                // spans in their per-replica row), so self times still
+                // partition the trace and `work_us` telescopes unchanged.
+                let key = stage_key(name, thread);
+                let entry = stages.entry(key.clone()).or_insert_with(|| StageSummary {
+                    name: key.clone(),
                     count: 0,
                     total_us: 0,
                     self_us: 0,
@@ -689,7 +723,12 @@ impl std::fmt::Display for StageRegression {
 /// (fractional: `0.3` = +30%) — or appears with no baseline entry at all —
 /// AND its current self time is at least `noise_floor_us`. The floor keeps
 /// sub-millisecond stages, whose timings are scheduling noise, from
-/// tripping the gate. Regressions come back worst growth first.
+/// tripping the gate. Per-replica breakdown rows ([`is_replica_stage`])
+/// are exempt from the new-since-baseline rule: runs with different
+/// `--replicas` settings legitimately produce different row sets, and a
+/// replica-count mismatch is not a performance regression (a replica row
+/// the baseline *does* carry is still held to the growth envelope).
+/// Regressions come back worst growth first.
 pub fn regressions(
     current: &PerfReport,
     baseline: &PerfReport,
@@ -708,7 +747,7 @@ pub fn regressions(
                 .map(|b| b.self_us)
                 .unwrap_or(0);
             let (regressed, growth) = if base == 0 {
-                (true, f64::INFINITY)
+                (!is_replica_stage(&stage.name), f64::INFINITY)
             } else {
                 let growth = stage.self_us as f64 / base as f64 - 1.0;
                 (growth > max_increase, growth)
@@ -1007,6 +1046,74 @@ mod tests {
         let report = report_with(&[("anneal", 100_000), ("route", 40_000)]);
         assert!(regressions(&report, &report, 0.3, 0).is_empty());
         assert!(regressions(&report, &report, 0.0, 0).is_empty());
+    }
+
+    fn replica_span(id: u64, parent: u64, name: &str, replica: u64, dur_us: u64) -> Event {
+        Event::Span {
+            id,
+            parent,
+            name: name.to_owned(),
+            detail: String::new(),
+            thread: format!("replica-{replica}"),
+            start_us: 0,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn replica_thread_spans_fold_into_per_replica_rows() {
+        // Two replica threads, each running anneal.replica > anneal; the
+        // set span stays on the main thread.
+        let events = vec![
+            replica_span(3, 2, "anneal", 0, 70),
+            replica_span(2, 1, "anneal.replica", 0, 80),
+            replica_span(5, 4, "anneal", 1, 60),
+            replica_span(4, 1, "anneal.replica", 1, 75),
+            span(1, 0, "anneal.replica_set", 0, 90),
+        ];
+        let report = fold(&events, "t");
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            "anneal@replica-0",
+            "anneal@replica-1",
+            "anneal.replica@replica-0",
+            "anneal.replica@replica-1",
+            "anneal.replica_set",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+            assert_eq!(is_replica_stage(expected), expected != "anneal.replica_set",);
+        }
+        // Each span still lands in exactly one row: self times partition.
+        let total_self: u64 = report.stages.iter().map(|s| s.self_us).sum();
+        assert_eq!(total_self, report.work_us);
+        let inner0 = report
+            .stages
+            .iter()
+            .find(|s| s.name == "anneal@replica-0")
+            .unwrap();
+        assert_eq!((inner0.count, inner0.total_us, inner0.self_us), (1, 70, 70));
+        // Roundtrip keeps the synthesized names intact.
+        let back = PerfReport::from_json(&report.to_json()).expect("parses own output");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn regression_gate_ignores_replica_rows_missing_from_the_baseline() {
+        // A baseline traced at --replicas 1 has no per-replica rows; a
+        // current run at --replicas 4 must not fail the gate for them.
+        let baseline = report_with(&[("anneal", 100_000)]);
+        let current = report_with(&[
+            ("anneal", 100_000),
+            ("anneal@replica-0", 90_000),
+            ("anneal@replica-1", 95_000),
+        ]);
+        assert!(regressions(&current, &baseline, 0.3, 25_000).is_empty());
+        // But a replica row the baseline does carry is still gated.
+        let tracked_baseline = report_with(&[("anneal", 100_000), ("anneal@replica-0", 50_000)]);
+        let found = regressions(&current, &tracked_baseline, 0.3, 25_000);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].name, "anneal@replica-0");
+        assert!((found[0].growth - 0.8).abs() < 1e-9);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Bench smoke: the perf-trajectory artifact for CI.
 #
-#   ./scripts/bench_smoke.sh [label]      # default label: pr3
+#   ./scripts/bench_smoke.sh [label]      # default label: pr5
 #
-# Three cheap checks that keep the perf tooling honest without a full
+# Four cheap checks that keep the perf tooling honest without a full
 # criterion run:
 #
 #   1. `CRITERION_QUICK=1 cargo bench` — the vendored criterion's
@@ -14,8 +14,11 @@
 #   3. A traced `layout` over the transistor-level Table 1 suite — the
 #      full-custom synthesizer's annealing stages, including the
 #      `anneal.evals_full` / `anneal.evals_delta` counter pair.
+#   4. A traced `layout --replicas 4` over the same suite — the
+#      replica-parallel annealing fan-out, contributing the
+#      `anneal.replicas` counter and per-replica `…@replica-N` stage rows.
 #
-# `perf-report` folds both traces into one BENCH_<label>.json —
+# `perf-report` folds the traces into one BENCH_<label>.json —
 # machine-readable per-stage totals that successive PRs can diff. When a
 # committed BENCH_baseline.json exists, the fold doubles as the CI
 # trace-regression gate: any stage whose self time grew >30% beyond the
@@ -24,7 +27,7 @@
 # and review the diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-LABEL="${1:-pr4}"
+LABEL="${1:-pr5}"
 
 echo "==> criterion smoke (CRITERION_QUICK=1, estimator_scaling)"
 CRITERION_QUICK=1 cargo bench -q -p maestro-bench --bench estimator_scaling
@@ -33,13 +36,18 @@ echo "==> traced estimate over the Table 1 suite"
 cargo build --release -q -p maestro
 ESTIMATE_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
 LAYOUT_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
-trap 'rm -f "$ESTIMATE_TRACE" "$LAYOUT_TRACE"' EXIT
+REPLICA_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
+trap 'rm -f "$ESTIMATE_TRACE" "$LAYOUT_TRACE" "$REPLICA_TRACE"' EXIT
 ./target/release/maestro-cli estimate assets/table1.mnl assets/counter4.mnl \
     --jobs 4 --trace "$ESTIMATE_TRACE" > /dev/null
 
 echo "==> traced full-custom synthesis over the Table 1 suite"
 ./target/release/maestro-cli layout assets/table1.mnl \
     --trace "$LAYOUT_TRACE" > /dev/null
+
+echo "==> traced replica-parallel synthesis (--replicas 4)"
+./target/release/maestro-cli layout assets/table1.mnl \
+    --replicas 4 --trace "$REPLICA_TRACE" > /dev/null
 
 GATE=()
 if [[ "$LABEL" != baseline && -f BENCH_baseline.json ]]; then
@@ -48,7 +56,7 @@ if [[ "$LABEL" != baseline && -f BENCH_baseline.json ]]; then
 else
     echo "==> perf-report -> BENCH_${LABEL}.json"
 fi
-./target/release/maestro-cli perf-report "$ESTIMATE_TRACE" "$LAYOUT_TRACE" \
+./target/release/maestro-cli perf-report "$ESTIMATE_TRACE" "$LAYOUT_TRACE" "$REPLICA_TRACE" \
     --label "$LABEL" --out "BENCH_${LABEL}.json" ${GATE[@]+"${GATE[@]}"}
 
 echo "==> bench smoke passed"

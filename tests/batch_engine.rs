@@ -224,6 +224,91 @@ fn cached_and_uncached_runs_are_byte_identical_over_table1() {
 }
 
 #[test]
+fn replica_parameterized_pipeline_is_jobs_invariant() {
+    // The estimator is closed-form, so a replica-parameterized pipeline
+    // must serialize the exact bytes of the plain one — at every fan-out.
+    let mut modules = library_circuits::table1_suite();
+    modules.extend(library_circuits::table2_suite());
+    let reference = Pipeline::new(builtin::nmos25())
+        .run_all(modules.iter())
+        .expect("estimates")
+        .to_json()
+        .expect("serializes");
+    let pipeline = Pipeline::new(builtin::nmos25())
+        .with_replicas(4)
+        .with_parallel_threshold(0);
+    for jobs in [1, 2, 8] {
+        let db = pipeline
+            .run_all_parallel(modules.iter(), jobs)
+            .expect("estimates");
+        assert_eq!(db.to_json().unwrap(), reference, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn replica_layouts_are_deterministic_over_the_table_suites() {
+    let tech = builtin::nmos25();
+    // Full-custom synthesis over Table 1: replicas=1 must be byte-identical
+    // to the pre-replica (default) path, and replicas=4 must reproduce the
+    // same layout run over run — thread scheduling must not leak into it.
+    for module in library_circuits::table1_suite() {
+        let quick = SynthesisParams::quick();
+        let base = synthesize(&module, &tech, &quick).expect("synthesizes");
+        let one = synthesize(
+            &module,
+            &tech,
+            &SynthesisParams {
+                replicas: 1,
+                ..quick.clone()
+            },
+        )
+        .expect("synthesizes");
+        assert_eq!(base, one, "{}: replicas=1 must match", module.name());
+        let four = SynthesisParams {
+            replicas: 4,
+            ..quick
+        };
+        let a = synthesize(&module, &tech, &four).expect("synthesizes");
+        let b = synthesize(&module, &tech, &four).expect("synthesizes");
+        assert_eq!(a, b, "{}: replicas=4 must reproduce", module.name());
+    }
+    // Standard-cell place & route over the Table 2 modules: the rendered
+    // layout (geometry, tracks, feed-throughs) must be byte-identical.
+    for module in library_circuits::table2_suite() {
+        if NetlistStats::resolve(&module, &tech, LayoutStyle::StandardCell).is_err() {
+            continue;
+        }
+        let params = |replicas| PlaceParams {
+            rows: 2,
+            replicas,
+            schedule: maestro::place::AnnealSchedule::quick(),
+            ..PlaceParams::default()
+        };
+        let render = |p: &PlaceParams| {
+            let placed = place(&module, &tech, p).expect("places");
+            let routed = route(&placed);
+            maestro::route::assemble::render_svg(&placed, &routed)
+        };
+        assert_eq!(
+            render(&params(1)),
+            render(&PlaceParams {
+                rows: 2,
+                schedule: maestro::place::AnnealSchedule::quick(),
+                ..PlaceParams::default()
+            }),
+            "{}: replicas=1 must match",
+            module.name()
+        );
+        assert_eq!(
+            render(&params(4)),
+            render(&params(4)),
+            "{}: replicas=4 must reproduce",
+            module.name()
+        );
+    }
+}
+
+#[test]
 fn batch_resolves_each_module_and_style_exactly_once() {
     let modules = library_circuits::table1_suite();
     let cache = Arc::new(StatsCache::new());

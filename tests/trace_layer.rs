@@ -150,6 +150,81 @@ fn tiny_parallel_batch_takes_the_serial_path() {
 }
 
 #[test]
+fn replica_annealing_attributes_each_walk_to_its_thread() {
+    use maestro::prelude::*;
+    let m = generate::ripple_adder(4);
+    assert!(
+        m.net_count() >= maestro::place::DEFAULT_REPLICA_WORK_THRESHOLD,
+        "fixture must be big enough to take the threaded replica path, \
+         has {} nets",
+        m.net_count()
+    );
+    let collector = Arc::new(trace::Collector::new());
+    trace::with_sink(collector.clone(), || {
+        place(
+            &m,
+            &builtin::nmos25(),
+            &PlaceParams {
+                rows: 2,
+                replicas: 3,
+                schedule: maestro::place::AnnealSchedule::quick(),
+                ..PlaceParams::default()
+            },
+        )
+        .expect("places");
+    });
+    let spans = collector.spans();
+    let set = spans
+        .iter()
+        .find(|s| s.name == "anneal.replica_set")
+        .expect("replica set span");
+    assert_eq!(set.detail, "replicas=3");
+    let replicas: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "anneal.replica")
+        .collect();
+    assert_eq!(replicas.len(), 3);
+    let mut threads: Vec<&str> = replicas.iter().map(|r| r.thread.as_str()).collect();
+    threads.sort_unstable();
+    assert_eq!(
+        threads,
+        ["replica-0", "replica-1", "replica-2"],
+        "each walk runs on its own labeled thread"
+    );
+    for r in &replicas {
+        assert_eq!(r.parent, set.id, "replica walks parent to the set span");
+        assert_eq!(
+            r.detail,
+            format!("replica={}", &r.thread["replica-".len()..])
+        );
+    }
+    // The inner anneal spans run inside the replica walks and inherit
+    // their thread attribution — this is what lets perf-report break the
+    // anneal stage down per replica.
+    let inner: Vec<_> = spans.iter().filter(|s| s.name == "anneal").collect();
+    assert_eq!(inner.len(), 3, "one anneal walk per replica");
+    for a in &inner {
+        let walk = replicas
+            .iter()
+            .find(|r| r.id == a.parent)
+            .expect("anneal nests under a replica walk");
+        assert_eq!(a.thread, walk.thread);
+    }
+    assert_eq!(collector.counter_total("anneal.replicas"), 3);
+    let best = collector.counter_total("anneal.replica_best");
+    assert!(best < 3, "winning index {best} must name a replica");
+    // Folding the trace yields per-replica rows for the report.
+    let report = fold(&collector.events(), "t");
+    for r in 0..3 {
+        let name = format!("anneal.replica@replica-{r}");
+        assert!(
+            report.stages.iter().any(|s| s.name == name),
+            "missing stage {name}"
+        );
+    }
+}
+
+#[test]
 fn folded_report_self_times_telescope_to_the_root() {
     let collector = Arc::new(trace::Collector::new());
     let modules = modules();
