@@ -59,6 +59,7 @@ pub mod multi_aspect;
 pub mod pipeline;
 pub mod prob;
 pub mod report;
+pub mod request;
 pub mod standard_cell;
 pub mod track_sharing;
 pub mod wirelength;
@@ -67,4 +68,5 @@ pub use full_custom::FcEstimate;
 pub use pipeline::Pipeline;
 pub use prob::{CacheStats, ProbTable};
 pub use report::{EstimateRecord, ResultsDb};
+pub use request::{Request, RequestCall, RequestError, Response};
 pub use standard_cell::ScEstimate;

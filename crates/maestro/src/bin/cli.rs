@@ -5,19 +5,22 @@
 //! maestro-cli expand    <file.mnl>                 # gate-level -> nMOS transistor .mnl
 //! maestro-cli layout    <file.mnl|file.sp> [--tech ...] [--rows N]
 //! maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT]
+//! maestro-cli serve     [--jobs N] [--socket PATH] # JSON-lines daemon
 //! ```
 //!
 //! File type is chosen by extension: `.mnl` is the native structural
 //! format; `.sp`/`.spice`/`.cir` are SPICE-subset decks.
+//!
+//! Every command renders through [`maestro::ops`], the same layer the
+//! `serve` daemon answers from — so a serve response payload is
+//! byte-identical to the one-shot command's stdout.
 
-use std::path::Path;
 use std::process::ExitCode;
 
 use maestro::estimator::pipeline::Pipeline;
 use maestro::estimator::standard_cell::ScParams;
-use maestro::netlist::{expand, mnl, spice};
+use maestro::ops;
 use maestro::prelude::*;
-use maestro::tech::io as tech_io;
 
 fn usage() -> &'static str {
     "usage:\n  \
@@ -27,35 +30,11 @@ fn usage() -> &'static str {
      maestro-cli report    <file...> [--tech ...] [--aspect LIMIT] [--replicas N] [--svg out.svg]\n  \
      maestro-cli layout    <file> [--tech ...] [--rows N] [--replicas N] [--svg out.svg]\n  \
      maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT] [--replicas N] [--svg out.svg]\n  \
+     maestro-cli serve     [--jobs N] [--socket PATH]\n  \
      maestro-cli perf-report <trace.jsonl>... [--label NAME] [--out file.json]\n  \
      \x20                     [--baseline BENCH.json] [--max-regression PCT] [--noise-floor-us N]\n\n\
      any command also accepts --trace <file.jsonl> to record a stage-level\n\
      trace of the run (fold it with perf-report)."
-}
-
-fn load_tech(spec: &str) -> Result<ProcessDb, String> {
-    match spec {
-        "nmos" => Ok(builtin::nmos25()),
-        "cmos" => Ok(builtin::cmos_generic()),
-        path => tech_io::load(path).map_err(|e| e.to_string()),
-    }
-}
-
-fn load_modules(path: &str) -> Result<Vec<Module>, String> {
-    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let ext = Path::new(path)
-        .extension()
-        .and_then(|e| e.to_str())
-        .unwrap_or("");
-    match ext {
-        "mnl" => mnl::parse_design(&source).map_err(|e| format!("{path}: {e}")),
-        "sp" | "spice" | "cir" => spice::parse(&source)
-            .map(|m| vec![m])
-            .map_err(|e| format!("{path}: {e}")),
-        other => Err(format!(
-            "{path}: unknown extension `.{other}` (expected .mnl, .sp, .spice or .cir)"
-        )),
-    }
 }
 
 struct Options {
@@ -67,6 +46,7 @@ struct Options {
     replicas: usize,
     json: bool,
     svg: Option<String>,
+    socket: Option<String>,
     trace: Option<String>,
     label: Option<String>,
     out: Option<String>,
@@ -85,6 +65,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         replicas: 1,
         json: false,
         svg: None,
+        socket: None,
         trace: None,
         label: None,
         out: None,
@@ -126,6 +107,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--svg" => {
                 opts.svg = Some(it.next().ok_or("--svg needs a path")?.clone());
             }
+            "--socket" => {
+                opts.socket = Some(it.next().ok_or("--socket needs a path")?.clone());
+            }
             "--trace" => {
                 opts.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
             }
@@ -156,255 +140,131 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             file => opts.files.push(file.to_owned()),
         }
     }
-    if opts.files.is_empty() {
-        return Err("no input files".to_owned());
-    }
     Ok(opts)
 }
 
+fn require_files(opts: &Options) -> Result<(), String> {
+    if opts.files.is_empty() {
+        return Err("no input files".to_owned());
+    }
+    Ok(())
+}
+
 fn cmd_estimate(opts: &Options) -> Result<(), String> {
-    let tech = load_tech(&opts.tech)?;
+    require_files(opts)?;
+    let tech = ops::load_tech(&opts.tech)?;
     let mut pipeline = Pipeline::new(tech);
     if let Some(rows) = opts.rows {
         pipeline = pipeline.with_sc_params(ScParams::with_rows(rows));
     }
     let mut modules = Vec::new();
     for file in &opts.files {
-        modules.extend(load_modules(file)?);
+        modules.extend(ops::load_modules(file)?);
     }
-    // `--jobs N` fans the batch over N worker threads; the merged
-    // database (and its JSON) is identical to the serial run's.
-    let db = pipeline
-        .run_all_parallel(modules.iter(), opts.jobs)
-        .map_err(|e| e.to_string())?;
-    if opts.json {
-        println!("{}", db.to_json().map_err(|e| e.to_string())?);
-        return Ok(());
-    }
-    for rec in db.records() {
-        println!("module `{}`", rec.module_name);
-        if let Some(sc) = &rec.standard_cell {
-            println!(
-                "  standard-cell: {} ({} rows, {} tracks, {} feed-throughs, aspect {})",
-                sc.area, sc.rows, sc.tracks, sc.feedthroughs, sc.aspect_ratio
-            );
-        }
-        if let Some(fc) = &rec.full_custom {
-            println!(
-                "  full-custom  : {} exact / {} average (aspect {})",
-                fc.total_exact, fc.total_average, fc.aspect_exact
-            );
-        }
-    }
+    print!(
+        "{}",
+        ops::estimate_output(&pipeline, &modules, opts.jobs, opts.json)?
+    );
     Ok(())
 }
 
 fn cmd_expand(opts: &Options) -> Result<(), String> {
+    require_files(opts)?;
     for file in &opts.files {
-        for module in load_modules(file)? {
-            let xt = expand::to_nmos_transistors(&module).map_err(|e| e.to_string())?;
-            print!("{}", mnl::to_mnl(&xt));
+        for module in ops::load_modules(file)? {
+            print!("{}", ops::expand_output(&module)?);
         }
     }
     Ok(())
 }
 
 fn cmd_layout(opts: &Options) -> Result<(), String> {
-    let tech = load_tech(&opts.tech)?;
+    require_files(opts)?;
+    let tech = ops::load_tech(&opts.tech)?;
     for file in &opts.files {
-        for module in load_modules(file)? {
-            // Gate-level modules go through place & route; transistor-level
-            // through the synthesizer — decided by which table resolves.
-            // Probing via the shared cache means `place` below re-uses this
-            // very resolution instead of re-scanning the module.
-            if StatsCache::shared()
-                .resolve(&module, &tech, LayoutStyle::StandardCell)
-                .is_ok()
-            {
-                let rows = opts.rows.unwrap_or(2);
-                let placed = place(
-                    &module,
-                    &tech,
-                    &PlaceParams {
-                        rows,
-                        replicas: opts.replicas,
-                        ..Default::default()
-                    },
-                )
-                .map_err(|e| e.to_string())?;
-                let routed = route(&placed);
-                if let Some(path) = &opts.svg {
-                    let svg = maestro::route::assemble::render_svg(&placed, &routed);
-                    std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
-                    println!("wrote {path}");
-                }
-                println!(
-                    "`{}` standard-cell P&R: {} × {} = {} ({} tracks, {} feed-throughs, aspect {})",
-                    module.name(),
-                    routed.width(),
-                    routed.height(),
-                    routed.area(),
-                    routed.total_tracks(),
-                    routed.feedthroughs(),
-                    routed.aspect_ratio()
-                );
-            } else {
-                let params = SynthesisParams {
-                    replicas: opts.replicas,
-                    ..Default::default()
-                };
-                let layout = synthesize(&module, &tech, &params).map_err(|e| e.to_string())?;
-                if let Some(path) = &opts.svg {
-                    std::fs::write(path, layout.to_svg()).map_err(|e| format!("{path}: {e}"))?;
-                    println!("wrote {path}");
-                }
-                println!(
-                    "`{}` full-custom synthesis: {} × {} + {} wire = {} (aspect {})",
-                    module.name(),
-                    layout.width(),
-                    layout.height(),
-                    layout.wire_area(),
-                    layout.area(),
-                    layout.aspect_ratio()
-                );
+        for module in ops::load_modules(file)? {
+            let outcome = ops::layout_module(
+                &module,
+                &tech,
+                &StatsCache::shared(),
+                opts.rows,
+                opts.replicas,
+                opts.svg.is_some(),
+            )?;
+            if let (Some(path), Some(svg)) = (&opts.svg, &outcome.svg) {
+                std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
+                println!("wrote {path}");
             }
+            print!("{}", outcome.summary);
         }
     }
     Ok(())
 }
 
 fn cmd_report(opts: &Options) -> Result<(), String> {
-    let tech = load_tech(&opts.tech)?;
-    let pipeline = Pipeline::new(tech.clone()).with_replicas(opts.replicas);
-    println!("# maestro design report\n");
-    println!("process: `{tech}`\n");
-    let mut blocks = Vec::new();
+    require_files(opts)?;
+    let tech = ops::load_tech(&opts.tech)?;
+    let pipeline = Pipeline::new(tech).with_replicas(opts.replicas);
+    let mut modules = Vec::new();
     for file in &opts.files {
-        for module in load_modules(file)? {
-            let record = pipeline.run_module(&module).map_err(|e| e.to_string())?;
-            println!("## module `{}`\n", record.module_name);
-            println!(
-                "- devices: {}, nets: {}, ports: {}",
-                module.device_count(),
-                module.net_count(),
-                module.port_count()
-            );
-            if let Ok(depth) = maestro::netlist::depth::logic_depth(&module) {
-                println!("- logic depth: {} stages", depth.depth);
-            }
-            if let Some(sc) = &record.standard_cell {
-                println!(
-                    "- standard-cell estimate: {} ({} rows, {} tracks, aspect {})",
-                    sc.area, sc.rows, sc.tracks, sc.aspect_ratio
-                );
-                if !record.standard_cell_candidates.is_empty() {
-                    println!("- shape candidates:");
-                    for c in &record.standard_cell_candidates {
-                        println!(
-                            "    - {} rows: {} × {} = {} (aspect {})",
-                            c.rows, c.width, c.height, c.area, c.aspect_ratio
-                        );
-                    }
-                }
-            }
-            if let Some(fc) = &record.full_custom {
-                println!(
-                    "- full-custom estimate: {} exact / {} average (aspect {})",
-                    fc.total_exact, fc.total_average, fc.aspect_exact
-                );
-            }
-            println!();
-            if let Some(block) = Block::from_record(&record, 5) {
-                blocks.push(block);
-            }
-        }
+        modules.extend(ops::load_modules(file)?);
     }
-    if blocks.len() > 1 {
-        let mut params = PlanParams {
-            replicas: pipeline.replicas(),
-            ..PlanParams::default()
-        };
-        if let Some(limit) = opts.aspect {
-            params = params.with_aspect_limit(limit);
-        }
-        let plan = floorplan(&blocks, &params);
-        println!("## chip floorplan\n");
-        println!(
-            "- chip: {} × {} = {} (utilization {:.0}%)",
-            plan.width(),
-            plan.height(),
-            plan.area(),
-            plan.utilization() * 100.0
-        );
-        for (name, rect) in plan.placements() {
-            println!("- `{name}` at {rect}");
-        }
-        if let Some(path) = &opts.svg {
-            std::fs::write(path, plan.to_svg()).map_err(|e| format!("{path}: {e}"))?;
-            println!("\n(floorplan drawing written to {path})");
-        }
+    let (text, plan) = ops::report_output(&pipeline, &modules, opts.aspect)?;
+    print!("{text}");
+    if let (Some(path), Some(plan)) = (&opts.svg, &plan) {
+        std::fs::write(path, plan.to_svg()).map_err(|e| format!("{path}: {e}"))?;
+        println!("\n(floorplan drawing written to {path})");
     }
     Ok(())
 }
 
 fn cmd_depth(opts: &Options) -> Result<(), String> {
+    require_files(opts)?;
     for file in &opts.files {
-        for module in load_modules(file)? {
-            let report =
-                maestro::netlist::depth::logic_depth(&module).map_err(|e| e.to_string())?;
-            let path: Vec<String> = report
-                .critical_path
-                .iter()
-                .map(|&d| module.device(d).name().to_owned())
-                .collect();
-            println!(
-                "`{}`: logic depth {} ({})",
-                module.name(),
-                report.depth,
-                path.join(" -> ")
-            );
+        for module in ops::load_modules(file)? {
+            print!("{}", ops::depth_output(&module)?);
         }
     }
     Ok(())
 }
 
 fn cmd_floorplan(opts: &Options) -> Result<(), String> {
-    let tech = load_tech(&opts.tech)?;
+    require_files(opts)?;
+    let tech = ops::load_tech(&opts.tech)?;
     let pipeline = Pipeline::new(tech).with_replicas(opts.replicas);
-    let mut blocks = Vec::new();
+    let mut modules = Vec::new();
     for file in &opts.files {
-        for module in load_modules(file)? {
-            // One estimator pass per module; the pipeline's resolve-once
-            // cache carries the analysis into any later layout commands.
-            if let Some(block) =
-                Block::from_module(&pipeline, &module, 5).map_err(|e| e.to_string())?
-            {
-                blocks.push(block);
-            }
-        }
+        modules.extend(ops::load_modules(file)?);
     }
-    let mut params = PlanParams {
-        replicas: pipeline.replicas(),
-        ..PlanParams::default()
-    };
-    if let Some(limit) = opts.aspect {
-        params = params.with_aspect_limit(limit);
-    }
-    let plan = floorplan(&blocks, &params);
+    let (text, plan) = ops::floorplan_output(&pipeline, &modules, opts.aspect)?;
     if let Some(path) = &opts.svg {
         std::fs::write(path, plan.to_svg()).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote {path}");
     }
-    println!(
-        "chip {} × {} = {} (utilization {:.0}%)",
-        plan.width(),
-        plan.height(),
-        plan.area(),
-        plan.utilization() * 100.0
-    );
-    for (name, rect) in plan.placements() {
-        println!("  {name:<24} {rect}");
+    print!("{text}");
+    Ok(())
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    if !opts.files.is_empty() {
+        return Err("serve takes no input files (sources arrive inside requests)".to_owned());
     }
+    let session = maestro::serve::Session::new();
+    let summary = match &opts.socket {
+        Some(path) => maestro::serve::serve_socket(&session, std::path::Path::new(path), opts.jobs),
+        None => {
+            // The Stdout handle (not its lock) so the worker pool can
+            // share it; the sink serializes writes itself.
+            let stdin = std::io::stdin();
+            maestro::serve::serve_lines(&session, stdin.lock(), std::io::stdout(), opts.jobs)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    // stdout is the protocol channel; the session tally goes to stderr.
+    eprintln!(
+        "serve: answered {} request(s), {} error(s)",
+        summary.requests, summary.errors
+    );
     Ok(())
 }
 
@@ -476,6 +336,7 @@ fn root_span_name(cmd: &str) -> &'static str {
         "report" => "cli.report",
         "layout" => "cli.layout",
         "floorplan" => "cli.floorplan",
+        "serve" => "cli.serve",
         _ => "cli.command",
     }
 }
@@ -511,6 +372,7 @@ fn main() -> ExitCode {
             "report" => cmd_report(&opts),
             "layout" => cmd_layout(&opts),
             "floorplan" => cmd_floorplan(&opts),
+            "serve" => cmd_serve(&opts),
             "perf-report" => cmd_perf_report(&opts),
             other => Err(format!("unknown command `{other}`\n{}", usage())),
         }

@@ -15,6 +15,10 @@
 //! | [`floorplan`] | `maestro-floorplan` | slicing floorplanner consuming the estimates |
 //! | [`trace`] | `maestro-trace` | stage-level observability: spans, counters, perf reports |
 //!
+//! The facade also hosts the front-end layer itself: [`ops`] renders the
+//! command outputs shared by the CLI and the daemon, and [`serve`] is the
+//! long-lived JSON-lines estimation service behind `maestro-cli serve`.
+//!
 //! # Quick start
 //!
 //! ```
@@ -47,6 +51,9 @@ pub use maestro_place as place;
 pub use maestro_route as route;
 pub use maestro_tech as tech;
 pub use maestro_trace as trace;
+
+pub mod ops;
+pub mod serve;
 
 /// The most commonly used items in one import.
 pub mod prelude {

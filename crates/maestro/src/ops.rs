@@ -1,0 +1,311 @@
+//! Shared command implementations behind both front ends.
+//!
+//! The one-shot CLI and the long-lived `serve` daemon must answer
+//! identically — the serve replay suite asserts responses byte-for-byte
+//! against one-shot stdout. The only way to keep that contract cheap is
+//! to have a single implementation: each function here renders the exact
+//! text the CLI prints (every line `\n`-terminated), the CLI `print!`s
+//! it and the daemon ships it as a response payload.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use maestro_estimator::pipeline::Pipeline;
+use maestro_floorplan::{floorplan, Block, Floorplan, PlanParams};
+use maestro_fullcustom::{synthesize, SynthesisParams};
+use maestro_netlist::{expand, mnl, spice, LayoutStyle, Module, StatsCache};
+use maestro_place::{place, PlaceParams};
+use maestro_route::route;
+use maestro_tech::{builtin, io as tech_io, ProcessDb};
+
+/// Resolves a `--tech` spec: the built-in names or a process-DB JSON path.
+pub fn load_tech(spec: &str) -> Result<ProcessDb, String> {
+    match spec {
+        "nmos" => Ok(builtin::nmos25()),
+        "cmos" => Ok(builtin::cmos_generic()),
+        path => tech_io::load(path).map_err(|e| e.to_string()),
+    }
+}
+
+/// Loads the modules of one schematic file, dispatching on extension:
+/// `.mnl` is the native structural format; `.sp`/`.spice`/`.cir` are
+/// SPICE-subset decks.
+pub fn load_modules(path: &str) -> Result<Vec<Module>, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    match ext {
+        "mnl" => mnl::parse_design(&source).map_err(|e| format!("{path}: {e}")),
+        "sp" | "spice" | "cir" => spice::parse(&source)
+            .map(|m| vec![m])
+            .map_err(|e| format!("{path}: {e}")),
+        other => Err(format!(
+            "{path}: unknown extension `.{other}` (expected .mnl, .sp, .spice or .cir)"
+        )),
+    }
+}
+
+/// Parses one inline `.mnl` source (serve requests carry schematics in
+/// the request body as well as by path).
+pub fn parse_inline_mnl(source: &str) -> Result<Vec<Module>, String> {
+    mnl::parse_design(source).map_err(|e| format!("inline mnl: {e}"))
+}
+
+/// Runs the estimate batch and renders the CLI's output for it: the
+/// results-database JSON (with `--json`) or the per-module text table.
+pub fn estimate_output(
+    pipeline: &Pipeline,
+    modules: &[Module],
+    jobs: usize,
+    json: bool,
+) -> Result<String, String> {
+    // `jobs` fans the batch over worker threads; the merged database
+    // (and its JSON) is identical to the serial run's.
+    let db = pipeline
+        .run_all_parallel(modules.iter(), jobs)
+        .map_err(|e| e.to_string())?;
+    if json {
+        return Ok(format!("{}\n", db.to_json().map_err(|e| e.to_string())?));
+    }
+    let mut out = String::new();
+    for rec in db.records() {
+        writeln!(out, "module `{}`", rec.module_name).expect("string write");
+        if let Some(sc) = &rec.standard_cell {
+            writeln!(
+                out,
+                "  standard-cell: {} ({} rows, {} tracks, {} feed-throughs, aspect {})",
+                sc.area, sc.rows, sc.tracks, sc.feedthroughs, sc.aspect_ratio
+            )
+            .expect("string write");
+        }
+        if let Some(fc) = &rec.full_custom {
+            writeln!(
+                out,
+                "  full-custom  : {} exact / {} average (aspect {})",
+                fc.total_exact, fc.total_average, fc.aspect_exact
+            )
+            .expect("string write");
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the gate-level → nMOS transistor expansion of one module.
+pub fn expand_output(module: &Module) -> Result<String, String> {
+    let xt = expand::to_nmos_transistors(module).map_err(|e| e.to_string())?;
+    Ok(mnl::to_mnl(&xt))
+}
+
+/// One laid-out module: the CLI summary line plus the drawing when asked.
+pub struct LayoutOutcome {
+    /// The `\n`-terminated summary line the CLI prints.
+    pub summary: String,
+    /// The SVG drawing, rendered only when requested.
+    pub svg: Option<String>,
+}
+
+/// Lays out one module — place & route for gate-level schematics,
+/// full-custom synthesis for transistor-level ones, decided by which
+/// technology table resolves — and renders the CLI summary line.
+pub fn layout_module(
+    module: &Module,
+    tech: &ProcessDb,
+    cache: &StatsCache,
+    rows: Option<u32>,
+    replicas: usize,
+    want_svg: bool,
+) -> Result<LayoutOutcome, String> {
+    // Probing via the resolve-once cache means `place` below re-uses
+    // this very resolution instead of re-scanning the module.
+    if cache
+        .resolve(module, tech, LayoutStyle::StandardCell)
+        .is_ok()
+    {
+        let rows = rows.unwrap_or(2);
+        let placed = place(
+            module,
+            tech,
+            &PlaceParams {
+                rows,
+                replicas,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        let routed = route(&placed);
+        let svg = want_svg.then(|| maestro_route::assemble::render_svg(&placed, &routed));
+        Ok(LayoutOutcome {
+            summary: format!(
+                "`{}` standard-cell P&R: {} × {} = {} ({} tracks, {} feed-throughs, aspect {})\n",
+                module.name(),
+                routed.width(),
+                routed.height(),
+                routed.area(),
+                routed.total_tracks(),
+                routed.feedthroughs(),
+                routed.aspect_ratio()
+            ),
+            svg,
+        })
+    } else {
+        let params = SynthesisParams {
+            replicas,
+            ..Default::default()
+        };
+        let layout = synthesize(module, tech, &params).map_err(|e| e.to_string())?;
+        let svg = want_svg.then(|| layout.to_svg());
+        Ok(LayoutOutcome {
+            summary: format!(
+                "`{}` full-custom synthesis: {} × {} + {} wire = {} (aspect {})\n",
+                module.name(),
+                layout.width(),
+                layout.height(),
+                layout.wire_area(),
+                layout.area(),
+                layout.aspect_ratio()
+            ),
+            svg,
+        })
+    }
+}
+
+/// Renders the logic-depth line for one module.
+pub fn depth_output(module: &Module) -> Result<String, String> {
+    let report = maestro_netlist::depth::logic_depth(module).map_err(|e| e.to_string())?;
+    let path: Vec<String> = report
+        .critical_path
+        .iter()
+        .map(|&d| module.device(d).name().to_owned())
+        .collect();
+    Ok(format!(
+        "`{}`: logic depth {} ({})\n",
+        module.name(),
+        report.depth,
+        path.join(" -> ")
+    ))
+}
+
+fn plan_params(pipeline: &Pipeline, aspect: Option<f64>) -> PlanParams {
+    let mut params = PlanParams {
+        replicas: pipeline.replicas(),
+        ..PlanParams::default()
+    };
+    if let Some(limit) = aspect {
+        params = params.with_aspect_limit(limit);
+    }
+    params
+}
+
+/// Renders the markdown design report. The floorplan the `## chip
+/// floorplan` section (emitted when more than one block shaped) was built
+/// from is returned alongside, so the CLI can draw it.
+pub fn report_output(
+    pipeline: &Pipeline,
+    modules: &[Module],
+    aspect: Option<f64>,
+) -> Result<(String, Option<Floorplan>), String> {
+    let mut out = String::new();
+    writeln!(out, "# maestro design report\n").expect("string write");
+    writeln!(out, "process: `{}`\n", pipeline.tech()).expect("string write");
+    let mut blocks = Vec::new();
+    for module in modules {
+        let record = pipeline.run_module(module).map_err(|e| e.to_string())?;
+        writeln!(out, "## module `{}`\n", record.module_name).expect("string write");
+        writeln!(
+            out,
+            "- devices: {}, nets: {}, ports: {}",
+            module.device_count(),
+            module.net_count(),
+            module.port_count()
+        )
+        .expect("string write");
+        if let Ok(depth) = maestro_netlist::depth::logic_depth(module) {
+            writeln!(out, "- logic depth: {} stages", depth.depth).expect("string write");
+        }
+        if let Some(sc) = &record.standard_cell {
+            writeln!(
+                out,
+                "- standard-cell estimate: {} ({} rows, {} tracks, aspect {})",
+                sc.area, sc.rows, sc.tracks, sc.aspect_ratio
+            )
+            .expect("string write");
+            if !record.standard_cell_candidates.is_empty() {
+                writeln!(out, "- shape candidates:").expect("string write");
+                for c in &record.standard_cell_candidates {
+                    writeln!(
+                        out,
+                        "    - {} rows: {} × {} = {} (aspect {})",
+                        c.rows, c.width, c.height, c.area, c.aspect_ratio
+                    )
+                    .expect("string write");
+                }
+            }
+        }
+        if let Some(fc) = &record.full_custom {
+            writeln!(
+                out,
+                "- full-custom estimate: {} exact / {} average (aspect {})",
+                fc.total_exact, fc.total_average, fc.aspect_exact
+            )
+            .expect("string write");
+        }
+        writeln!(out).expect("string write");
+        if let Some(block) = Block::from_record(&record, 5) {
+            blocks.push(block);
+        }
+    }
+    if blocks.len() > 1 {
+        let plan = floorplan(&blocks, &plan_params(pipeline, aspect));
+        writeln!(out, "## chip floorplan\n").expect("string write");
+        writeln!(
+            out,
+            "- chip: {} × {} = {} (utilization {:.0}%)",
+            plan.width(),
+            plan.height(),
+            plan.area(),
+            plan.utilization() * 100.0
+        )
+        .expect("string write");
+        for (name, rect) in plan.placements() {
+            writeln!(out, "- `{name}` at {rect}").expect("string write");
+        }
+        Ok((out, Some(plan)))
+    } else {
+        Ok((out, None))
+    }
+}
+
+/// Shapes every module into a block, floorplans the chip, and renders the
+/// CLI's chip + placements text. The plan is returned alongside so the
+/// CLI can draw it.
+pub fn floorplan_output(
+    pipeline: &Pipeline,
+    modules: &[Module],
+    aspect: Option<f64>,
+) -> Result<(String, Floorplan), String> {
+    let mut blocks = Vec::new();
+    for module in modules {
+        // One estimator pass per module; the pipeline's resolve-once
+        // cache carries the analysis into any later layout commands.
+        if let Some(block) = Block::from_module(pipeline, module, 5).map_err(|e| e.to_string())? {
+            blocks.push(block);
+        }
+    }
+    let plan = floorplan(&blocks, &plan_params(pipeline, aspect));
+    let mut out = String::new();
+    writeln!(
+        out,
+        "chip {} × {} = {} (utilization {:.0}%)",
+        plan.width(),
+        plan.height(),
+        plan.area(),
+        plan.utilization() * 100.0
+    )
+    .expect("string write");
+    for (name, rect) in plan.placements() {
+        writeln!(out, "  {name:<24} {rect}").expect("string write");
+    }
+    Ok((out, plan))
+}

@@ -1,0 +1,446 @@
+//! `maestro serve` — the long-lived estimation daemon.
+//!
+//! Chen's estimator exists to be called over and over inside a
+//! floorplanning search loop, yet a one-shot CLI invocation re-pays
+//! process setup (tech DB construction, file parsing, cold caches) every
+//! time. The daemon amortizes all of it: a [`Session`] keeps the parsed
+//! [`ProcessDb`]s, the resolve-once [`StatsCache`] and the [`ProbTable`]
+//! warm, and [`serve_lines`] speaks the JSON-lines protocol of
+//! [`maestro_estimator::request`] over any reader/writer pair —
+//! stdin/stdout from the CLI, a unix socket via [`serve_socket`], or
+//! in-memory buffers from the test harness.
+//!
+//! # Equivalence contract
+//!
+//! A response payload is exactly the stdout of the matching one-shot CLI
+//! command — both front ends call the same [`crate::ops`] renderers, and
+//! `tests/serve_replay.rs` holds the bytes equal over the full Table 1+2
+//! replay.
+//!
+//! # Isolation
+//!
+//! A malformed or failing request yields an error [`Response`], never a
+//! dead daemon: the codec rejects bad lines with structured errors, and
+//! each dispatch runs under `catch_unwind` so even a panicking handler is
+//! reported and survived.
+//!
+//! # Shutdown
+//!
+//! A `{"kind":"shutdown"}` request stops intake, drains every in-flight
+//! request, and is answered *last* — when its response arrives, all
+//! earlier responses have been written. EOF on the input drains the same
+//! way, just without the final response.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use maestro_estimator::pipeline::Pipeline;
+use maestro_estimator::prob::ProbTable;
+use maestro_estimator::request::{Request, RequestCall, Response};
+use maestro_estimator::standard_cell::ScParams;
+use maestro_netlist::{Module, StatsCache};
+use maestro_tech::ProcessDb;
+use maestro_trace as trace;
+
+use crate::ops;
+
+/// The warm state one daemon keeps across requests.
+///
+/// Technology databases are parsed once per distinct `tech` spec and
+/// cloned per request — a clone shares the original's cache revision, so
+/// the process-wide resolve-once memo sees every request against the same
+/// tech as one cache line: exactly one `netlist.resolve` miss per
+/// (module, style) over a whole session.
+pub struct Session {
+    techs: Mutex<HashMap<String, ProcessDb>>,
+    stats: Arc<StatsCache>,
+    prob: Arc<ProbTable>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session over the process-wide shared caches — what the CLI's
+    /// `serve` subcommand runs.
+    pub fn new() -> Session {
+        Session::with_caches(StatsCache::shared(), ProbTable::shared())
+    }
+
+    /// A session over explicit caches, isolating cache statistics for
+    /// tests and benchmarks.
+    pub fn with_caches(stats: Arc<StatsCache>, prob: Arc<ProbTable>) -> Session {
+        Session {
+            techs: Mutex::new(HashMap::new()),
+            stats,
+            prob,
+        }
+    }
+
+    /// Handles one request, never panicking: codec-level validation has
+    /// already happened, handler failures become error responses, and a
+    /// panicking handler is caught and reported.
+    pub fn handle(&self, request: &Request) -> Response {
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(request)));
+        match outcome {
+            Ok(Ok(payload)) => Response::ok(request.id.clone(), payload),
+            Ok(Err(message)) => Response::error(request.id.clone(), message),
+            Err(_) => Response::error(
+                request.id.clone(),
+                format!("internal error: `{}` handler panicked", request.kind_name()),
+            ),
+        }
+    }
+
+    /// The session's resolve-once netlist cache.
+    pub fn stats_cache(&self) -> &Arc<StatsCache> {
+        &self.stats
+    }
+
+    fn dispatch(&self, request: &Request) -> Result<String, String> {
+        match &request.call {
+            RequestCall::Shutdown => Ok(String::new()),
+            RequestCall::Estimate(req) => {
+                let tech = self.tech(&req.tech)?;
+                let modules = gather_modules(&req.files, &req.mnl)?;
+                let mut pipeline = self.pipeline(tech);
+                if let Some(rows) = req.rows {
+                    pipeline = pipeline.with_sc_params(ScParams::with_rows(rows));
+                }
+                ops::estimate_output(&pipeline, &modules, req.jobs as usize, req.json)
+            }
+            RequestCall::Layout(req) => {
+                let tech = self.tech(&req.tech)?;
+                let modules = gather_modules(&req.files, &req.mnl)?;
+                let mut out = String::new();
+                for module in &modules {
+                    let outcome = ops::layout_module(
+                        module,
+                        &tech,
+                        &self.stats,
+                        req.rows,
+                        req.replicas as usize,
+                        false,
+                    )?;
+                    out.push_str(&outcome.summary);
+                }
+                Ok(out)
+            }
+            RequestCall::Floorplan(req) => {
+                let tech = self.tech(&req.tech)?;
+                let modules = gather_modules(&req.files, &req.mnl)?;
+                let pipeline = self.pipeline(tech).with_replicas(req.replicas as usize);
+                ops::floorplan_output(&pipeline, &modules, req.aspect).map(|(text, _)| text)
+            }
+            RequestCall::Report(req) => {
+                let tech = self.tech(&req.tech)?;
+                let modules = gather_modules(&req.files, &req.mnl)?;
+                let pipeline = self.pipeline(tech).with_replicas(req.replicas as usize);
+                ops::report_output(&pipeline, &modules, req.aspect).map(|(text, _)| text)
+            }
+        }
+    }
+
+    /// The warm tech DB for a spec, parsing it on first use.
+    fn tech(&self, spec: &str) -> Result<ProcessDb, String> {
+        let mut techs = self.techs.lock().expect("serve tech map lock poisoned");
+        if let Some(tech) = techs.get(spec) {
+            return Ok(tech.clone());
+        }
+        let tech = ops::load_tech(spec)?;
+        techs.insert(spec.to_owned(), tech.clone());
+        Ok(tech)
+    }
+
+    fn pipeline(&self, tech: ProcessDb) -> Pipeline {
+        Pipeline::new(tech)
+            .with_prob_table(Arc::clone(&self.prob))
+            .with_stats_cache(Arc::clone(&self.stats))
+    }
+}
+
+fn gather_modules(files: &[String], mnl: &[String]) -> Result<Vec<Module>, String> {
+    let mut modules = Vec::new();
+    for file in files {
+        modules.extend(ops::load_modules(file)?);
+    }
+    for source in mnl {
+        modules.extend(ops::parse_inline_mnl(source)?);
+    }
+    Ok(modules)
+}
+
+/// What one serve stream did, for logging and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Responses written (success and error).
+    pub requests: u64,
+    /// Error responses among them.
+    pub errors: u64,
+    /// Whether the stream ended on a shutdown request (vs plain EOF).
+    pub shutdown: bool,
+}
+
+/// Serves the JSON-lines protocol over a reader/writer pair until a
+/// shutdown request or EOF, opening a `serve.session` trace span over
+/// the whole stream. `jobs > 1` admits that many requests concurrently
+/// through a scoped worker pool; responses then come back in completion
+/// order (clients correlate by id).
+///
+/// # Errors
+///
+/// Only transport I/O errors surface here; request-level failures are
+/// answered in-band as error responses.
+pub fn serve_lines<R: BufRead, W: Write + Send>(
+    session: &Session,
+    input: R,
+    output: W,
+    jobs: usize,
+) -> io::Result<ServeSummary> {
+    let span = trace::span_with("serve.session", || format!("jobs={jobs}"));
+    let parent = span.id();
+    serve_stream(session, input, output, jobs, parent)
+}
+
+/// One shared-writer response sink with its delivery counters.
+struct ResponseSink<W: Write> {
+    writer: Mutex<W>,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl<W: Write> ResponseSink<W> {
+    fn new(writer: W) -> Self {
+        ResponseSink {
+            writer: Mutex::new(writer),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Writes one response line and flushes, so a client driving the
+    /// daemon interactively sees each answer as it lands.
+    fn deliver(&self, response: &Response) -> io::Result<()> {
+        let mut writer = self.writer.lock().expect("serve writer lock poisoned");
+        writer.write_all(response.to_json_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        drop(writer);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        trace::counter("serve.requests", 1);
+        if !response.is_ok() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            trace::counter("serve.errors", 1);
+        }
+        Ok(())
+    }
+
+    fn summary(&self, shutdown: bool) -> ServeSummary {
+        ServeSummary {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shutdown,
+        }
+    }
+}
+
+fn serve_stream<R: BufRead, W: Write + Send>(
+    session: &Session,
+    input: R,
+    output: W,
+    jobs: usize,
+    parent: u64,
+) -> io::Result<ServeSummary> {
+    let sink = ResponseSink::new(output);
+    let shutdown_id = if jobs <= 1 {
+        read_requests(input, &sink, parent, |request| {
+            answer(session, request, &sink, parent)
+        })?
+    } else {
+        pooled(session, input, &sink, jobs, parent)?
+    };
+    // The shutdown response is written last: every in-flight request has
+    // drained by here, so its arrival proves the stream is complete.
+    let shutdown = shutdown_id.is_some();
+    if let Some(id) = shutdown_id {
+        let request = Request {
+            id,
+            call: RequestCall::Shutdown,
+        };
+        answer(session, request, &sink, parent)?;
+    }
+    Ok(sink.summary(shutdown))
+}
+
+/// Handles one parsed request under its `serve.request` span and writes
+/// the response.
+fn answer<W: Write>(
+    session: &Session,
+    request: Request,
+    sink: &ResponseSink<W>,
+    parent: u64,
+) -> io::Result<()> {
+    let _span = trace::span_under("serve.request", parent, || {
+        format!("{} {}", request.id, request.kind_name())
+    });
+    let response = session.handle(&request);
+    sink.deliver(&response)
+}
+
+/// The intake loop: reads lines, answers codec rejections in-band, hands
+/// valid work to `submit`, and stops at EOF or on a shutdown request —
+/// returning the shutdown id so the caller answers it after draining.
+fn read_requests<R: BufRead, W: Write>(
+    input: R,
+    sink: &ResponseSink<W>,
+    parent: u64,
+    mut submit: impl FnMut(Request) -> io::Result<()>,
+) -> io::Result<Option<String>> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse(&line) {
+            Err(err) => {
+                let _span = trace::span_under("serve.request", parent, || {
+                    format!("{} bad-request", err.id.as_deref().unwrap_or("?"))
+                });
+                let response = Response::error(err.id.clone().unwrap_or_default(), err.to_string());
+                sink.deliver(&response)?;
+            }
+            Ok(request) => {
+                if matches!(request.call, RequestCall::Shutdown) {
+                    return Ok(Some(request.id));
+                }
+                submit(request)?;
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// The concurrent admission path: `jobs` scoped workers drain a shared
+/// queue while the calling thread keeps reading. Dropping the sender at
+/// intake end (shutdown or EOF) is the drain barrier — workers exit once
+/// the queue is empty, and the scope join guarantees every response is
+/// out before the shutdown response is written.
+fn pooled<R: BufRead, W: Write + Send>(
+    session: &Session,
+    input: R,
+    sink: &ResponseSink<W>,
+    jobs: usize,
+    parent: u64,
+) -> io::Result<Option<String>> {
+    let (tx, rx) = mpsc::channel::<Request>();
+    let rx = Mutex::new(rx);
+    let worker_error: Mutex<Option<io::Error>> = Mutex::new(None);
+    let shutdown_id = std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let rx = &rx;
+            let worker_error = &worker_error;
+            scope.spawn(move || {
+                trace::set_thread_label(format!("serve-worker-{w}"));
+                loop {
+                    let next = rx.lock().expect("serve queue lock poisoned").recv();
+                    let Ok(request) = next else { break };
+                    if let Err(e) = answer(session, request, sink, parent) {
+                        *worker_error.lock().expect("serve error slot poisoned") = Some(e);
+                        break;
+                    }
+                }
+            });
+        }
+        let intake = read_requests(input, sink, parent, |request| {
+            tx.send(request).expect("serve workers outlive intake");
+            Ok(())
+        });
+        drop(tx); // always: workers must see EOF even when intake failed
+        intake
+    })?;
+    if let Some(e) = worker_error
+        .into_inner()
+        .expect("serve error slot poisoned")
+    {
+        return Err(e);
+    }
+    Ok(shutdown_id)
+}
+
+/// Serves the protocol on a unix socket, one handler thread per
+/// connection, all sharing one warm [`Session`]. A shutdown request on
+/// any connection stops the listener; in-flight connections drain before
+/// the call returns. The socket file is created fresh (a stale one is
+/// removed) and unlinked on the way out.
+///
+/// # Errors
+///
+/// Socket setup/accept errors; per-connection I/O errors only end that
+/// connection.
+pub fn serve_socket(session: &Session, path: &Path, jobs: usize) -> io::Result<ServeSummary> {
+    use std::os::unix::net::UnixListener;
+
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    // Nonblocking accept + poll: a blocking accept could never observe
+    // the shutdown flag set by a connection handler.
+    listener.set_nonblocking(true)?;
+    let span = trace::span_with("serve.session", || format!("socket jobs={jobs}"));
+    let parent = span.id();
+    let stop = AtomicBool::new(false);
+    let requests = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let stop = &stop;
+                    let requests = &requests;
+                    let errors = &errors;
+                    scope.spawn(move || {
+                        let reader = match stream.try_clone() {
+                            Ok(clone) => BufReader::new(clone),
+                            Err(e) => {
+                                eprintln!("serve: connection dropped: {e}");
+                                return;
+                            }
+                        };
+                        match serve_stream(session, reader, &stream, jobs, parent) {
+                            Ok(summary) => {
+                                requests.fetch_add(summary.requests, Ordering::Relaxed);
+                                errors.fetch_add(summary.errors, Ordering::Relaxed);
+                                if summary.shutdown {
+                                    stop.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            Err(e) => eprintln!("serve: connection dropped: {e}"),
+                        }
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => {
+                    stop.store(true, Ordering::Relaxed);
+                    eprintln!("serve: accept failed: {e}");
+                }
+            }
+        }
+    });
+    let _ = std::fs::remove_file(path);
+    Ok(ServeSummary {
+        requests: requests.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        shutdown: true,
+    })
+}

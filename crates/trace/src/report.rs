@@ -388,6 +388,33 @@ pub struct StageSummary {
     pub self_us: u64,
 }
 
+/// Latency distribution of one request-style stage — spans folded by
+/// *duration* (what a client waits), unlike [`StageSummary`] whose self
+/// times partition the trace. Folded for the stage names
+/// [`is_latency_stage`] recognizes (the serve daemon's per-request
+/// spans).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Stage (span) name, e.g. `serve.request`.
+    pub name: String,
+    /// Number of completed request spans.
+    pub count: u64,
+    /// Median span duration (µs), nearest-rank.
+    pub p50_us: u64,
+    /// 99th-percentile span duration (µs), nearest-rank.
+    pub p99_us: u64,
+    /// Sustained throughput: count over the active window (earliest span
+    /// start to latest span end) in requests/second.
+    pub rps: f64,
+}
+
+/// Whether a span name folds into a [`LatencySummary`] row. A closed
+/// vocabulary, like the stage names themselves: today exactly the serve
+/// daemon's per-request span.
+pub fn is_latency_stage(name: &str) -> bool {
+    name == "serve.request"
+}
+
 /// The folded per-stage view of one trace run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
@@ -401,6 +428,8 @@ pub struct PerfReport {
     pub work_us: u64,
     /// Stages, largest self time first.
     pub stages: Vec<StageSummary>,
+    /// Request-latency rows ([`is_latency_stage`] names), by name.
+    pub latencies: Vec<LatencySummary>,
     /// Counter sums by name.
     pub counters: BTreeMap<String, u64>,
     /// Metrics by name (last value wins).
@@ -453,6 +482,8 @@ pub fn fold(events: &[Event], label: &str) -> PerfReport {
     }
 
     let mut stages: BTreeMap<String, StageSummary> = BTreeMap::new();
+    // Per latency stage: span durations plus the active window bounds.
+    let mut request_durs: BTreeMap<String, (Vec<u64>, u64, u64)> = BTreeMap::new();
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
     let mut work_us = 0u64;
@@ -462,6 +493,7 @@ pub fn fold(events: &[Event], label: &str) -> PerfReport {
                 id,
                 name,
                 thread,
+                start_us,
                 dur_us,
                 ..
             } => {
@@ -483,6 +515,14 @@ pub fn fold(events: &[Event], label: &str) -> PerfReport {
                 entry.count += 1;
                 entry.total_us += dur_us;
                 entry.self_us += self_us;
+                if is_latency_stage(name) {
+                    let (durs, win_start, win_end) = request_durs
+                        .entry(name.clone())
+                        .or_insert_with(|| (Vec::new(), u64::MAX, 0));
+                    durs.push(*dur_us);
+                    *win_start = (*win_start).min(*start_us);
+                    *win_end = (*win_end).max(start_us + dur_us);
+                }
             }
             Event::Counter { name, value, .. } => {
                 *counters.entry(name.clone()).or_default() += value;
@@ -494,14 +534,43 @@ pub fn fold(events: &[Event], label: &str) -> PerfReport {
     }
     let mut stages: Vec<StageSummary> = stages.into_values().collect();
     stages.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+    let latencies = request_durs
+        .into_iter()
+        .map(|(name, (mut durs, win_start, win_end))| {
+            durs.sort_unstable();
+            let count = durs.len() as u64;
+            let window_us = win_end.saturating_sub(win_start);
+            LatencySummary {
+                name,
+                count,
+                p50_us: percentile(&durs, 0.50),
+                p99_us: percentile(&durs, 0.99),
+                rps: if window_us > 0 {
+                    count as f64 * 1e6 / window_us as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
     PerfReport {
         label: label.to_owned(),
         wall_us: max_end.saturating_sub(if min_start == u64::MAX { 0 } else { min_start }),
         work_us,
         stages,
+        latencies,
         counters,
         metrics,
     }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; 0 when empty.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 impl PerfReport {
@@ -538,6 +607,28 @@ impl PerfReport {
             Some(_) => return Err("field `stages` must be an array".to_owned()),
             None => return Err("missing field `stages`".to_owned()),
         }
+        // Optional: baselines predating serve-mode carry no latency rows.
+        let mut latencies = Vec::new();
+        match root.get("latencies") {
+            Some(Json::Arr(items)) => {
+                for item in items {
+                    let rps = match item.get("rps") {
+                        Some(Json::Num(n)) if *n >= 0.0 => *n,
+                        Some(_) => return Err("field `rps` must be a non-negative number".into()),
+                        None => return Err("missing field `rps`".to_owned()),
+                    };
+                    latencies.push(LatencySummary {
+                        name: item.str_of("name")?,
+                        count: item.u64_of("count")?,
+                        p50_us: item.u64_of("p50_us")?,
+                        p99_us: item.u64_of("p99_us")?,
+                        rps,
+                    });
+                }
+            }
+            Some(_) => return Err("field `latencies` must be an array".to_owned()),
+            None => {}
+        }
         let mut counters = BTreeMap::new();
         match root.get("counters") {
             Some(Json::Obj(fields)) => {
@@ -573,6 +664,7 @@ impl PerfReport {
             wall_us: root.u64_of("wall_us")?,
             work_us: root.u64_of("work_us")?,
             stages,
+            latencies,
             counters,
             metrics,
         })
@@ -592,6 +684,24 @@ impl PerfReport {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"count\": {}, \"total_us\": {}, \"self_us\": {}}}{comma}\n",
                 s.name, s.count, s.total_us, s.self_us
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"latencies\": [\n");
+        for (i, l) in self.latencies.iter().enumerate() {
+            let comma = if i + 1 < self.latencies.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+                 \"rps\": {}}}{comma}\n",
+                l.name,
+                l.count,
+                l.p50_us,
+                l.p99_us,
+                format_f64(l.rps)
             ));
         }
         out.push_str("  ],\n");
@@ -632,6 +742,34 @@ impl PerfReport {
         }
         self.stages
             .sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+        for l in &other.latencies {
+            match self.latencies.iter_mut().find(|mine| mine.name == l.name) {
+                Some(mine) => {
+                    // Back-to-back semantics: percentiles take the worse
+                    // run (conservative — the gate sees the slower tail),
+                    // throughput re-derives from the combined count over
+                    // the combined active window.
+                    let window = |l: &LatencySummary| {
+                        if l.rps > 0.0 {
+                            l.count as f64 / l.rps
+                        } else {
+                            0.0
+                        }
+                    };
+                    let total_window = window(mine) + window(l);
+                    mine.rps = if total_window > 0.0 {
+                        (mine.count + l.count) as f64 / total_window
+                    } else {
+                        0.0
+                    };
+                    mine.count += l.count;
+                    mine.p50_us = mine.p50_us.max(l.p50_us);
+                    mine.p99_us = mine.p99_us.max(l.p99_us);
+                }
+                None => self.latencies.push(l.clone()),
+            }
+        }
+        self.latencies.sort_by(|a, b| a.name.cmp(&b.name));
         for (name, value) in &other.counters {
             *self.counters.entry(name.clone()).or_default() += value;
         }
@@ -665,6 +803,16 @@ impl PerfReport {
                 "{:<28} {:>7} {:>12} {:>12} {share:>6.1}%",
                 s.name, s.count, s.total_us, s.self_us
             );
+        }
+        if !self.latencies.is_empty() {
+            let _ = writeln!(out, "latency:");
+            for l in &self.latencies {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} count {:>5}  p50 {:>8} µs  p99 {:>8} µs  {:>7.1} req/s",
+                    l.name, l.count, l.p50_us, l.p99_us, l.rps
+                );
+            }
         }
         if !self.counters.is_empty() {
             let _ = writeln!(out, "counters:");
@@ -728,6 +876,14 @@ impl std::fmt::Display for StageRegression {
 /// `--replicas` settings legitimately produce different row sets, and a
 /// replica-count mismatch is not a performance regression (a replica row
 /// the baseline *does* carry is still held to the growth envelope).
+///
+/// Latency rows are gated alongside: each percentile of a
+/// [`LatencySummary`] the baseline also carries is held to the same
+/// growth envelope and noise floor, surfacing as a `name:p50` /
+/// `name:p99` pseudo-stage. A latency row missing from the baseline is
+/// exempt, like replica rows — serve workloads come and go with the
+/// benchmark script.
+///
 /// Regressions come back worst growth first.
 pub fn regressions(
     current: &PerfReport,
@@ -760,6 +916,28 @@ pub fn regressions(
             })
         })
         .collect();
+    for l in &current.latencies {
+        let Some(base) = baseline.latencies.iter().find(|b| b.name == l.name) else {
+            continue; // new workload: nothing to gate against
+        };
+        for (tag, current_us, baseline_us) in [
+            ("p50", l.p50_us, base.p50_us),
+            ("p99", l.p99_us, base.p99_us),
+        ] {
+            if current_us < noise_floor_us.max(1) || baseline_us == 0 {
+                continue;
+            }
+            let growth = current_us as f64 / baseline_us as f64 - 1.0;
+            if growth > max_increase {
+                found.push(StageRegression {
+                    name: format!("{}:{tag}", l.name),
+                    baseline_self_us: baseline_us,
+                    current_self_us: current_us,
+                    growth,
+                });
+            }
+        }
+    }
     found.sort_by(|a, b| {
         b.growth
             .partial_cmp(&a.growth)
@@ -1007,9 +1185,112 @@ mod tests {
                     self_us: *self_us,
                 })
                 .collect(),
+            latencies: Vec::new(),
             counters: BTreeMap::new(),
             metrics: BTreeMap::new(),
         }
+    }
+
+    fn request_span(id: u64, start_us: u64, dur_us: u64) -> Event {
+        Event::Span {
+            id,
+            parent: 1,
+            name: "serve.request".to_owned(),
+            detail: format!("r{id} estimate"),
+            thread: "main".to_owned(),
+            start_us,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn latency_rows_fold_percentiles_and_throughput() {
+        // 10 requests over a 1-second window: 9 fast, one slow tail.
+        let mut events: Vec<Event> = (0..9)
+            .map(|i| request_span(i + 2, i * 100_000, 1_000))
+            .collect();
+        events.push(request_span(11, 900_000, 100_000));
+        events.push(span(1, 0, "serve.session", 0, 1_000_000));
+        let report = fold(&events, "t");
+        assert_eq!(report.latencies.len(), 1);
+        let l = &report.latencies[0];
+        assert_eq!(l.name, "serve.request");
+        assert_eq!(l.count, 10);
+        assert_eq!(l.p50_us, 1_000);
+        assert_eq!(l.p99_us, 100_000, "nearest-rank p99 of 10 is the max");
+        // Window: first start 0, last end 1_000_000 → 10 req/s.
+        assert!((l.rps - 10.0).abs() < 1e-9, "rps {}", l.rps);
+        // Latency rows ride along on top of normal stage folding.
+        let stage = report
+            .stages
+            .iter()
+            .find(|s| s.name == "serve.request")
+            .unwrap();
+        assert_eq!(stage.count, 10);
+        let rendered = report.render();
+        assert!(rendered.contains("latency:"), "{rendered}");
+        assert!(rendered.contains("serve.request"), "{rendered}");
+    }
+
+    #[test]
+    fn latency_rows_roundtrip_and_merge() {
+        let events = vec![
+            request_span(2, 0, 2_000),
+            request_span(3, 2_000, 4_000),
+            span(1, 0, "serve.session", 0, 6_000),
+        ];
+        let report = fold(&events, "t");
+        let back = PerfReport::from_json(&report.to_json()).expect("parses own output");
+        assert_eq!(back, report);
+        // Old baselines carry no `latencies` field at all.
+        let legacy = "{\"label\":\"x\",\"wall_us\":1,\"work_us\":1,\
+                      \"stages\":[],\"counters\":{},\"metrics\":{}}";
+        let parsed = PerfReport::from_json(legacy).expect("legacy schema parses");
+        assert!(parsed.latencies.is_empty());
+        // Merge: counts add, percentiles take the worse run, throughput
+        // re-derives over the combined window.
+        let mut merged = report.clone();
+        merged.merge(&report);
+        assert_eq!(merged.latencies.len(), 1);
+        let l = &merged.latencies[0];
+        assert_eq!(l.count, 4);
+        assert_eq!(l.p50_us, report.latencies[0].p50_us);
+        assert_eq!(l.p99_us, report.latencies[0].p99_us);
+        assert!(
+            (l.rps - report.latencies[0].rps).abs() < 1e-6,
+            "rps {}",
+            l.rps
+        );
+    }
+
+    fn with_latency(mut report: PerfReport, p50_us: u64, p99_us: u64) -> PerfReport {
+        report.latencies.push(LatencySummary {
+            name: "serve.request".to_owned(),
+            count: 100,
+            p50_us,
+            p99_us,
+            rps: 50.0,
+        });
+        report
+    }
+
+    #[test]
+    fn regression_gate_holds_latency_percentiles_to_the_envelope() {
+        let baseline = with_latency(report_with(&[]), 40_000, 80_000);
+        // p50 +10% (inside), p99 +50% (outside a 30% envelope).
+        let current = with_latency(report_with(&[]), 44_000, 120_000);
+        let found = regressions(&current, &baseline, 0.3, 25_000);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].name, "serve.request:p99");
+        assert!((found[0].growth - 0.5).abs() < 1e-9);
+        // Under the noise floor the same growth is ignored.
+        let quiet_base = with_latency(report_with(&[]), 400, 800);
+        let quiet_cur = with_latency(report_with(&[]), 440, 1_200);
+        assert!(regressions(&quiet_cur, &quiet_base, 0.3, 25_000).is_empty());
+        // A latency row the baseline never saw is exempt, like replicas.
+        assert!(regressions(&current, &report_with(&[]), 0.3, 25_000).is_empty());
+        // Self-comparison always passes.
+        assert!(regressions(&current, &current, 0.0, 0).is_empty());
     }
 
     #[test]

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Bench smoke: the perf-trajectory artifact for CI.
 #
-#   ./scripts/bench_smoke.sh [label]      # default label: pr5
+#   ./scripts/bench_smoke.sh [label]      # default label: pr6
 #
-# Four cheap checks that keep the perf tooling honest without a full
+# Five cheap checks that keep the perf tooling honest without a full
 # criterion run:
 #
 #   1. `CRITERION_QUICK=1 cargo bench` — the vendored criterion's
@@ -17,6 +17,10 @@
 #   4. A traced `layout --replicas 4` over the same suite — the
 #      replica-parallel annealing fan-out, contributing the
 #      `anneal.replicas` counter and per-replica `…@replica-N` stage rows.
+#   5. A traced `serve` session replaying a Table 1 request log — the
+#      daemon's sustained-throughput path, contributing the
+#      `serve.request` latency row (count, p50/p99 µs, req/s) that
+#      `perf-report --baseline` gates like any other stage.
 #
 # `perf-report` folds the traces into one BENCH_<label>.json —
 # machine-readable per-stage totals that successive PRs can diff. When a
@@ -27,7 +31,7 @@
 # and review the diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-LABEL="${1:-pr5}"
+LABEL="${1:-pr6}"
 
 echo "==> criterion smoke (CRITERION_QUICK=1, estimator_scaling)"
 CRITERION_QUICK=1 cargo bench -q -p maestro-bench --bench estimator_scaling
@@ -37,7 +41,9 @@ cargo build --release -q -p maestro
 ESTIMATE_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
 LAYOUT_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
 REPLICA_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
-trap 'rm -f "$ESTIMATE_TRACE" "$LAYOUT_TRACE" "$REPLICA_TRACE"' EXIT
+SERVE_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
+SERVE_LOG="$(mktemp -t maestro_serve_XXXXXX.jsonl)"
+trap 'rm -f "$ESTIMATE_TRACE" "$LAYOUT_TRACE" "$REPLICA_TRACE" "$SERVE_TRACE" "$SERVE_LOG"' EXIT
 ./target/release/maestro-cli estimate assets/table1.mnl assets/counter4.mnl \
     --jobs 4 --trace "$ESTIMATE_TRACE" > /dev/null
 
@@ -49,6 +55,14 @@ echo "==> traced replica-parallel synthesis (--replicas 4)"
 ./target/release/maestro-cli layout assets/table1.mnl \
     --replicas 4 --trace "$REPLICA_TRACE" > /dev/null
 
+echo "==> traced serve session replaying a Table 1 request log"
+for i in $(seq 1 12); do
+    printf '{"id":"e%d","kind":"estimate","files":["assets/table1.mnl"]}\n' "$i"
+    printf '{"id":"j%d","kind":"estimate","files":["assets/counter4.mnl"],"json":true}\n' "$i"
+done > "$SERVE_LOG"
+printf '{"id":"bye","kind":"shutdown"}\n' >> "$SERVE_LOG"
+./target/release/maestro-cli serve --trace "$SERVE_TRACE" < "$SERVE_LOG" > /dev/null
+
 GATE=()
 if [[ "$LABEL" != baseline && -f BENCH_baseline.json ]]; then
     echo "==> perf-report -> BENCH_${LABEL}.json (gated against BENCH_baseline.json)"
@@ -56,7 +70,8 @@ if [[ "$LABEL" != baseline && -f BENCH_baseline.json ]]; then
 else
     echo "==> perf-report -> BENCH_${LABEL}.json"
 fi
-./target/release/maestro-cli perf-report "$ESTIMATE_TRACE" "$LAYOUT_TRACE" "$REPLICA_TRACE" \
+./target/release/maestro-cli perf-report \
+    "$ESTIMATE_TRACE" "$LAYOUT_TRACE" "$REPLICA_TRACE" "$SERVE_TRACE" \
     --label "$LABEL" --out "BENCH_${LABEL}.json" ${GATE[@]+"${GATE[@]}"}
 
 echo "==> bench smoke passed"

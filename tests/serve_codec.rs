@@ -1,0 +1,148 @@
+//! Adversarial property test for the serve front end: a live session is
+//! fed a randomized interleaving of valid requests, garbage, truncated
+//! lines, unknown-field splices and out-of-range parameters. Every
+//! non-blank line must be answered — structured errors for the hostile
+//! ones, byte-exact payloads for the valid ones — and a final sentinel
+//! request must still succeed, proving no input ever kills the daemon.
+
+use std::io::Cursor;
+use std::sync::Arc;
+
+use maestro::estimator::pipeline::Pipeline;
+use maestro::estimator::prob::ProbTable;
+use maestro::estimator::request::{EstimateRequest, Request, RequestCall, Response};
+use maestro::netlist::StatsCache;
+use maestro::ops;
+use maestro::serve::{serve_lines, Session};
+use maestro::tech::builtin;
+use proptest::prelude::*;
+
+const SOURCE: &str = "module t;\ninput a;\noutput y;\ndevice u1 INV (A=a, Y=y);\nendmodule\n";
+
+fn valid_request(id: &str) -> Request {
+    Request {
+        id: id.to_owned(),
+        call: RequestCall::Estimate(EstimateRequest {
+            files: Vec::new(),
+            mnl: vec![SOURCE.to_owned()],
+            tech: "nmos".to_owned(),
+            rows: None,
+            jobs: 1,
+            json: false,
+        }),
+    }
+}
+
+/// The payload every valid request must produce, computed one-shot.
+fn expected_payload() -> String {
+    let modules = ops::parse_inline_mnl(SOURCE).expect("sentinel module parses");
+    let pipeline = Pipeline::new(builtin::nmos25())
+        .with_stats_cache(Arc::new(StatsCache::new()))
+        .with_prob_table(Arc::new(ProbTable::new()));
+    ops::estimate_output(&pipeline, &modules, 1, false).expect("sentinel estimate succeeds")
+}
+
+/// What the daemon owes for one input line.
+enum Expect {
+    /// Skipped silently (blank line): no response at all.
+    Nothing,
+    /// A success response with this id.
+    Ok(String),
+    /// An error response (any id the codec could recover).
+    Err,
+}
+
+/// Builds one input line from a (selector, seed) pair.
+fn adversarial_line(selector: u8, seed: u64, index: usize) -> (String, Expect) {
+    match selector % 6 {
+        0 => {
+            let id = format!("v{index}");
+            (valid_request(&id).to_json_line(), Expect::Ok(id))
+        }
+        1 => (format!("garbage {seed} \u{1b}[0m {{"), Expect::Err),
+        2 => {
+            let line = valid_request(&format!("t{index}")).to_json_line();
+            let cut = 1 + (seed as usize) % (line.len() - 1);
+            let cut = (1..=cut).rev().find(|&i| line.is_char_boundary(i)).unwrap();
+            (line[..cut].to_owned(), Expect::Err)
+        }
+        3 => {
+            let line = valid_request(&format!("u{index}")).to_json_line();
+            (
+                format!("{},\"zz_{}\":true}}", &line[..line.len() - 1], seed % 10),
+                Expect::Err,
+            )
+        }
+        4 => (
+            format!(
+                "{{\"id\":\"r{index}\",\"kind\":\"estimate\",\"files\":[\"a\"],\"rows\":{}}}",
+                65 + seed % 1000
+            ),
+            Expect::Err,
+        ),
+        _ => (String::new(), Expect::Nothing),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_adversarial_interleaving_is_answered_and_survived(
+        lines in proptest::collection::vec((0u8..=5, 0u64..u64::MAX), 0..16),
+    ) {
+        let expected = expected_payload();
+        let mut input = String::new();
+        let mut expects = Vec::new();
+        for (i, &(selector, seed)) in lines.iter().enumerate() {
+            let (line, expect) = adversarial_line(selector, seed, i);
+            input.push_str(&line);
+            input.push('\n');
+            if !matches!(expect, Expect::Nothing) {
+                expects.push(expect);
+            }
+        }
+        // The sentinel: after every induced error the daemon must still
+        // answer a valid request correctly, then shut down cleanly.
+        input.push_str(&valid_request("final").to_json_line());
+        input.push('\n');
+        input.push_str("{\"id\":\"bye\",\"kind\":\"shutdown\"}\n");
+        expects.push(Expect::Ok("final".to_owned()));
+        expects.push(Expect::Ok("bye".to_owned()));
+
+        let session = Session::with_caches(Arc::new(StatsCache::new()), Arc::new(ProbTable::new()));
+        let mut output = Vec::new();
+        let summary = serve_lines(&session, Cursor::new(input), &mut output, 1)
+            .expect("serve I/O succeeds");
+        prop_assert_eq!(summary.requests as usize, expects.len());
+        prop_assert!(summary.shutdown);
+
+        let text = String::from_utf8(output).expect("responses are UTF-8");
+        let responses: Vec<Response> = text
+            .lines()
+            .map(|l| Response::parse(l).expect("response line parses"))
+            .collect();
+        prop_assert_eq!(responses.len(), expects.len());
+        let mut errors = 0;
+        for (response, expect) in responses.iter().zip(&expects) {
+            match expect {
+                Expect::Nothing => unreachable!("filtered above"),
+                Expect::Ok(id) => {
+                    prop_assert_eq!(&response.id, id);
+                    let want = if id == "bye" { "" } else { expected.as_str() };
+                    prop_assert_eq!(
+                        response.result.as_deref(),
+                        Ok(want),
+                        "response `{}` diverged",
+                        id
+                    );
+                }
+                Expect::Err => {
+                    prop_assert!(!response.is_ok(), "hostile line was accepted: {:?}", response);
+                    errors += 1;
+                }
+            }
+        }
+        prop_assert_eq!(summary.errors as usize, errors);
+    }
+}

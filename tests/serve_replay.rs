@@ -1,0 +1,526 @@
+//! Request-replay differential suite for `maestro serve`.
+//!
+//! The daemon's contract is that a warm, long-lived session is
+//! *invisible* in the responses: every payload must be byte-identical to
+//! the stdout of the matching one-shot run, whether requests arrive
+//! serially, from a concurrent worker pool, from parallel client writer
+//! threads, or interleaved with malformed lines. On top of that, the
+//! whole Table 1+2 replay must cost exactly one `netlist.resolve` miss
+//! per (module, style) — the resolve-once cache is shared across the
+//! session, not re-warmed per request.
+
+use std::io::{BufRead, BufReader, Cursor, Read, Write};
+use std::sync::{Arc, Mutex};
+
+use maestro::estimator::pipeline::Pipeline;
+use maestro::estimator::prob::ProbTable;
+use maestro::estimator::request::{
+    EstimateRequest, FloorplanRequest, LayoutRequest, ReportRequest, Request, RequestCall, Response,
+};
+use maestro::netlist::library_circuits::{table1_suite, table2_suite};
+use maestro::netlist::{mnl, StatsCache};
+use maestro::ops;
+use maestro::serve::{serve_lines, serve_socket, Session};
+use maestro::tech::builtin;
+use maestro::trace;
+
+/// One isolated session: private caches so its hit/miss statistics are
+/// untouched by other tests sharing the process-wide caches.
+fn isolated_session() -> Session {
+    Session::with_caches(Arc::new(StatsCache::new()), Arc::new(ProbTable::new()))
+}
+
+/// An estimate request carrying one inline `.mnl` source.
+fn estimate_request(id: &str, source: &str, json: bool) -> Request {
+    Request {
+        id: id.to_owned(),
+        call: RequestCall::Estimate(EstimateRequest {
+            files: Vec::new(),
+            mnl: vec![source.to_owned()],
+            tech: "nmos".to_owned(),
+            rows: None,
+            jobs: 1,
+            json,
+        }),
+    }
+}
+
+fn shutdown_request(id: &str) -> Request {
+    Request {
+        id: id.to_owned(),
+        call: RequestCall::Shutdown,
+    }
+}
+
+/// The Table 1+2 workload: each module as its inline `.mnl` source.
+fn table_sources() -> Vec<(String, String)> {
+    let mut suite = table1_suite();
+    suite.extend(table2_suite());
+    suite
+        .into_iter()
+        .map(|m| (m.name().to_owned(), mnl::to_mnl(&m)))
+        .collect()
+}
+
+/// The one-shot reference for an inline source: a fresh pipeline over
+/// private caches, exactly what a cold CLI invocation computes.
+fn one_shot_estimate(source: &str, json: bool) -> String {
+    let modules = ops::parse_inline_mnl(source).expect("suite module reparses");
+    let pipeline = Pipeline::new(builtin::nmos25())
+        .with_stats_cache(Arc::new(StatsCache::new()))
+        .with_prob_table(Arc::new(ProbTable::new()));
+    ops::estimate_output(&pipeline, &modules, 1, json).expect("one-shot estimate succeeds")
+}
+
+/// Runs a request log through an in-process serve session and returns
+/// the parsed responses in arrival order.
+fn replay(session: &Session, log: &[Request], jobs: usize) -> Vec<Response> {
+    let input: String = log
+        .iter()
+        .map(|r| format!("{}\n", r.to_json_line()))
+        .collect();
+    let mut output = Vec::new();
+    let summary =
+        serve_lines(session, Cursor::new(input), &mut output, jobs).expect("serve I/O succeeds");
+    assert_eq!(summary.requests as usize, log.len(), "every line answered");
+    assert!(summary.shutdown, "log ends on a shutdown request");
+    let text = String::from_utf8(output).expect("responses are UTF-8");
+    text.lines()
+        .map(|line| Response::parse(line).expect("response line parses"))
+        .collect()
+}
+
+#[test]
+fn serial_replay_is_byte_identical_with_one_miss_per_module_and_style() {
+    let sources = table_sources();
+
+    // References first, outside the trace window: the session's resolve
+    // counters must measure only the session.
+    let mut expected = Vec::new();
+    for (i, (_, source)) in sources.iter().enumerate() {
+        expected.push((format!("t{i}"), one_shot_estimate(source, false)));
+        expected.push((format!("j{i}"), one_shot_estimate(source, true)));
+    }
+
+    // The log replays the whole workload twice — the second pass runs
+    // entirely warm — then shuts down.
+    let mut log = Vec::new();
+    for (id, _) in &expected {
+        let json = id.starts_with('j');
+        let i: usize = id[1..].parse().unwrap();
+        log.push(estimate_request(id, &sources[i].1, json));
+    }
+    let warm: Vec<Request> = log
+        .iter()
+        .map(|r| Request {
+            id: format!("w-{}", r.id),
+            call: r.call.clone(),
+        })
+        .collect();
+    log.extend(warm);
+    log.push(shutdown_request("bye"));
+
+    let session = isolated_session();
+    let collector = Arc::new(trace::Collector::new());
+    let responses = trace::with_sink(Arc::clone(&collector) as Arc<dyn trace::Sink>, || {
+        replay(&session, &log, 1)
+    });
+
+    // Serial mode answers in request order; the shutdown response is last.
+    assert_eq!(responses.len(), 2 * expected.len() + 1);
+    let last = responses.last().expect("non-empty");
+    assert_eq!(last.id, "bye");
+    assert_eq!(last.result, Ok(String::new()));
+
+    for (i, (id, payload)) in expected.iter().enumerate() {
+        let cold = &responses[i];
+        let warm = &responses[expected.len() + i];
+        assert_eq!(cold.id, *id);
+        assert_eq!(warm.id, format!("w-{id}"));
+        assert_eq!(
+            cold.result.as_deref(),
+            Ok(payload.as_str()),
+            "cold response `{id}` differs from the one-shot run"
+        );
+        assert_eq!(
+            warm.result.as_deref(),
+            Ok(payload.as_str()),
+            "warm response `w-{id}` differs from the one-shot run"
+        );
+    }
+
+    // The whole 4-pass workload (text+json, cold+warm) resolved each
+    // (module, style) exactly once; every other lookup hit the cache.
+    let n = sources.len() as u64;
+    assert_eq!(collector.counter_total("netlist.resolve.misses"), 2 * n);
+    assert_eq!(collector.counter_total("netlist.resolve.hits"), 6 * n);
+    // And the sink saw one serve.request span per answered line.
+    assert_eq!(collector.counter_total("serve.requests"), log.len() as u64);
+    assert_eq!(collector.counter_total("serve.errors"), 0);
+}
+
+#[test]
+fn pooled_replay_matches_the_serial_responses_per_id() {
+    let sources = table_sources();
+    let mut log = Vec::new();
+    for (i, (_, source)) in sources.iter().enumerate() {
+        log.push(estimate_request(&format!("t{i}"), source, false));
+        log.push(estimate_request(&format!("j{i}"), source, true));
+    }
+    log.push(shutdown_request("bye"));
+
+    let serial = replay(&isolated_session(), &log, 1);
+    let pooled = replay(&isolated_session(), &log, 4);
+
+    // Completion order may differ; the response *set* may not. The
+    // shutdown response still arrives last — it is the drain barrier.
+    assert_eq!(pooled.last().expect("non-empty").id, "bye");
+    let mut serial_by_id: Vec<(&str, &Response)> =
+        serial.iter().map(|r| (r.id.as_str(), r)).collect();
+    let mut pooled_by_id: Vec<(&str, &Response)> =
+        pooled.iter().map(|r| (r.id.as_str(), r)).collect();
+    serial_by_id.sort_by_key(|(id, _)| *id);
+    pooled_by_id.sort_by_key(|(id, _)| *id);
+    assert_eq!(serial_by_id, pooled_by_id);
+}
+
+#[test]
+fn malformed_requests_never_kill_the_session() {
+    let source = mnl::to_mnl(&table1_suite()[0]);
+    let good = one_shot_estimate(&source, false);
+
+    // Each probe is one way to hurt the daemon; after every single one it
+    // must still answer the next valid request byte-identically.
+    let probes: Vec<(&str, String)> = vec![
+        ("plain garbage", "not json at all".to_owned()),
+        (
+            "truncated JSON",
+            "{\"id\":\"x1\",\"kind\":\"esti".to_owned(),
+        ),
+        (
+            "unknown kind",
+            "{\"id\":\"x2\",\"kind\":\"frobnicate\"}".to_owned(),
+        ),
+        (
+            "out-of-range rows",
+            "{\"id\":\"x3\",\"kind\":\"estimate\",\"files\":[\"a.mnl\"],\"rows\":0}".to_owned(),
+        ),
+        (
+            "unknown field",
+            "{\"id\":\"x4\",\"kind\":\"shutdown\",\"files\":[\"a.mnl\"]}".to_owned(),
+        ),
+        (
+            "missing file",
+            Request {
+                id: "x5".to_owned(),
+                call: RequestCall::Estimate(EstimateRequest {
+                    files: vec!["/nonexistent/nope.mnl".to_owned()],
+                    mnl: Vec::new(),
+                    tech: "nmos".to_owned(),
+                    rows: None,
+                    jobs: 1,
+                    json: false,
+                }),
+            }
+            .to_json_line(),
+        ),
+        (
+            "broken inline mnl",
+            estimate_request("x6", "module broken", false).to_json_line(),
+        ),
+        (
+            "bad tech path",
+            "{\"id\":\"x7\",\"kind\":\"estimate\",\"mnl\":[\"m\"],\"tech\":\"/no/such.json\"}"
+                .to_owned(),
+        ),
+    ];
+
+    let mut input = String::new();
+    for (i, (_, probe)) in probes.iter().enumerate() {
+        input.push_str(probe);
+        input.push('\n');
+        input.push_str(&estimate_request(&format!("ok{i}"), &source, false).to_json_line());
+        input.push('\n');
+    }
+    input.push_str(&shutdown_request("bye").to_json_line());
+    input.push('\n');
+
+    let session = isolated_session();
+    let mut output = Vec::new();
+    let summary = serve_lines(&session, Cursor::new(input), &mut output, 1).expect("serve I/O");
+    assert_eq!(summary.requests as usize, 2 * probes.len() + 1);
+    assert_eq!(summary.errors as usize, probes.len());
+    assert!(summary.shutdown);
+
+    let text = String::from_utf8(output).expect("UTF-8");
+    let responses: Vec<Response> = text
+        .lines()
+        .map(|l| Response::parse(l).expect("response parses"))
+        .collect();
+    for (i, (what, _)) in probes.iter().enumerate() {
+        let err = &responses[2 * i];
+        let ok = &responses[2 * i + 1];
+        assert!(!err.is_ok(), "probe `{what}` must fail: {err:?}");
+        let message = err.result.as_ref().expect_err("error response");
+        assert!(!message.is_empty(), "probe `{what}` has a message");
+        assert_eq!(ok.id, format!("ok{i}"));
+        assert_eq!(
+            ok.result.as_deref(),
+            Ok(good.as_str()),
+            "valid request after probe `{what}` no longer matches the one-shot run"
+        );
+    }
+    // Codec-level rejections carry the id whenever it was recoverable.
+    assert_eq!(responses[0].id, ""); // plain garbage: no id to recover
+    assert_eq!(responses[4].id, "x2");
+    assert_eq!(responses[6].id, "x3");
+}
+
+/// Spawns the real binary and drives it over pipes: concurrent client
+/// writer threads interleave whole request lines on stdin, and every
+/// payload must equal the matching one-shot CLI invocation's stdout.
+#[test]
+fn child_process_serve_matches_one_shot_cli_under_concurrent_writers() {
+    use std::process::{Command, Stdio};
+
+    fn cli() -> Command {
+        Command::new(env!("CARGO_BIN_EXE_maestro-cli"))
+    }
+
+    fn asset(name: &str) -> String {
+        let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.push("../../assets");
+        p.push(name);
+        p.to_string_lossy().into_owned()
+    }
+
+    fn one_shot_stdout(args: &[&str]) -> String {
+        let out = cli().args(args).output().expect("one-shot CLI runs");
+        assert!(
+            out.status.success(),
+            "one-shot {args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("UTF-8 stdout")
+    }
+
+    fn file_estimate(id: &str, files: &[&str], json: bool) -> String {
+        Request {
+            id: id.to_owned(),
+            call: RequestCall::Estimate(EstimateRequest {
+                files: files.iter().map(|&f| f.to_owned()).collect(),
+                mnl: Vec::new(),
+                tech: "nmos".to_owned(),
+                rows: None,
+                jobs: 1,
+                json,
+            }),
+        }
+        .to_json_line()
+    }
+
+    let full_adder = asset("full_adder.mnl");
+    let counter4 = asset("counter4.mnl");
+    let nand2 = asset("nmos_nand2.sp");
+    let sources = |files: &[&str]| -> (Vec<String>, Vec<String>) {
+        (files.iter().map(|&f| f.to_owned()).collect(), Vec::new())
+    };
+
+    // (request line, expected payload = one-shot stdout of the same call)
+    let cases: Vec<(String, String)> = vec![
+        (
+            file_estimate("a1", &[&full_adder], false),
+            one_shot_stdout(&["estimate", &full_adder]),
+        ),
+        (
+            file_estimate("a2", &[&counter4], true),
+            one_shot_stdout(&["estimate", &counter4, "--json"]),
+        ),
+        (
+            file_estimate("b1", &[&nand2], false),
+            one_shot_stdout(&["estimate", &nand2]),
+        ),
+        (
+            {
+                let (files, mnl) = sources(&[&full_adder, &counter4]);
+                Request {
+                    id: "b2".to_owned(),
+                    call: RequestCall::Floorplan(FloorplanRequest {
+                        files,
+                        mnl,
+                        tech: "nmos".to_owned(),
+                        aspect: None,
+                        replicas: 1,
+                    }),
+                }
+                .to_json_line()
+            },
+            one_shot_stdout(&["floorplan", &full_adder, &counter4]),
+        ),
+        (
+            {
+                let (files, mnl) = sources(&[&full_adder]);
+                Request {
+                    id: "c1".to_owned(),
+                    call: RequestCall::Report(ReportRequest {
+                        files,
+                        mnl,
+                        tech: "nmos".to_owned(),
+                        aspect: None,
+                        replicas: 1,
+                    }),
+                }
+                .to_json_line()
+            },
+            one_shot_stdout(&["report", &full_adder]),
+        ),
+        (
+            {
+                let (files, mnl) = sources(&[&counter4]);
+                Request {
+                    id: "c2".to_owned(),
+                    call: RequestCall::Layout(LayoutRequest {
+                        files,
+                        mnl,
+                        tech: "nmos".to_owned(),
+                        rows: None,
+                        replicas: 1,
+                    }),
+                }
+                .to_json_line()
+            },
+            one_shot_stdout(&["layout", &counter4]),
+        ),
+    ];
+
+    let mut child = cli()
+        .args(["serve", "--jobs", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let stdin = Arc::new(Mutex::new(child.stdin.take().expect("piped stdin")));
+
+    // Three writer threads interleave their lines; the line is the unit
+    // of framing, so whole-line writes from many clients are safe.
+    std::thread::scope(|scope| {
+        for chunk in cases.chunks(2) {
+            let stdin = Arc::clone(&stdin);
+            scope.spawn(move || {
+                for (line, _) in chunk {
+                    let mut stdin = stdin.lock().expect("stdin lock");
+                    writeln!(stdin, "{line}").expect("request written");
+                    stdin.flush().expect("request flushed");
+                }
+            });
+        }
+    });
+    {
+        let mut stdin = stdin.lock().expect("stdin lock");
+        writeln!(stdin, "{{\"id\":\"bye\",\"kind\":\"shutdown\"}}").expect("shutdown written");
+    }
+    drop(stdin);
+
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .expect("piped stdout")
+        .read_to_string(&mut stdout)
+        .expect("daemon stdout");
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .expect("piped stderr")
+        .read_to_string(&mut stderr)
+        .expect("daemon stderr");
+    assert!(child.wait().expect("daemon exits").success(), "{stderr}");
+    assert!(
+        stderr.contains("serve: answered 7 request(s), 0 error(s)"),
+        "{stderr}"
+    );
+
+    let responses: Vec<Response> = stdout
+        .lines()
+        .map(|l| Response::parse(l).expect("response parses"))
+        .collect();
+    assert_eq!(responses.len(), cases.len() + 1);
+    assert_eq!(responses.last().expect("non-empty").id, "bye");
+    for (line, expected) in &cases {
+        let id = Request::parse(line).expect("case parses").id;
+        let response = responses
+            .iter()
+            .find(|r| r.id == id)
+            .unwrap_or_else(|| panic!("no response for `{id}`"));
+        assert_eq!(
+            response.result.as_deref(),
+            Ok(expected.as_str()),
+            "serve response `{id}` differs from the one-shot CLI stdout"
+        );
+    }
+}
+
+#[test]
+fn unix_socket_round_trip_serves_and_cleans_up() {
+    use std::os::unix::net::UnixStream;
+
+    let path = std::env::temp_dir().join(format!("maestro-serve-test-{}.sock", std::process::id()));
+    let source = mnl::to_mnl(&table1_suite()[0]);
+    let expected = one_shot_estimate(&source, false);
+
+    let session = isolated_session();
+    let summary = std::thread::scope(|scope| {
+        let server = scope.spawn(|| serve_socket(&session, &path, 1));
+
+        // The listener binds asynchronously; retry until it accepts.
+        let mut stream = None;
+        for _ in 0..200 {
+            match UnixStream::connect(&path) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        let mut stream = stream.expect("socket accepts a connection");
+        let mut reader = BufReader::new(stream.try_clone().expect("socket clones"));
+
+        let mut line = String::new();
+        for request in [
+            estimate_request("s1", &source, false),
+            estimate_request("s2", &source, true),
+        ] {
+            writeln!(stream, "{}", request.to_json_line()).expect("request written");
+            line.clear();
+            reader.read_line(&mut line).expect("response read");
+            let response = Response::parse(line.trim_end()).expect("response parses");
+            assert_eq!(response.id, request.id);
+            assert!(response.is_ok(), "{response:?}");
+            if request.id == "s1" {
+                // The socket front end honors the same equivalence
+                // contract as the pipe one.
+                assert_eq!(response.result.as_deref(), Ok(expected.as_str()));
+            }
+        }
+        writeln!(stream, "not json").expect("garbage written");
+        line.clear();
+        reader.read_line(&mut line).expect("error response read");
+        assert!(!Response::parse(line.trim_end()).expect("parses").is_ok());
+
+        writeln!(stream, "{}", shutdown_request("bye").to_json_line()).expect("shutdown written");
+        line.clear();
+        reader.read_line(&mut line).expect("shutdown response read");
+        assert_eq!(Response::parse(line.trim_end()).expect("parses").id, "bye");
+
+        server.join().expect("server thread joins")
+    })
+    .expect("socket serve succeeds");
+
+    assert_eq!(summary.requests, 4);
+    assert_eq!(summary.errors, 1);
+    assert!(summary.shutdown);
+    assert!(!path.exists(), "socket file unlinked on shutdown");
+}

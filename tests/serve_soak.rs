@@ -1,0 +1,197 @@
+//! Concurrency soak for `maestro serve`: many clients, many interleaved
+//! mixed-kind requests, and two invariants to hold.
+//!
+//! 1. **Determinism per request id.** The response to a given request is
+//!    a pure function of the request — never of scheduling. A serial
+//!    session, a pooled session, and a re-run of the pooled session must
+//!    produce identical per-id response maps.
+//! 2. **The trace telescopes.** A serial serve session's `serve.request`
+//!    self-times must sum to the session wall clock within the same ≤5%
+//!    drift bound the batch CLI holds (`tests/cli.rs`), and the folded
+//!    report must carry a latency row counting every answered line.
+
+use std::collections::BTreeMap;
+use std::io::Cursor;
+use std::sync::Arc;
+
+use maestro::estimator::prob::ProbTable;
+use maestro::estimator::request::{
+    EstimateRequest, FloorplanRequest, LayoutRequest, ReportRequest, Request, RequestCall, Response,
+};
+use maestro::netlist::library_circuits::{table1_suite, table2_suite};
+use maestro::netlist::{mnl, StatsCache};
+use maestro::serve::{serve_lines, ServeSummary, Session};
+use maestro::trace;
+
+fn isolated_session() -> Session {
+    Session::with_caches(Arc::new(StatsCache::new()), Arc::new(ProbTable::new()))
+}
+
+/// N clients × M requests: each client cycles through the request kinds
+/// over the Table 1+2 modules, with a malformed line thrown in per
+/// client. Returns the raw input lines (some intentionally bad).
+fn mixed_log(clients: usize, per_client: usize) -> Vec<String> {
+    let mut suite = table1_suite();
+    suite.extend(table2_suite());
+    let sources: Vec<String> = suite.iter().map(mnl::to_mnl).collect();
+    // Gate-level modules only for the layout/floorplan/report kinds —
+    // annealing transistor-level suites here would dominate the runtime.
+    let gate_level: Vec<String> = table2_suite().iter().map(mnl::to_mnl).collect();
+
+    let mut lines = Vec::new();
+    for c in 0..clients {
+        for r in 0..per_client {
+            let id = format!("c{c}-{r}");
+            let source = sources[(c * per_client + r) % sources.len()].clone();
+            let small = gate_level[(c + r) % gate_level.len()].clone();
+            let request = match r % 5 {
+                0 => Request {
+                    id,
+                    call: RequestCall::Estimate(EstimateRequest {
+                        files: Vec::new(),
+                        mnl: vec![source],
+                        tech: "nmos".to_owned(),
+                        rows: None,
+                        jobs: 1,
+                        json: false,
+                    }),
+                },
+                1 => Request {
+                    id,
+                    call: RequestCall::Estimate(EstimateRequest {
+                        files: Vec::new(),
+                        mnl: vec![source],
+                        tech: "nmos".to_owned(),
+                        rows: Some(3),
+                        jobs: 1,
+                        json: true,
+                    }),
+                },
+                2 => Request {
+                    id,
+                    call: RequestCall::Layout(LayoutRequest {
+                        files: Vec::new(),
+                        mnl: vec![small],
+                        tech: "nmos".to_owned(),
+                        rows: None,
+                        replicas: 1,
+                    }),
+                },
+                3 => Request {
+                    id,
+                    call: RequestCall::Report(ReportRequest {
+                        files: Vec::new(),
+                        mnl: vec![small],
+                        tech: "nmos".to_owned(),
+                        aspect: None,
+                        replicas: 1,
+                    }),
+                },
+                _ => Request {
+                    id,
+                    call: RequestCall::Floorplan(FloorplanRequest {
+                        files: Vec::new(),
+                        mnl: gate_level.clone(),
+                        tech: "nmos".to_owned(),
+                        aspect: Some(1.5),
+                        replicas: 1,
+                    }),
+                },
+            };
+            lines.push(request.to_json_line());
+        }
+        // One hostile line per client; the daemon must answer and move on.
+        lines.push(format!("{{\"id\":\"bad-{c}\",\"kind\":\"nope\"}}"));
+    }
+    lines.push("{\"id\":\"bye\",\"kind\":\"shutdown\"}".to_owned());
+    lines
+}
+
+/// Runs the log through a fresh isolated session and returns the per-id
+/// response map plus the stream summary.
+fn run(log: &[String], jobs: usize) -> (BTreeMap<String, Response>, ServeSummary) {
+    let session = isolated_session();
+    let input: String = log.iter().map(|l| format!("{l}\n")).collect();
+    let mut output = Vec::new();
+    let summary =
+        serve_lines(&session, Cursor::new(input), &mut output, jobs).expect("serve I/O succeeds");
+    let text = String::from_utf8(output).expect("responses are UTF-8");
+    let mut by_id = BTreeMap::new();
+    for line in text.lines() {
+        let response = Response::parse(line).expect("response line parses");
+        let prior = by_id.insert(response.id.clone(), response);
+        assert!(prior.is_none(), "duplicate response id");
+    }
+    (by_id, summary)
+}
+
+#[test]
+fn responses_are_deterministic_per_id_across_scheduling() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 6;
+    let log = mixed_log(CLIENTS, PER_CLIENT);
+
+    let (serial, serial_summary) = run(&log, 1);
+    let (pooled_a, pooled_a_summary) = run(&log, 4);
+    let (pooled_b, _) = run(&log, 4);
+
+    assert_eq!(serial_summary.requests as usize, log.len());
+    assert_eq!(serial_summary.errors as usize, CLIENTS);
+    assert!(serial_summary.shutdown);
+    assert_eq!(pooled_a_summary, serial_summary);
+
+    // Every work request succeeded; every hostile line failed cleanly.
+    for (id, response) in &serial {
+        assert_eq!(
+            response.is_ok(),
+            !id.starts_with("bad-"),
+            "unexpected outcome for `{id}`: {response:?}"
+        );
+    }
+
+    // Scheduling independence: worker interleaving must be invisible in
+    // the response bytes — serial vs pooled, and pooled run vs re-run.
+    assert_eq!(serial, pooled_a, "pooled responses diverge from serial");
+    assert_eq!(pooled_a, pooled_b, "pooled responses are not reproducible");
+}
+
+#[test]
+fn serial_soak_session_trace_telescopes_and_folds_latency_rows() {
+    let log = mixed_log(2, 5);
+    let collector = Arc::new(trace::Collector::new());
+    let summary = trace::with_sink(Arc::clone(&collector) as Arc<dyn trace::Sink>, || {
+        let session = isolated_session();
+        let input: String = log.iter().map(|l| format!("{l}\n")).collect();
+        let mut output = Vec::new();
+        serve_lines(&session, Cursor::new(input), &mut output, 1).expect("serve I/O succeeds")
+    });
+    assert_eq!(summary.requests as usize, log.len());
+
+    let report = trace::report::fold(&collector.events(), "soak");
+
+    // Serial session: per-stage self-times partition the wall clock, so
+    // Σ self must telescope to the wall within the established bound.
+    let wall = report.wall_us as f64;
+    let work = report.work_us as f64;
+    assert!(wall > 0.0, "session span recorded no time");
+    assert!(
+        (work - wall).abs() <= 0.05 * wall,
+        "span self-times do not telescope: work {work} µs vs wall {wall} µs"
+    );
+
+    // The fold carries one latency row per latency-tracked stage, and
+    // `serve.request` counts every answered line — including the in-band
+    // codec rejections and the final shutdown response.
+    let latency = report
+        .latencies
+        .iter()
+        .find(|l| l.name == "serve.request")
+        .expect("folded report has a serve.request latency row");
+    assert_eq!(latency.count, summary.requests);
+    assert!(latency.p50_us <= latency.p99_us);
+    assert!(latency.rps > 0.0);
+
+    // The session also counted each response as it was delivered.
+    assert_eq!(collector.counter_total("serve.requests"), summary.requests);
+    assert_eq!(collector.counter_total("serve.errors"), summary.errors);
+}
