@@ -43,6 +43,7 @@ pub struct Pipeline {
     stats: Option<Arc<StatsCache>>,
     parallel_net_threshold: usize,
     replicas: usize,
+    floorplan_backend: String,
 }
 
 impl Pipeline {
@@ -58,7 +59,23 @@ impl Pipeline {
             stats: Some(StatsCache::shared()),
             parallel_net_threshold: DEFAULT_PARALLEL_NET_THRESHOLD,
             replicas: 1,
+            floorplan_backend: crate::request::DEFAULT_FLOORPLAN_BACKEND.to_owned(),
         }
+    }
+
+    /// Names the floorplan backend downstream front ends should resolve
+    /// when they build a chip plan from this pipeline's estimates. The
+    /// pipeline itself only carries the name (the backend registry lives
+    /// in the floorplan crate, which sits above this one); validate
+    /// against [`crate::request::FLOORPLAN_BACKENDS`] before dispatch.
+    pub fn with_floorplan_backend(mut self, backend: impl Into<String>) -> Self {
+        self.floorplan_backend = backend.into();
+        self
+    }
+
+    /// The floorplan backend name layout front ends should resolve.
+    pub fn floorplan_backend(&self) -> &str {
+        &self.floorplan_backend
     }
 
     /// Sets how many independently seeded annealing walks the layout

@@ -15,8 +15,8 @@
 //! ```text
 //! {"id":"e1","kind":"estimate","files":["a.mnl"],"mnl":[],"tech":"nmos","jobs":2,"json":true}
 //! {"id":"l1","kind":"layout","files":[],"mnl":["module m; ..."],"tech":"nmos","rows":2,"replicas":1}
-//! {"id":"f1","kind":"floorplan","files":["a.mnl","b.mnl"],"mnl":[],"tech":"nmos","aspect":1.5,"replicas":1}
-//! {"id":"r1","kind":"report","files":["a.mnl"],"mnl":[],"tech":"cmos","replicas":1}
+//! {"id":"f1","kind":"floorplan","files":["a.mnl","b.mnl"],"mnl":[],"tech":"nmos","aspect":1.5,"replicas":1,"backend":"annealing"}
+//! {"id":"r1","kind":"report","files":["a.mnl"],"mnl":[],"tech":"cmos","replicas":1,"backend":"spanning-tree"}
 //! {"id":"q","kind":"shutdown"}
 //! ```
 //!
@@ -48,6 +48,17 @@ use crate::prob::MAX_ROWS;
 /// real machine, small enough that a hostile request cannot ask the
 /// server to spawn an absurd number of threads.
 pub const MAX_FANOUT: u32 = 1024;
+
+/// Floorplan backend names the protocol accepts, in registry order. The
+/// registry itself lives in the floorplan crate (which depends on this
+/// one), so the protocol carries names and the floorplan crate asserts —
+/// in its own tests — that its registry matches this list exactly.
+pub const FLOORPLAN_BACKENDS: &[&str] = &["annealing", "annealing-warm", "spanning-tree"];
+
+/// The backend used when a request omits the `backend` field: the
+/// pre-trait annealer, preserving byte-identical behaviour for every
+/// client written before backends existed.
+pub const DEFAULT_FLOORPLAN_BACKEND: &str = "annealing";
 
 /// One protocol request: a client-chosen correlation id plus the call.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,6 +131,8 @@ pub struct FloorplanRequest {
     pub aspect: Option<f64>,
     /// Annealing replicas (`1..=`[`MAX_FANOUT`]).
     pub replicas: u32,
+    /// Floorplan backend name (one of [`FLOORPLAN_BACKENDS`]).
+    pub backend: String,
 }
 
 /// Schematic sources plus parameters for a `report` request.
@@ -135,6 +148,8 @@ pub struct ReportRequest {
     pub aspect: Option<f64>,
     /// Annealing replicas (`1..=`[`MAX_FANOUT`]).
     pub replicas: u32,
+    /// Floorplan backend name (one of [`FLOORPLAN_BACKENDS`]).
+    pub backend: String,
 }
 
 /// A request that could not be decoded. Carries the id when one could be
@@ -297,6 +312,7 @@ impl Request {
                     fields.push(("aspect".to_owned(), Value::F64(aspect)));
                 }
                 fields.push(("replicas".to_owned(), Value::U64(req.replicas.into())));
+                fields.push(("backend".to_owned(), Value::Str(req.backend.clone())));
             }
             RequestCall::Report(req) => {
                 sources(&mut fields, &req.files, &req.mnl);
@@ -305,6 +321,7 @@ impl Request {
                     fields.push(("aspect".to_owned(), Value::F64(aspect)));
                 }
                 fields.push(("replicas".to_owned(), Value::U64(req.replicas.into())));
+                fields.push(("backend".to_owned(), Value::Str(req.backend.clone())));
             }
             RequestCall::Shutdown => {}
         }
@@ -365,7 +382,9 @@ impl Request {
         let allowed: &[&str] = match kind.as_str() {
             "estimate" => &["id", "kind", "files", "mnl", "tech", "rows", "jobs", "json"],
             "layout" => &["id", "kind", "files", "mnl", "tech", "rows", "replicas"],
-            "floorplan" | "report" => &["id", "kind", "files", "mnl", "tech", "aspect", "replicas"],
+            "floorplan" | "report" => &[
+                "id", "kind", "files", "mnl", "tech", "aspect", "replicas", "backend",
+            ],
             "shutdown" => &["id", "kind"],
             other => {
                 return Err(fail(format!(
@@ -405,6 +424,7 @@ impl Request {
                     tech: parse_tech(fields)?,
                     aspect: parse_aspect(fields)?,
                     replicas: parse_fanout(fields, "replicas")?,
+                    backend: parse_backend(fields)?,
                 }),
                 "report" => RequestCall::Report(ReportRequest {
                     files: parse_sources(fields, "files")?,
@@ -412,6 +432,7 @@ impl Request {
                     tech: parse_tech(fields)?,
                     aspect: parse_aspect(fields)?,
                     replicas: parse_fanout(fields, "replicas")?,
+                    backend: parse_backend(fields)?,
                 }),
                 "shutdown" => RequestCall::Shutdown,
                 _ => unreachable!("kind validated above"),
@@ -507,6 +528,18 @@ fn parse_fanout(fields: &[(String, Value)], key: &str) -> Result<u32, String> {
     }
 }
 
+fn parse_backend(fields: &[(String, Value)]) -> Result<String, String> {
+    match find_field(fields, "backend") {
+        None => Ok(DEFAULT_FLOORPLAN_BACKEND.to_owned()),
+        Some(Value::Str(s)) if FLOORPLAN_BACKENDS.contains(&s.as_str()) => Ok(s.clone()),
+        Some(Value::Str(s)) => Err(format!(
+            "unknown backend `{s}` (expected one of: {})",
+            FLOORPLAN_BACKENDS.join(", ")
+        )),
+        Some(_) => Err("field `backend` must be a string".to_owned()),
+    }
+}
+
 fn parse_aspect(fields: &[(String, Value)]) -> Result<Option<f64>, String> {
     match find_field(fields, "aspect") {
         Some(Value::Null) | None => Ok(None),
@@ -563,6 +596,7 @@ mod tests {
                     tech: "nmos".to_owned(),
                     aspect: Some(1.5),
                     replicas: 1,
+                    backend: "spanning-tree".to_owned(),
                 }),
             },
             Request {
@@ -573,6 +607,7 @@ mod tests {
                     tech: "nmos".to_owned(),
                     aspect: None,
                     replicas: 2,
+                    backend: DEFAULT_FLOORPLAN_BACKEND.to_owned(),
                 }),
             },
             Request {
@@ -638,6 +673,47 @@ mod tests {
         ] {
             let err = Request::parse(line).expect_err(line);
             assert_eq!(err.id.as_deref(), Some("x"), "{line}");
+        }
+    }
+
+    #[test]
+    fn backend_defaults_validates_and_rejects_misplacement() {
+        let r = Request::parse("{\"id\":\"x\",\"kind\":\"floorplan\",\"files\":[\"a.mnl\"]}")
+            .expect("parses");
+        let RequestCall::Floorplan(req) = r.call else {
+            panic!("wrong kind");
+        };
+        assert_eq!(req.backend, DEFAULT_FLOORPLAN_BACKEND);
+
+        for name in FLOORPLAN_BACKENDS {
+            let line = format!(
+                "{{\"id\":\"x\",\"kind\":\"report\",\"files\":[\"a\"],\"backend\":\"{name}\"}}"
+            );
+            let r = Request::parse(&line).expect(&line);
+            let RequestCall::Report(req) = r.call else {
+                panic!("wrong kind");
+            };
+            assert_eq!(&req.backend, name);
+        }
+
+        for (line, needle) in [
+            (
+                "{\"id\":\"x\",\"kind\":\"floorplan\",\"files\":[\"a\"],\"backend\":\"bogus\"}",
+                "unknown backend `bogus`",
+            ),
+            (
+                "{\"id\":\"x\",\"kind\":\"floorplan\",\"files\":[\"a\"],\"backend\":7}",
+                "must be a string",
+            ),
+            (
+                // `backend` belongs to floorplan/report, not estimate.
+                "{\"id\":\"x\",\"kind\":\"estimate\",\"files\":[\"a\"],\"backend\":\"annealing\"}",
+                "unknown field `backend`",
+            ),
+        ] {
+            let err = Request::parse(line).expect_err(line);
+            assert_eq!(err.id.as_deref(), Some("x"), "{line}");
+            assert!(err.message.contains(needle), "{line}: {}", err.message);
         }
     }
 

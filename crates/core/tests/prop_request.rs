@@ -6,7 +6,7 @@
 use maestro_estimator::prob::MAX_ROWS;
 use maestro_estimator::request::{
     EstimateRequest, FloorplanRequest, LayoutRequest, ReportRequest, Request, RequestCall,
-    Response, MAX_FANOUT,
+    Response, FLOORPLAN_BACKENDS, MAX_FANOUT,
 };
 use proptest::prelude::*;
 
@@ -50,6 +50,7 @@ fn build_request(kind: u8, seed: u64, rows: u32, fanout: u32, aspect_milli: u32)
     let aspect = seed
         .is_multiple_of(3)
         .then_some(aspect_milli as f64 / 1000.0);
+    let backend = FLOORPLAN_BACKENDS[(seed % FLOORPLAN_BACKENDS.len() as u64) as usize].to_owned();
     let call = match kind {
         0 => RequestCall::Estimate(EstimateRequest {
             files,
@@ -72,6 +73,7 @@ fn build_request(kind: u8, seed: u64, rows: u32, fanout: u32, aspect_milli: u32)
             tech,
             aspect,
             replicas: fanout,
+            backend,
         }),
         3 => RequestCall::Report(ReportRequest {
             files,
@@ -79,6 +81,7 @@ fn build_request(kind: u8, seed: u64, rows: u32, fanout: u32, aspect_milli: u32)
             tech,
             aspect,
             replicas: fanout,
+            backend,
         }),
         _ => RequestCall::Shutdown,
     };

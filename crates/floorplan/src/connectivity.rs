@@ -13,7 +13,8 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::plan::{floorplan, Floorplan, PlanParams};
+use crate::backend::{Annealing, FloorplanBackend};
+use crate::plan::{Floorplan, PlanParams};
 use crate::Block;
 
 /// Global (inter-module) nets over a set of floorplan blocks, referenced
@@ -124,7 +125,8 @@ impl ConnectedPlanParams {
 struct OrderState<'a> {
     blocks: &'a [Block],
     netlist: &'a ChipNetlist,
-    params: ConnectedPlanParams,
+    inner: &'a dyn FloorplanBackend,
+    wire_weight: f64,
     order: Vec<u32>,
     cached_cost: f64,
     cached_plan: Floorplan,
@@ -146,7 +148,7 @@ impl OrderState<'_> {
             .iter()
             .map(|&i| self.blocks[i as usize].clone())
             .collect();
-        floorplan(&permuted, &self.params.inner)
+        self.inner.plan(&permuted, None).plan
     }
 
     fn cost_of(&self, plan: &Floorplan, order: &[u32]) -> f64 {
@@ -160,7 +162,7 @@ impl OrderState<'_> {
         for net in self.netlist.nets() {
             remapped.add_net(net.iter().map(|&b| pos[b as usize]));
         }
-        plan.area().as_f64() + self.params.wire_weight * remapped.wirelength(plan).as_f64()
+        plan.area().as_f64() + self.wire_weight * remapped.wirelength(plan).as_f64()
     }
 
     fn refresh(&mut self) {
@@ -223,6 +225,33 @@ pub fn floorplan_connected(
     netlist: &ChipNetlist,
     params: &ConnectedPlanParams,
 ) -> (Floorplan, Lambda) {
+    floorplan_connected_with(
+        blocks,
+        netlist,
+        params,
+        &Annealing::with_params(params.inner.clone()),
+        &Annealing::with_params(params.base.clone()),
+    )
+}
+
+/// [`floorplan_connected`] over explicit backends: `inner` evaluates the
+/// cheap per-move floorplan inside the ordering anneal (keep it fast —
+/// it runs hundreds of times; the deterministic spanning tree is a
+/// natural fit), `base` produces the final full-quality plan. The
+/// default path uses the annealing backend for both, which is exactly
+/// the pre-trait behaviour.
+///
+/// # Panics
+///
+/// Panics if `blocks` is empty or the netlist references a block index
+/// out of range.
+pub fn floorplan_connected_with(
+    blocks: &[Block],
+    netlist: &ChipNetlist,
+    params: &ConnectedPlanParams,
+    inner: &dyn FloorplanBackend,
+    base: &dyn FloorplanBackend,
+) -> (Floorplan, Lambda) {
     assert!(!blocks.is_empty(), "cannot floorplan zero blocks");
     for net in netlist.nets() {
         for &b in net {
@@ -236,10 +265,11 @@ pub fn floorplan_connected(
     let mut state = OrderState {
         blocks,
         netlist,
-        params: params.clone(),
+        inner,
+        wire_weight: params.wire_weight,
         order: (0..blocks.len() as u32).collect(),
         cached_cost: 0.0,
-        cached_plan: floorplan(blocks, &params.inner),
+        cached_plan: inner.plan(blocks, None).plan,
         undo: None,
         evals_full: 0,
     };
@@ -260,7 +290,7 @@ pub fn floorplan_connected(
         .iter()
         .map(|&i| blocks[i as usize].clone())
         .collect();
-    let plan = floorplan(&permuted, &params.base);
+    let plan = base.plan(&permuted, None).plan;
     let mut pos = vec![0u32; state.order.len()];
     for (p, &i) in state.order.iter().enumerate() {
         pos[i as usize] = p as u32;
@@ -276,6 +306,8 @@ pub fn floorplan_connected(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::SpanningTree;
+    use crate::plan::floorplan;
     use maestro_geom::LambdaArea;
 
     fn blocks(n: usize) -> Vec<Block> {
@@ -337,6 +369,49 @@ mod tests {
         for b in &blocks {
             assert!(plan.placement(b.name()).is_some(), "{} lost", b.name());
         }
+    }
+
+    #[test]
+    fn explicit_backends_reduce_to_the_default_path() {
+        // Annealing inner+base through the `_with` entry point is the
+        // pre-trait `floorplan_connected`, bit for bit.
+        let blocks = blocks(5);
+        let mut netlist = ChipNetlist::new();
+        netlist.add_net([0, 2, 4]);
+        netlist.add_net([1, 3]);
+        let params = ConnectedPlanParams::quick();
+        let default_path = floorplan_connected(&blocks, &netlist, &params);
+        let explicit = floorplan_connected_with(
+            &blocks,
+            &netlist,
+            &params,
+            &Annealing::with_params(params.inner.clone()),
+            &Annealing::with_params(params.base.clone()),
+        );
+        assert_eq!(default_path, explicit);
+    }
+
+    #[test]
+    fn spanning_tree_inner_keeps_all_blocks_and_is_deterministic() {
+        let blocks = blocks(6);
+        let mut netlist = ChipNetlist::new();
+        for i in 0..5u32 {
+            netlist.add_net([i, i + 1]);
+        }
+        let params = ConnectedPlanParams::quick();
+        let run = || {
+            floorplan_connected_with(
+                &blocks,
+                &netlist,
+                &params,
+                &SpanningTree,
+                &Annealing::with_params(params.base.clone()),
+            )
+        };
+        let (plan, wl) = run();
+        assert_eq!(plan.placements().len(), 6);
+        assert!(wl.is_positive());
+        assert_eq!(run(), (plan, wl));
     }
 
     #[test]

@@ -22,7 +22,8 @@
 use maestro_geom::{Lambda, LambdaArea};
 use serde::{Deserialize, Serialize};
 
-use crate::plan::{floorplan, Floorplan, PlanParams};
+use crate::backend::{Annealing, FloorplanBackend};
+use crate::plan::{Floorplan, PlanParams};
 use crate::Block;
 
 /// One module in the iteration experiment: the initial belief and the
@@ -68,6 +69,22 @@ pub struct IterationOutcome {
 ///
 /// Panics if `modules` is empty or `tolerance` is not positive.
 pub fn converge(modules: &[ModuleTruth], tolerance: f64, params: &PlanParams) -> IterationOutcome {
+    converge_with(modules, tolerance, &Annealing::with_params(params.clone()))
+}
+
+/// [`converge`] over an explicit [`FloorplanBackend`]: every iteration's
+/// floorplan goes through `backend`. With [`Annealing`] at the same
+/// params this is exactly [`converge`]; the deterministic spanning tree
+/// makes the whole experiment RNG-free.
+///
+/// # Panics
+///
+/// Panics if `modules` is empty or `tolerance` is not positive.
+pub fn converge_with(
+    modules: &[ModuleTruth],
+    tolerance: f64,
+    backend: &dyn FloorplanBackend,
+) -> IterationOutcome {
     assert!(!modules.is_empty(), "need at least one module");
     assert!(tolerance > 0.0, "tolerance must be positive");
     let _converge_span = maestro_trace::span_with("floorplan.converge", || {
@@ -91,7 +108,7 @@ pub fn converge(modules: &[ModuleTruth], tolerance: f64, params: &PlanParams) ->
                 }
             })
             .collect();
-        let plan = floorplan(&blocks, params);
+        let plan = backend.plan(&blocks, None).plan;
         area_history.push(plan.area());
 
         // Layout reveals truth: find the worst unfixed mismatch.
@@ -179,6 +196,21 @@ mod tests {
             naive_out.iterations
         );
         assert_eq!(naive_out.iterations, truth.len() as u32 + 1);
+    }
+
+    #[test]
+    fn converge_with_any_backend_counts_the_same_iterations() {
+        // The designer model fixes beliefs by estimate error, which no
+        // backend influences — only the plans differ.
+        use crate::backend::SpanningTree;
+        let modules = vec![
+            module("a", 2000, 70, 70), // 59 % off
+            module("b", 1200, 40, 30), // exact
+        ];
+        let annealed = converge(&modules, 0.15, &PlanParams::quick());
+        let spanned = converge_with(&modules, 0.15, &SpanningTree);
+        assert_eq!(annealed.iterations, spanned.iterations);
+        assert_eq!(spanned.final_plan.placements().len(), 2);
     }
 
     #[test]

@@ -15,7 +15,13 @@
 //! * [`iterate`] — the paper's §7 claim made measurable: floorplan with
 //!   estimated sizes, "lay out" the modules (reveal their true sizes),
 //!   re-floorplan where the estimates were wrong, and count iterations
-//!   until the plan stabilizes.
+//!   until the plan stabilizes;
+//! * [`backend`] — the pluggable-optimizer surface: the annealer
+//!   re-homed as [`backend::Annealing`], the deterministic
+//!   [`backend::SpanningTree`] compact floorplanner, and a registry
+//!   front ends resolve by name;
+//! * [`shootout`] — the cross-backend comparison harness behind
+//!   `maestro-cli shootout` and its CI quality gate.
 //!
 //! # Examples
 //!
@@ -36,11 +42,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod block;
 pub mod connectivity;
 pub mod iterate;
 pub mod plan;
+pub mod shootout;
 
+pub use backend::{Annealing, BackendRun, FloorplanBackend, SpanningTree};
 pub use block::Block;
-pub use connectivity::{floorplan_connected, ChipNetlist, ConnectedPlanParams};
+pub use connectivity::{
+    floorplan_connected, floorplan_connected_with, ChipNetlist, ConnectedPlanParams,
+};
 pub use plan::{floorplan, Floorplan, PlanParams};

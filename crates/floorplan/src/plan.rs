@@ -153,7 +153,7 @@ impl Floorplan {
 
 /// Cut direction (same convention as the full-custom synthesizer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Cut {
+pub(crate) enum Cut {
     Horizontal,
     Vertical,
 }
@@ -167,15 +167,16 @@ impl Cut {
     }
 }
 
+/// One token of a block Polish expression: a block index or a cut.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Elem {
+pub(crate) enum Elem {
     Leaf(u32),
     Op(Cut),
 }
 
 /// How a [`PlanState`] recomputes its cost after a move.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EvalMode {
+pub(crate) enum EvalMode {
     /// Recombine every shape curve on each move and each revert — the
     /// original implementation, kept as the differential reference.
     Full,
@@ -563,12 +564,18 @@ pub fn floorplan_full_refresh(blocks: &[Block], params: &PlanParams) -> Floorpla
     floorplan_with(blocks, params, EvalMode::Full)
 }
 
-fn floorplan_with(blocks: &[Block], params: &PlanParams, mode: EvalMode) -> Floorplan {
-    assert!(!blocks.is_empty(), "cannot floorplan zero blocks");
-    let _plan_span = maestro_trace::span("floorplan");
-    maestro_trace::counter("floorplan.blocks", blocks.len() as u64);
-    // Initial expression: serpentine pairing like the synthesizer.
-    let n = blocks.len();
+/// Per-run evaluation tallies a backend reports alongside its plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct PlanCounters {
+    /// Full shape-curve recombinations (including calibration refreshes).
+    pub evals_full: u64,
+    /// Incremental (covering-subtree) recombinations.
+    pub evals_delta: u64,
+}
+
+/// The serpentine initial Polish expression over `n` blocks, the same
+/// pairing the full-custom synthesizer starts from.
+pub(crate) fn serpentine_elems(n: usize) -> Vec<Elem> {
     let per_row = (n as f64).sqrt().ceil() as usize;
     let mut elems = Vec::with_capacity(n * 2);
     let mut rows_emitted = 0usize;
@@ -586,6 +593,53 @@ fn floorplan_with(blocks: &[Block], params: &PlanParams, mode: EvalMode) -> Floo
         }
         i = end;
     }
+    elems
+}
+
+/// Packs an already-chosen slicing expression: Stockmeyer-combine the
+/// curves bottom-up, pick the best root realization under the aspect
+/// policy, and recover concrete block rectangles top-down.
+pub(crate) fn eval_slicing(
+    blocks: &[Block],
+    elems: &[Elem],
+    aspect_limit: Option<f64>,
+) -> Floorplan {
+    let tree = build_tree(blocks, elems);
+    let root_point = best_point(tree.curve(), aspect_limit);
+    let mut raw = Vec::with_capacity(blocks.len());
+    tree.place(root_point, Point::ORIGIN, &mut raw);
+    raw.sort_by_key(|&(b, _)| b);
+    let blocks_area: LambdaArea = raw.iter().map(|&(_, r)| r.area()).sum();
+    Floorplan {
+        width: root_point.width,
+        height: root_point.height,
+        placements: raw
+            .into_iter()
+            .map(|(b, r)| (blocks[b as usize].name().to_owned(), r))
+            .collect(),
+        blocks_area,
+    }
+}
+
+fn floorplan_with(blocks: &[Block], params: &PlanParams, mode: EvalMode) -> Floorplan {
+    floorplan_seeded(blocks, params, mode, serpentine_elems(blocks.len())).0
+}
+
+/// The annealing core behind every entry point: starts from `elems` (a
+/// valid Polish expression over all of `blocks`), anneals, and packs the
+/// best expression seen. [`floorplan`] seeds it with the serpentine
+/// expression; the warm-started backend seeds it with the spanning-tree
+/// expression instead.
+pub(crate) fn floorplan_seeded(
+    blocks: &[Block],
+    params: &PlanParams,
+    mode: EvalMode,
+    elems: Vec<Elem>,
+) -> (Floorplan, PlanCounters) {
+    assert!(!blocks.is_empty(), "cannot floorplan zero blocks");
+    let _plan_span = maestro_trace::span("floorplan");
+    maestro_trace::counter("floorplan.blocks", blocks.len() as u64);
+    let n = blocks.len();
 
     let post = IncrementalPostfix::build(
         elems.len(),
@@ -623,21 +677,14 @@ fn floorplan_with(blocks: &[Block], params: &PlanParams, mode: EvalMode) -> Floo
         }
     }
 
-    let tree = build_tree(blocks, &state.elems);
-    let root_point = best_point(tree.curve(), params.aspect_limit);
-    let mut raw = Vec::with_capacity(n);
-    tree.place(root_point, Point::ORIGIN, &mut raw);
-    raw.sort_by_key(|&(b, _)| b);
-    let blocks_area: LambdaArea = raw.iter().map(|&(_, r)| r.area()).sum();
-    Floorplan {
-        width: root_point.width,
-        height: root_point.height,
-        placements: raw
-            .into_iter()
-            .map(|(b, r)| (blocks[b as usize].name().to_owned(), r))
-            .collect(),
-        blocks_area,
-    }
+    let counters = PlanCounters {
+        evals_full: state.evals_full,
+        evals_delta: state.evals_delta,
+    };
+    (
+        eval_slicing(blocks, &state.elems, params.aspect_limit),
+        counters,
+    )
 }
 
 #[cfg(test)]

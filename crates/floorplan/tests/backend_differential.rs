@@ -1,0 +1,122 @@
+//! Backend-boundary differential tests.
+//!
+//! The trait extraction must be invisible: `backend::Annealing` at the
+//! same [`PlanParams`] has to produce byte-identical floorplans to the
+//! pre-trait `plan::floorplan` entry point (which still exists and still
+//! carries the original code path). And the deterministic spanning-tree
+//! backend must uphold the floorplanner's core invariant — every block
+//! placed, no two blocks overlapping — over arbitrary block mixes.
+
+use maestro_estimator::pipeline::Pipeline;
+use maestro_floorplan::{floorplan, Annealing, Block, FloorplanBackend, PlanParams, SpanningTree};
+use maestro_geom::{Lambda, LambdaArea, Rect};
+use maestro_netlist::library_circuits;
+use proptest::prelude::*;
+
+/// The paper's Table 1 modules shaped by the estimator — the exact
+/// Figure 1 hand-off the floorplanner was built to consume.
+fn table1_blocks() -> Vec<Block> {
+    let pipeline = Pipeline::new(maestro_tech::builtin::nmos25());
+    library_circuits::table1_suite()
+        .iter()
+        .map(|m| {
+            Block::from_module(&pipeline, m, 5)
+                .expect("table1 estimates")
+                .expect("table1 modules shape")
+        })
+        .collect()
+}
+
+#[test]
+fn annealing_backend_is_byte_identical_to_pre_trait_floorplan() {
+    let blocks = table1_blocks();
+    assert_eq!(blocks.len(), 5);
+    for params in [
+        PlanParams::default(),
+        PlanParams::quick(),
+        PlanParams::default().with_aspect_limit(1.5),
+        PlanParams {
+            replicas: 3,
+            ..PlanParams::quick()
+        },
+    ] {
+        let direct = floorplan(&blocks, &params);
+        let via_trait = Annealing::with_params(params.clone()).plan(&blocks, None);
+        assert_eq!(via_trait.plan, direct);
+        // Byte-identical, not merely equal: serialize both and compare
+        // the exact JSON the reports and SVG paths are derived from.
+        let a = serde_json::to_string(&direct).expect("plan serializes");
+        let b = serde_json::to_string(&via_trait.plan).expect("plan serializes");
+        assert_eq!(a, b);
+    }
+}
+
+/// A deterministic splitmix64 walk: the proptest seed below fans out
+/// into an arbitrary mix of soft and hard blocks.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn random_blocks(seed: u64, count: usize) -> Vec<Block> {
+    let mut state = seed;
+    (0..count)
+        .map(|i| {
+            if mix(&mut state).is_multiple_of(3) {
+                let w = 10 + (mix(&mut state) % 200) as i64;
+                let h = 10 + (mix(&mut state) % 200) as i64;
+                Block::hard(format!("h{i}"), Lambda::new(w), Lambda::new(h))
+            } else {
+                let area = 100 + (mix(&mut state) % 20_000) as i64;
+                let shapes = 2 + (mix(&mut state) % 7) as usize;
+                Block::soft(format!("s{i}"), LambdaArea::new(area), shapes)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn spanning_tree_places_every_block_without_overlap(
+        seed in 0u64..u64::MAX,
+        count in 1usize..=24,
+    ) {
+        let blocks = random_blocks(seed, count);
+        let run = SpanningTree.plan(&blocks, None);
+        prop_assert_eq!(run.plan.placements().len(), blocks.len());
+        for block in &blocks {
+            let rect = run.plan.placement(block.name());
+            prop_assert!(rect.is_some(), "block `{}` missing", block.name());
+        }
+        let rects: Vec<Rect> = run.plan.placements().iter().map(|&(_, r)| r).collect();
+        for i in 0..rects.len() {
+            for j in i + 1..rects.len() {
+                prop_assert!(
+                    !rects[i].overlaps_strictly(rects[j]),
+                    "blocks {} and {} overlap: {:?} vs {:?}",
+                    i, j, rects[i], rects[j]
+                );
+            }
+        }
+        // The plan is self-consistent: the bounding box covers at least
+        // the sum of minimum block areas.
+        let min_total: i64 = blocks.iter().map(|b| b.min_area().get()).sum();
+        prop_assert!(run.plan.area().get() >= min_total);
+    }
+
+    #[test]
+    fn spanning_tree_is_a_pure_function_of_its_input(
+        seed in 0u64..u64::MAX,
+        count in 1usize..=12,
+    ) {
+        let blocks = random_blocks(seed, count);
+        let a = SpanningTree.plan(&blocks, None);
+        let b = SpanningTree.plan(&blocks, None);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -4,7 +4,8 @@
 //! maestro-cli estimate  <file.mnl|file.sp> [--tech nmos|cmos|<db.json>] [--rows N] [--json]
 //! maestro-cli expand    <file.mnl>                 # gate-level -> nMOS transistor .mnl
 //! maestro-cli layout    <file.mnl|file.sp> [--tech ...] [--rows N]
-//! maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT]
+//! maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT] [--backend NAME]
+//! maestro-cli shootout  [--label NAME] [--baseline SHOOTOUT.json]
 //! maestro-cli serve     [--jobs N] [--socket PATH] # JSON-lines daemon
 //! ```
 //!
@@ -28,8 +29,12 @@ fn usage() -> &'static str {
      maestro-cli expand    <file.mnl>\n  \
      maestro-cli depth     <file.mnl>\n  \
      maestro-cli report    <file...> [--tech ...] [--aspect LIMIT] [--replicas N] [--svg out.svg]\n  \
+     \x20                   [--backend annealing|annealing-warm|spanning-tree]\n  \
      maestro-cli layout    <file> [--tech ...] [--rows N] [--replicas N] [--svg out.svg]\n  \
      maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT] [--replicas N] [--svg out.svg]\n  \
+     \x20                   [--backend annealing|annealing-warm|spanning-tree]\n  \
+     maestro-cli shootout  [--label NAME] [--out file.json] [--aspect LIMIT] [--quick]\n  \
+     \x20                   [--baseline SHOOTOUT.json] [--max-regression PCT]\n  \
      maestro-cli serve     [--jobs N] [--socket PATH]\n  \
      maestro-cli perf-report <trace.jsonl>... [--label NAME] [--out file.json]\n  \
      \x20                     [--baseline BENCH.json] [--max-regression PCT] [--noise-floor-us N]\n\n\
@@ -51,8 +56,10 @@ struct Options {
     label: Option<String>,
     out: Option<String>,
     baseline: Option<String>,
-    max_regression: f64,
+    max_regression: Option<f64>,
     noise_floor_us: u64,
+    backend: Option<String>,
+    quick: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -70,8 +77,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         label: None,
         out: None,
         baseline: None,
-        max_regression: 30.0,
+        max_regression: None,
         noise_floor_us: 25_000,
+        backend: None,
+        quick: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -130,8 +139,19 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 if !pct.is_finite() || pct < 0.0 {
                     return Err("--max-regression must be a non-negative percentage".to_owned());
                 }
-                opts.max_regression = pct;
+                opts.max_regression = Some(pct);
             }
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a name")?;
+                if !maestro::estimator::request::FLOORPLAN_BACKENDS.contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown backend `{v}` (expected one of: {})",
+                        maestro::estimator::request::FLOORPLAN_BACKENDS.join(", ")
+                    ));
+                }
+                opts.backend = Some(v.clone());
+            }
+            "--quick" => opts.quick = true,
             "--noise-floor-us" => {
                 let v = it.next().ok_or("--noise-floor-us needs a value")?;
                 opts.noise_floor_us = v.parse().map_err(|_| format!("bad noise floor `{v}`"))?;
@@ -201,10 +221,18 @@ fn cmd_layout(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn planning_pipeline(opts: &Options) -> Result<Pipeline, String> {
+    let tech = ops::load_tech(&opts.tech)?;
+    let mut pipeline = Pipeline::new(tech).with_replicas(opts.replicas);
+    if let Some(backend) = &opts.backend {
+        pipeline = pipeline.with_floorplan_backend(backend.clone());
+    }
+    Ok(pipeline)
+}
+
 fn cmd_report(opts: &Options) -> Result<(), String> {
     require_files(opts)?;
-    let tech = ops::load_tech(&opts.tech)?;
-    let pipeline = Pipeline::new(tech).with_replicas(opts.replicas);
+    let pipeline = planning_pipeline(opts)?;
     let mut modules = Vec::new();
     for file in &opts.files {
         modules.extend(ops::load_modules(file)?);
@@ -230,8 +258,7 @@ fn cmd_depth(opts: &Options) -> Result<(), String> {
 
 fn cmd_floorplan(opts: &Options) -> Result<(), String> {
     require_files(opts)?;
-    let tech = ops::load_tech(&opts.tech)?;
-    let pipeline = Pipeline::new(tech).with_replicas(opts.replicas);
+    let pipeline = planning_pipeline(opts)?;
     let mut modules = Vec::new();
     for file in &opts.files {
         modules.extend(ops::load_modules(file)?);
@@ -296,21 +323,21 @@ fn cmd_perf_report(opts: &Options) -> Result<(), String> {
     // The CI trace-regression gate: against a committed baseline report,
     // any stage whose self time grew beyond the envelope fails the run.
     if let Some(path) = &opts.baseline {
+        let max_regression = opts.max_regression.unwrap_or(30.0);
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let baseline = maestro::trace::report::PerfReport::from_json(&text)
             .map_err(|e| format!("{path}: {e}"))?;
         let found = maestro::trace::report::regressions(
             &report,
             &baseline,
-            opts.max_regression / 100.0,
+            max_regression / 100.0,
             opts.noise_floor_us,
         );
         if !found.is_empty() {
             let mut msg = format!(
-                "{} stage(s) regressed more than {}% against {path} \
+                "{} stage(s) regressed more than {max_regression}% against {path} \
                  (noise floor {} µs):",
                 found.len(),
-                opts.max_regression,
                 opts.noise_floor_us
             );
             for r in &found {
@@ -318,10 +345,61 @@ fn cmd_perf_report(opts: &Options) -> Result<(), String> {
             }
             return Err(msg);
         }
-        println!(
-            "no stage regressed more than {}% against {path}",
-            opts.max_regression
-        );
+        println!("no stage regressed more than {max_regression}% against {path}");
+    }
+    Ok(())
+}
+
+fn cmd_shootout(opts: &Options) -> Result<(), String> {
+    use maestro::floorplan::shootout::{paper_cases, regressions, ShootoutReport};
+    use maestro::floorplan::{backend, PlanParams};
+    if !opts.files.is_empty() {
+        return Err("shootout takes no input files (it runs the built-in suite)".to_owned());
+    }
+    let label = opts.label.as_deref().unwrap_or("run");
+    if label.trim().is_empty() {
+        return Err("--label must not be empty or whitespace".to_owned());
+    }
+    // `--quick` trades annealing depth for speed — fine for smoke runs,
+    // but baselines and CI must compare like with like, so both sides of
+    // a gated run have to use the same setting.
+    let mut params = if opts.quick {
+        PlanParams::quick()
+    } else {
+        PlanParams::default()
+    };
+    params.replicas = opts.replicas;
+    if let Some(limit) = opts.aspect {
+        params = params.with_aspect_limit(limit);
+    }
+    let cases = paper_cases()?;
+    let report = ShootoutReport::run(label, &cases, &backend::registry(&params));
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("SHOOTOUT_{label}.json"));
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    print!("{}", report.render());
+    println!("\nwrote {out}");
+    // The CI quality gate: against a committed baseline shootout, any
+    // backend whose area or wirelength grew beyond the envelope on any
+    // case fails the run. Wall time is never gated.
+    if let Some(path) = &opts.baseline {
+        let max_regression = opts.max_regression.unwrap_or(5.0);
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let baseline = ShootoutReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        let found = regressions(&report, &baseline, max_regression / 100.0);
+        if !found.is_empty() {
+            let mut msg = format!(
+                "{} backend result(s) regressed more than {max_regression}% against {path}:",
+                found.len()
+            );
+            for r in &found {
+                msg.push_str(&format!("\n  {r}"));
+            }
+            return Err(msg);
+        }
+        println!("no backend regressed more than {max_regression}% against {path}");
     }
     Ok(())
 }
@@ -336,6 +414,7 @@ fn root_span_name(cmd: &str) -> &'static str {
         "report" => "cli.report",
         "layout" => "cli.layout",
         "floorplan" => "cli.floorplan",
+        "shootout" => "cli.shootout",
         "serve" => "cli.serve",
         _ => "cli.command",
     }
@@ -372,6 +451,7 @@ fn main() -> ExitCode {
             "report" => cmd_report(&opts),
             "layout" => cmd_layout(&opts),
             "floorplan" => cmd_floorplan(&opts),
+            "shootout" => cmd_shootout(&opts),
             "serve" => cmd_serve(&opts),
             "perf-report" => cmd_perf_report(&opts),
             other => Err(format!("unknown command `{other}`\n{}", usage())),

@@ -11,7 +11,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use maestro_estimator::pipeline::Pipeline;
-use maestro_floorplan::{floorplan, Block, Floorplan, PlanParams};
+use maestro_floorplan::{backend, Block, Floorplan, PlanParams};
 use maestro_fullcustom::{synthesize, SynthesisParams};
 use maestro_netlist::{expand, mnl, spice, LayoutStyle, Module, StatsCache};
 use maestro_place::{place, PlaceParams};
@@ -198,6 +198,16 @@ fn plan_params(pipeline: &Pipeline, aspect: Option<f64>) -> PlanParams {
     params
 }
 
+/// Resolves the pipeline's named floorplan backend against the registry.
+fn plan_backend(
+    pipeline: &Pipeline,
+    aspect: Option<f64>,
+) -> Result<Box<dyn maestro_floorplan::FloorplanBackend>, String> {
+    let name = pipeline.floorplan_backend();
+    backend::by_name(name, &plan_params(pipeline, aspect))
+        .ok_or_else(|| format!("unknown floorplan backend `{name}`"))
+}
+
 /// Renders the markdown design report. The floorplan the `## chip
 /// floorplan` section (emitted when more than one block shaped) was built
 /// from is returned alongside, so the CLI can draw it.
@@ -257,7 +267,7 @@ pub fn report_output(
         }
     }
     if blocks.len() > 1 {
-        let plan = floorplan(&blocks, &plan_params(pipeline, aspect));
+        let plan = plan_backend(pipeline, aspect)?.plan(&blocks, None).plan;
         writeln!(out, "## chip floorplan\n").expect("string write");
         writeln!(
             out,
@@ -293,7 +303,7 @@ pub fn floorplan_output(
             blocks.push(block);
         }
     }
-    let plan = floorplan(&blocks, &plan_params(pipeline, aspect));
+    let plan = plan_backend(pipeline, aspect)?.plan(&blocks, None).plan;
     let mut out = String::new();
     writeln!(
         out,

@@ -137,13 +137,19 @@ impl Session {
             RequestCall::Floorplan(req) => {
                 let tech = self.tech(&req.tech)?;
                 let modules = gather_modules(&req.files, &req.mnl)?;
-                let pipeline = self.pipeline(tech).with_replicas(req.replicas as usize);
+                let pipeline = self
+                    .pipeline(tech)
+                    .with_replicas(req.replicas as usize)
+                    .with_floorplan_backend(req.backend.clone());
                 ops::floorplan_output(&pipeline, &modules, req.aspect).map(|(text, _)| text)
             }
             RequestCall::Report(req) => {
                 let tech = self.tech(&req.tech)?;
                 let modules = gather_modules(&req.files, &req.mnl)?;
-                let pipeline = self.pipeline(tech).with_replicas(req.replicas as usize);
+                let pipeline = self
+                    .pipeline(tech)
+                    .with_replicas(req.replicas as usize)
+                    .with_floorplan_backend(req.backend.clone());
                 ops::report_output(&pipeline, &modules, req.aspect).map(|(text, _)| text)
             }
         }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Bench smoke: the perf-trajectory artifact for CI.
 #
-#   ./scripts/bench_smoke.sh [label]      # default label: pr6
+#   ./scripts/bench_smoke.sh [label]      # default label: pr7
 #
 # Five cheap checks that keep the perf tooling honest without a full
 # criterion run:
@@ -31,7 +31,15 @@
 # and review the diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-LABEL="${1:-pr6}"
+LABEL="${1:-pr7}"
+
+# An empty or all-whitespace label would silently produce `BENCH_.json`
+# (or a file named after stray spaces) and break the artifact contract —
+# reject it before doing any work.
+if [[ -z "${LABEL//[[:space:]]/}" ]]; then
+    echo "error: label must not be empty or whitespace" >&2
+    exit 1
+fi
 
 echo "==> criterion smoke (CRITERION_QUICK=1, estimator_scaling)"
 CRITERION_QUICK=1 cargo bench -q -p maestro-bench --bench estimator_scaling

@@ -351,11 +351,38 @@ fn child_process_serve_matches_one_shot_cli_under_concurrent_writers() {
                         tech: "nmos".to_owned(),
                         aspect: None,
                         replicas: 1,
+                        backend: "annealing".to_owned(),
                     }),
                 }
                 .to_json_line()
             },
             one_shot_stdout(&["floorplan", &full_adder, &counter4]),
+        ),
+        (
+            {
+                // A non-default backend must round through serve exactly
+                // like the one-shot `--backend` flag.
+                let (files, mnl) = sources(&[&full_adder, &counter4]);
+                Request {
+                    id: "b3".to_owned(),
+                    call: RequestCall::Floorplan(FloorplanRequest {
+                        files,
+                        mnl,
+                        tech: "nmos".to_owned(),
+                        aspect: None,
+                        replicas: 1,
+                        backend: "spanning-tree".to_owned(),
+                    }),
+                }
+                .to_json_line()
+            },
+            one_shot_stdout(&[
+                "floorplan",
+                &full_adder,
+                &counter4,
+                "--backend",
+                "spanning-tree",
+            ]),
         ),
         (
             {
@@ -368,6 +395,7 @@ fn child_process_serve_matches_one_shot_cli_under_concurrent_writers() {
                         tech: "nmos".to_owned(),
                         aspect: None,
                         replicas: 1,
+                        backend: "annealing".to_owned(),
                     }),
                 }
                 .to_json_line()
@@ -438,7 +466,7 @@ fn child_process_serve_matches_one_shot_cli_under_concurrent_writers() {
         .expect("daemon stderr");
     assert!(child.wait().expect("daemon exits").success(), "{stderr}");
     assert!(
-        stderr.contains("serve: answered 7 request(s), 0 error(s)"),
+        stderr.contains("serve: answered 8 request(s), 0 error(s)"),
         "{stderr}"
     );
 

@@ -85,6 +85,7 @@ fn mixed_log(clients: usize, per_client: usize) -> Vec<String> {
                         tech: "nmos".to_owned(),
                         aspect: None,
                         replicas: 1,
+                        backend: "annealing".to_owned(),
                     }),
                 },
                 _ => Request {
@@ -95,6 +96,13 @@ fn mixed_log(clients: usize, per_client: usize) -> Vec<String> {
                         tech: "nmos".to_owned(),
                         aspect: Some(1.5),
                         replicas: 1,
+                        // Alternate backends across clients so the soak
+                        // also exercises backend dispatch under load.
+                        backend: if c % 2 == 0 {
+                            "annealing".to_owned()
+                        } else {
+                            "spanning-tree".to_owned()
+                        },
                     }),
                 },
             };
