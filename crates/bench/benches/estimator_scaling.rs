@@ -13,6 +13,7 @@ use maestro::estimator::multi_aspect::{
 use maestro::estimator::pipeline::Pipeline;
 use maestro::estimator::prob::{ProbTable, MAX_ROWS};
 use maestro::estimator::standard_cell::{self, ScParams};
+use maestro::netlist::chip::{ChipFamily, ChipSpec};
 use maestro::netlist::generate::{self, RandomLogicConfig};
 use maestro::prelude::*;
 
@@ -184,6 +185,44 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Whole generated chips through the memory-bounded streaming path, one
+/// row per decade of device count: generation, resolve, estimation and
+/// in-order emission all inside the measurement, with cold caches per
+/// iteration so the resolve stage is exercised at scale.
+fn bench_device_scale(c: &mut Criterion) {
+    let tech = builtin::nmos25();
+    let quick = std::env::var_os("CRITERION_QUICK").is_some();
+    let mut group = c.benchmark_group("scaling/streaming_device_count");
+    for &devices in &[10_000usize, 100_000, 1_000_000] {
+        if quick && devices > 100_000 {
+            // Not a silent cap: the full (non-quick) suite runs this row.
+            eprintln!(
+                "scaling/streaming_device_count: skipping the {devices}-device row \
+                 under CRITERION_QUICK"
+            );
+            continue;
+        }
+        let spec = ChipSpec::new(ChipFamily::Mixed, devices).expect("valid chip spec");
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &spec, |b, spec| {
+            b.iter(|| {
+                let pipeline = Pipeline::new(tech.clone())
+                    .with_prob_table(Arc::new(ProbTable::new()))
+                    .with_stats_cache(Arc::new(StatsCache::new()));
+                let mut records = 0usize;
+                let summary = pipeline
+                    .run_all_streaming(spec.modules(), 4, |_rec| {
+                        records += 1;
+                        Ok(())
+                    })
+                    .expect("chip streams");
+                assert_eq!(records, spec.module_count());
+                summary
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Replica-parallel annealing: the same placement problem annealed with a
 /// single walk vs a best-of fan-out of independently seeded walks. On a
 /// multi-core host the replica row approaches the single-walk time (the
@@ -214,5 +253,11 @@ fn bench_replicas(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling, bench_batch, bench_replicas);
+criterion_group!(
+    benches,
+    bench_scaling,
+    bench_batch,
+    bench_device_scale,
+    bench_replicas
+);
 criterion_main!(benches);

@@ -32,6 +32,59 @@ use crate::{full_custom, standard_cell};
 /// suite alone carries ~80 nets and stays parallel).
 pub const DEFAULT_PARALLEL_NET_THRESHOLD: usize = 48;
 
+/// Ceiling on the per-shard net budget work dispatch uses. Batches are cut
+/// into shards of consecutive modules totalling at most
+/// `min(DEFAULT_SHARD_NET_BUDGET, ceil(total_nets / jobs))` nets (always
+/// at least one module), so a 10^5-module batch of tiny modules dispatches
+/// a few hundred chunky shards instead of contending on the work counter
+/// once per module, while worker count follows the net workload rather
+/// than the module count.
+pub const DEFAULT_SHARD_NET_BUDGET: usize = 4096;
+
+/// Totals of a [`Pipeline::run_all_streaming`] batch: what flowed through
+/// the sink without ever being held in memory at once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Modules estimated (and emitted through the sink).
+    pub modules: usize,
+    /// Total devices across those modules.
+    pub devices: usize,
+    /// Total nets across those modules.
+    pub nets: usize,
+}
+
+impl StreamSummary {
+    fn count(&mut self, module: &Module) {
+        self.modules += 1;
+        self.devices += module.device_count();
+        self.nets += module.net_count();
+    }
+}
+
+/// Cuts a batch into shards of consecutive modules whose net counts sum to
+/// at most `min(cap, ceil(total / jobs))` (single modules may exceed the
+/// budget — a module is the smallest unit of work). Returns one
+/// `start..end` index range per shard, covering `0..net_counts.len()`.
+fn plan_shards(net_counts: &[usize], jobs: usize, cap: usize) -> Vec<std::ops::Range<usize>> {
+    let total: usize = net_counts.iter().sum();
+    let budget = total.div_ceil(jobs.max(1)).clamp(1, cap.max(1));
+    let mut shards = Vec::new();
+    let mut start = 0;
+    let mut acc = 0usize;
+    for (i, &nets) in net_counts.iter().enumerate() {
+        if i > start && acc + nets > budget {
+            shards.push(start..i);
+            start = i;
+            acc = 0;
+        }
+        acc += nets;
+    }
+    if start < net_counts.len() {
+        shards.push(start..net_counts.len());
+    }
+    shards
+}
+
 /// The module-area-estimation pipeline of the paper's Figure 1.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
@@ -42,6 +95,7 @@ pub struct Pipeline {
     /// reference path (differential testing).
     stats: Option<Arc<StatsCache>>,
     parallel_net_threshold: usize,
+    shard_net_budget: usize,
     replicas: usize,
     floorplan_backend: String,
 }
@@ -58,6 +112,7 @@ impl Pipeline {
             prob: ProbTable::shared(),
             stats: Some(StatsCache::shared()),
             parallel_net_threshold: DEFAULT_PARALLEL_NET_THRESHOLD,
+            shard_net_budget: DEFAULT_SHARD_NET_BUDGET,
             replicas: 1,
             floorplan_backend: crate::request::DEFAULT_FLOORPLAN_BACKEND.to_owned(),
         }
@@ -127,6 +182,14 @@ impl Pipeline {
     /// [`Pipeline::run_all_parallel`] stays serial (`0` always fans out).
     pub fn with_parallel_threshold(mut self, total_nets: usize) -> Self {
         self.parallel_net_threshold = total_nets;
+        self
+    }
+
+    /// Overrides the per-shard net-budget ceiling
+    /// ([`DEFAULT_SHARD_NET_BUDGET`]) parallel dispatch cuts batches with.
+    /// `0` is treated as `1` (every module its own shard).
+    pub fn with_shard_net_budget(mut self, nets: usize) -> Self {
+        self.shard_net_budget = nets.max(1);
         self
     }
 
@@ -268,16 +331,22 @@ impl Pipeline {
         }
     }
 
-    /// [`Pipeline::run_all`] fanned out over `jobs` worker threads.
+    /// [`Pipeline::run_all`] fanned out over worker threads.
     ///
-    /// Workers pull modules from a shared counter (so cheap and expensive
-    /// modules interleave) and all memoize into this pipeline's one
-    /// probability table; results are merged in the modules' original
-    /// order, so the produced [`ResultsDb`] — and its JSON serialization —
-    /// is identical to the serial run's. `jobs` is clamped to
-    /// `1..=modules.len()`; `jobs <= 1` degenerates to the serial loop, as
-    /// do batches totalling fewer nets than the pipeline's parallel
-    /// threshold ([`DEFAULT_PARALLEL_NET_THRESHOLD`] unless overridden via
+    /// The batch is cut into *shards* — runs of consecutive modules whose
+    /// nets sum to at most `min(`[`DEFAULT_SHARD_NET_BUDGET`]`,
+    /// ceil(total_nets / jobs))` — and workers pull shards from a shared
+    /// counter, so cheap and expensive modules interleave while dispatch
+    /// contention scales with the net workload rather than the module
+    /// count. At most `min(jobs, shard_count)` workers spawn: worker
+    /// count follows how much net-work the batch carries, where it used
+    /// to be clamped to `modules.len()`. All workers memoize into this
+    /// pipeline's one probability table; results are merged in the
+    /// modules' original order, so the produced [`ResultsDb`] — and its
+    /// JSON serialization — is identical to the serial run's. `jobs <= 1`
+    /// degenerates to the serial loop, as do batches totalling fewer nets
+    /// than the pipeline's parallel threshold
+    /// ([`DEFAULT_PARALLEL_NET_THRESHOLD`] unless overridden via
     /// [`Pipeline::with_parallel_threshold`]) — thread spawn cost swamps
     /// the estimation work on tiny batches.
     ///
@@ -295,39 +364,25 @@ impl Pipeline {
         I: IntoIterator<Item = &'m Module>,
     {
         let modules: Vec<&Module> = modules.into_iter().collect();
-        let jobs = jobs.clamp(1, modules.len().max(1));
-        let total_nets: usize = modules.iter().map(|m| m.net_count()).sum();
+        let net_counts: Vec<usize> = modules.iter().map(|m| m.net_count()).collect();
+        let total_nets: usize = net_counts.iter().sum();
         if jobs <= 1 || total_nets < self.parallel_net_threshold {
             return self.run_all(modules);
         }
+        let shards = plan_shards(&net_counts, jobs, self.shard_net_budget);
+        let workers = jobs.min(shards.len());
         let batch = trace::span_with("pipeline.run_all", || {
-            format!("jobs={jobs} modules={}", modules.len())
+            format!(
+                "jobs={workers} modules={} shards={}",
+                modules.len(),
+                shards.len()
+            )
         });
         let batch_id = batch.id();
         let before = self.prob_snapshot();
-        let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<EstimateRecord, NetlistError>>>> =
             modules.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for w in 0..jobs {
-                let (next, slots, modules) = (&next, &slots, &modules);
-                scope.spawn(move || {
-                    if trace::enabled() {
-                        trace::set_thread_label(format!("worker-{w}"));
-                    }
-                    // Worker spans parent to the batch span explicitly:
-                    // the spawning thread's span stack is not visible
-                    // from inside the worker thread.
-                    let _worker = trace::span_under("pipeline.worker", batch_id, String::new);
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(module) = modules.get(i) else { break };
-                        let result = self.run_module(module);
-                        *slots[i].lock().expect("result slot poisoned") = Some(result);
-                    }
-                });
-            }
-        });
+        self.run_shards(&modules, &shards, workers, batch_id, &slots);
         self.emit_prob_delta(before);
         let mut db = ResultsDb::new();
         for slot in slots {
@@ -338,6 +393,140 @@ impl Pipeline {
             db.insert(result?);
         }
         Ok(db)
+    }
+
+    /// The shared parallel engine: `workers` scoped threads pull shard
+    /// indices from a counter and estimate every module of their shard
+    /// into `slots`. Worker spans parent to `batch_id` explicitly — the
+    /// spawning thread's span stack is not visible from inside a worker
+    /// thread.
+    fn run_shards(
+        &self,
+        modules: &[&Module],
+        shards: &[std::ops::Range<usize>],
+        workers: usize,
+        batch_id: u64,
+        slots: &[Mutex<Option<Result<EstimateRecord, NetlistError>>>],
+    ) {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let next = &next;
+                scope.spawn(move || {
+                    if trace::enabled() {
+                        trace::set_thread_label(format!("worker-{w}"));
+                    }
+                    let _worker = trace::span_under("pipeline.worker", batch_id, String::new);
+                    loop {
+                        let s = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(shard) = shards.get(s) else { break };
+                        for i in shard.clone() {
+                            let result = self.run_module(modules[i]);
+                            *slots[i].lock().expect("result slot poisoned") = Some(result);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Estimates a stream of modules, emitting each [`EstimateRecord`]
+    /// through `sink` in module order instead of accumulating a
+    /// [`ResultsDb`] — the memory-bounded batch path: peak residency is
+    /// one in-flight *wave* of modules (at most `jobs ×`
+    /// [`DEFAULT_SHARD_NET_BUDGET`] nets, one module minimum) plus one
+    /// record, regardless of how many modules the stream yields. A
+    /// million-device generated chip estimates to completion in a bounded
+    /// footprint where `run_all` would hold every module and every record
+    /// at once.
+    ///
+    /// `jobs <= 1` estimates strictly one module at a time. `jobs > 1`
+    /// pulls a wave of modules, fans it out over the sharded worker pool
+    /// (same engine as [`Pipeline::run_all_parallel`]), then emits the
+    /// wave's records in order before pulling the next — so the sink
+    /// observes exactly the serial emission order and a collected stream
+    /// is byte-identical to the in-memory run's JSON.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing module in stream order (later modules
+    /// of an in-flight wave may have been estimated speculatively; their
+    /// records are discarded and subsequent modules are never pulled).
+    /// Errors returned by the sink propagate the same way.
+    pub fn run_all_streaming<I, S>(
+        &self,
+        modules: I,
+        jobs: usize,
+        mut sink: S,
+    ) -> Result<StreamSummary, NetlistError>
+    where
+        I: IntoIterator<Item = Module>,
+        S: FnMut(EstimateRecord) -> Result<(), NetlistError>,
+    {
+        let workers = jobs.max(1);
+        let batch = trace::span_with("pipeline.run_all", || format!("streaming jobs={workers}"));
+        let batch_id = batch.id();
+        let before = self.prob_snapshot();
+        let mut summary = StreamSummary::default();
+        let mut stream = modules.into_iter();
+        let mut outcome = Ok(());
+        if workers <= 1 {
+            for module in stream {
+                summary.count(&module);
+                match self.run_module(&module) {
+                    Ok(record) => {
+                        if let Err(e) = sink(record) {
+                            outcome = Err(e);
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+            }
+        } else {
+            let wave_budget = workers * self.shard_net_budget;
+            'waves: loop {
+                // Pull one wave: enough modules to keep every worker at a
+                // full shard, never more — this bound is the RSS bound.
+                let mut wave: Vec<Module> = Vec::new();
+                let mut wave_nets = 0usize;
+                for module in stream.by_ref() {
+                    wave_nets += module.net_count();
+                    wave.push(module);
+                    if wave_nets >= wave_budget {
+                        break;
+                    }
+                }
+                if wave.is_empty() {
+                    break;
+                }
+                for module in &wave {
+                    summary.count(module);
+                }
+                let refs: Vec<&Module> = wave.iter().collect();
+                let net_counts: Vec<usize> = refs.iter().map(|m| m.net_count()).collect();
+                let shards = plan_shards(&net_counts, workers, self.shard_net_budget);
+                let slots: Vec<Mutex<Option<Result<EstimateRecord, NetlistError>>>> =
+                    refs.iter().map(|_| Mutex::new(None)).collect();
+                self.run_shards(&refs, &shards, workers.min(shards.len()), batch_id, &slots);
+                for slot in slots {
+                    let result = slot
+                        .into_inner()
+                        .expect("result slot poisoned")
+                        .expect("every module of the wave was estimated");
+                    let emit = result.and_then(&mut sink);
+                    if let Err(e) = emit {
+                        outcome = Err(e);
+                        break 'waves;
+                    }
+                }
+            }
+        }
+        self.emit_prob_delta(before);
+        outcome.map(|()| summary)
     }
 }
 
@@ -504,6 +693,125 @@ mod tests {
             2,
             "threshold 0 must fan out even for tiny batches"
         );
+    }
+
+    #[test]
+    fn shards_respect_the_net_budget() {
+        // total 20, jobs 2 -> budget 10: two equal shards.
+        assert_eq!(plan_shards(&[5, 5, 5, 5], 2, 100), vec![0..2, 2..4]);
+        // An oversized module owns its shard; the budget still caps the rest.
+        assert_eq!(plan_shards(&[50, 4, 4, 4], 2, 10), vec![0..1, 1..3, 3..4]);
+        // The cap wins over ceil(total/jobs) when smaller.
+        assert_eq!(plan_shards(&[3, 3, 3], 100, 1), vec![0..1, 1..2, 2..3]);
+        // Empty batch, empty plan.
+        assert_eq!(
+            plan_shards(&[], 4, 100),
+            Vec::<std::ops::Range<usize>>::new()
+        );
+        // Shards always tile the batch contiguously.
+        let counts = [7, 100, 3, 3, 3, 60, 1, 1];
+        let shards = plan_shards(&counts, 3, 4096);
+        assert_eq!(shards.first().unwrap().start, 0);
+        assert_eq!(shards.last().unwrap().end, counts.len());
+        for pair in shards.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn sharded_dispatch_groups_tiny_modules() {
+        // 16 tiny modules, jobs=4: the old dispatch took the counter 16
+        // times; net-budget shards group them 4-and-4 so the batch spans
+        // report 4 shards and 4 workers.
+        let collector = Arc::new(trace::Collector::new());
+        let p = Pipeline::new(builtin::nmos25()).with_parallel_threshold(0);
+        let modules: Vec<_> = (0..16).map(|_| generate::counter(2)).collect();
+        trace::with_sink(Arc::clone(&collector) as Arc<dyn trace::Sink>, || {
+            p.run_all_parallel(modules.iter(), 4).expect("estimates");
+        });
+        let spans = collector.spans();
+        let batch = spans
+            .iter()
+            .find(|s| s.name == "pipeline.run_all")
+            .expect("batch span present");
+        assert!(
+            batch.detail.contains("shards=4"),
+            "16×7 nets / 4 jobs -> 4 shards, got {:?}",
+            batch.detail
+        );
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "pipeline.worker").count(),
+            4
+        );
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_run_byte_for_byte() {
+        let p = Pipeline::new(builtin::nmos25());
+        let modules: Vec<_> = (2..10).map(generate::counter).collect();
+        let reference = p.run_all(modules.iter()).expect("in-memory run");
+        for jobs in [1, 2, 8] {
+            let mut db = ResultsDb::new();
+            let summary = p
+                .run_all_streaming(modules.iter().cloned(), jobs, |rec| {
+                    db.insert(rec);
+                    Ok(())
+                })
+                .expect("streaming run");
+            assert_eq!(summary.modules, modules.len());
+            assert_eq!(
+                summary.nets,
+                modules.iter().map(|m| m.net_count()).sum::<usize>()
+            );
+            assert_eq!(
+                reference.to_json().unwrap(),
+                db.to_json().unwrap(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_reports_first_failing_module_in_stream_order() {
+        let p = Pipeline::new(builtin::nmos25()).with_parallel_threshold(0);
+        let bad = |name: &str| {
+            let mut b = maestro_netlist::ModuleBuilder::new(name);
+            let n = b.net("n");
+            b.device("u1", "QUANTUM_GATE", [("A", n)]);
+            b.finish()
+        };
+        let modules = [
+            generate::counter(3),
+            bad("bad_early"),
+            generate::counter(4),
+            bad("bad_late"),
+        ];
+        let serial = p.run_all(modules.iter()).unwrap_err();
+        for jobs in [1, 4] {
+            let err = p
+                .run_all_streaming(modules.iter().cloned(), jobs, |_| Ok(()))
+                .unwrap_err();
+            assert_eq!(format!("{serial}"), format!("{err}"), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn streaming_sink_errors_stop_the_stream() {
+        let p = Pipeline::new(builtin::nmos25());
+        let modules: Vec<_> = (2..6).map(generate::counter).collect();
+        let mut seen = 0;
+        let err = p
+            .run_all_streaming(modules.iter().cloned(), 1, |_| {
+                seen += 1;
+                if seen == 2 {
+                    Err(NetlistError::invalid("sink full"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("sink full"));
+        assert_eq!(seen, 2, "no records after the sink error");
     }
 
     #[test]

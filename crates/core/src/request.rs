@@ -49,6 +49,16 @@ use crate::prob::MAX_ROWS;
 /// server to spawn an absurd number of threads.
 pub const MAX_FANOUT: u32 = 1024;
 
+/// Upper bound on the combined number of `files` and `mnl` entries in one
+/// request. Million-device batches belong to the streaming CLI path
+/// (`estimate --stream`), not a single line-oriented service request.
+pub const MAX_SOURCES: usize = 1024;
+
+/// Upper bound on the total inline `.mnl` bytes in one request (16 MiB).
+/// A chip near the generator ceiling serialises far past this; the limit
+/// keeps one hostile line from pinning the daemon's memory.
+pub const MAX_INLINE_MNL_BYTES: usize = 16 << 20;
+
 /// Floorplan backend names the protocol accepts, in registry order. The
 /// registry itself lives in the floorplan crate (which depends on this
 /// one), so the protocol carries names and the floorplan crate asserts —
@@ -452,6 +462,25 @@ impl Request {
                     message: format!("kind `{kind}` needs at least one source in `files` or `mnl`"),
                 });
             }
+            let sources = files.len().saturating_add(mnl.len());
+            if sources > MAX_SOURCES {
+                return Err(RequestError {
+                    id: Some(id),
+                    message: format!(
+                        "request carries {sources} sources, more than the {MAX_SOURCES} allowed"
+                    ),
+                });
+            }
+            let inline_bytes: usize = mnl.iter().map(String::len).sum();
+            if inline_bytes > MAX_INLINE_MNL_BYTES {
+                return Err(RequestError {
+                    id: Some(id),
+                    message: format!(
+                        "inline `mnl` sources total {inline_bytes} bytes, more than the \
+                         {MAX_INLINE_MNL_BYTES} allowed"
+                    ),
+                });
+            }
         }
         Ok(Request { id, call })
     }
@@ -715,6 +744,44 @@ mod tests {
             assert_eq!(err.id.as_deref(), Some("x"), "{line}");
             assert!(err.message.contains(needle), "{line}: {}", err.message);
         }
+    }
+
+    #[test]
+    fn oversized_source_lists_and_inline_payloads_are_rejected() {
+        // One entry past the source-count cap fails; at the cap it parses.
+        let many = |n: usize| {
+            let files: Vec<String> = (0..n).map(|i| format!("\"f{i}.mnl\"")).collect();
+            format!(
+                "{{\"id\":\"x\",\"kind\":\"estimate\",\"files\":[{}]}}",
+                files.join(",")
+            )
+        };
+        Request::parse(&many(MAX_SOURCES)).expect("at the cap parses");
+        let err = Request::parse(&many(MAX_SOURCES + 1)).expect_err("past the cap fails");
+        assert_eq!(err.id.as_deref(), Some("x"));
+        assert!(err.message.contains("1025 sources"), "{}", err.message);
+
+        // The cap counts files and inline sources together.
+        let split = format!(
+            "{{\"id\":\"x\",\"kind\":\"estimate\",\"files\":[{}],\"mnl\":[\"m\",\"m\"]}}",
+            (0..MAX_SOURCES - 1)
+                .map(|i| format!("\"f{i}.mnl\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let err = Request::parse(&split).expect_err("files + mnl past the cap fails");
+        assert!(err.message.contains("sources"), "{}", err.message);
+
+        // Inline bytes sum across all `mnl` entries. The JSON itself stays
+        // small by spending the budget on two large-but-legal strings.
+        let half = "a".repeat(MAX_INLINE_MNL_BYTES / 2);
+        let at_cap =
+            format!("{{\"id\":\"x\",\"kind\":\"layout\",\"mnl\":[\"{half}\",\"{half}\"]}}");
+        Request::parse(&at_cap).expect("at the byte cap parses");
+        let over = format!("{{\"id\":\"x\",\"kind\":\"layout\",\"mnl\":[\"{half}\",\"{half}a\"]}}");
+        let err = Request::parse(&over).expect_err("past the byte cap fails");
+        assert_eq!(err.id.as_deref(), Some("x"));
+        assert!(err.message.contains("inline `mnl`"), "{}", err.message);
     }
 
     #[test]

@@ -20,16 +20,20 @@ use std::process::ExitCode;
 
 use maestro::estimator::pipeline::Pipeline;
 use maestro::estimator::standard_cell::ScParams;
+use maestro::netlist::chip;
 use maestro::ops;
 use maestro::prelude::*;
 
 fn usage() -> &'static str {
     "usage:\n  \
-     maestro-cli estimate  <file> [--tech nmos|cmos|<db.json>] [--rows N] [--jobs N] [--json]\n  \
+     maestro-cli estimate  <file...> [--tech nmos|cmos|<db.json>] [--rows N] [--jobs N] [--json]\n  \
+     \x20                   [--generate FAMILY:DEVICES]... [--stream]\n  \
+     maestro-cli generate  <FAMILY:DEVICES> [--out chip.mnl]\n  \
+     \x20                   (families: datapath, memory, tree, mixed; sizes accept k/m suffixes)\n  \
      maestro-cli expand    <file.mnl>\n  \
      maestro-cli depth     <file.mnl>\n  \
-     maestro-cli report    <file...> [--tech ...] [--aspect LIMIT] [--replicas N] [--svg out.svg]\n  \
-     \x20                   [--backend annealing|annealing-warm|spanning-tree]\n  \
+     maestro-cli report    <file...> [--tech ...] [--aspect LIMIT] [--jobs N] [--replicas N]\n  \
+     \x20                   [--svg out.svg] [--backend annealing|annealing-warm|spanning-tree]\n  \
      maestro-cli layout    <file> [--tech ...] [--rows N] [--replicas N] [--svg out.svg]\n  \
      maestro-cli floorplan <file...> [--tech ...] [--aspect LIMIT] [--replicas N] [--svg out.svg]\n  \
      \x20                   [--backend annealing|annealing-warm|spanning-tree]\n  \
@@ -44,6 +48,8 @@ fn usage() -> &'static str {
 
 struct Options {
     files: Vec<String>,
+    generate: Vec<String>,
+    stream: bool,
     tech: String,
     rows: Option<u32>,
     aspect: Option<f64>,
@@ -65,6 +71,8 @@ struct Options {
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         files: Vec::new(),
+        generate: Vec::new(),
+        stream: false,
         tech: "nmos".to_owned(),
         rows: None,
         aspect: None,
@@ -112,6 +120,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
                 opts.replicas = replicas;
             }
+            "--generate" => {
+                opts.generate.push(
+                    it.next()
+                        .ok_or("--generate needs a FAMILY:DEVICES spec")?
+                        .clone(),
+                );
+            }
+            "--stream" => opts.stream = true,
             "--json" => opts.json = true,
             "--svg" => {
                 opts.svg = Some(it.next().ok_or("--svg needs a path")?.clone());
@@ -170,21 +186,90 @@ fn require_files(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_chip_specs(specs: &[String]) -> Result<Vec<chip::ChipSpec>, String> {
+    specs
+        .iter()
+        .map(|s| chip::ChipSpec::parse(s).map_err(|e| e.to_string()))
+        .collect()
+}
+
+/// Device-scale bucket for the streaming throughput metric. Names stay a
+/// closed static vocabulary; the metric value is devices per second.
+fn stream_scale_metric(devices: usize) -> &'static str {
+    match devices {
+        0..=9_999 => "estimate.stream.devices_1e3",
+        10_000..=99_999 => "estimate.stream.devices_1e4",
+        100_000..=999_999 => "estimate.stream.devices_1e5",
+        _ => "estimate.stream.devices_1e6",
+    }
+}
+
 fn cmd_estimate(opts: &Options) -> Result<(), String> {
-    require_files(opts)?;
+    if opts.files.is_empty() && opts.generate.is_empty() {
+        return Err("no input files (pass files and/or --generate FAMILY:DEVICES)".to_owned());
+    }
     let tech = ops::load_tech(&opts.tech)?;
     let mut pipeline = Pipeline::new(tech);
     if let Some(rows) = opts.rows {
         pipeline = pipeline.with_sc_params(ScParams::with_rows(rows));
     }
+    let specs = parse_chip_specs(&opts.generate)?;
     let mut modules = Vec::new();
     for file in &opts.files {
         modules.extend(ops::load_modules(file)?);
     }
-    print!(
-        "{}",
-        ops::estimate_output(&pipeline, &modules, opts.jobs, opts.json)?
-    );
+    if opts.stream {
+        // Streaming path: generated modules are built lazily and every
+        // result leaves through stdout as soon as its wave completes, so
+        // peak memory stays bounded by the wave size, not the chip size.
+        let started = std::time::Instant::now();
+        let stream = modules
+            .into_iter()
+            .chain(specs.iter().flat_map(|spec| spec.modules()));
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let summary = ops::estimate_stream(&pipeline, stream, opts.jobs, opts.json, &mut out)?;
+        let elapsed = started.elapsed().as_secs_f64();
+        if maestro::trace::enabled() {
+            maestro::trace::counter("estimate.devices", summary.devices as u64);
+            if elapsed > 0.0 {
+                maestro::trace::metric(
+                    stream_scale_metric(summary.devices),
+                    summary.devices as f64 / elapsed,
+                );
+            }
+        }
+        // stdout carries the per-module records; the tally goes to stderr.
+        eprintln!(
+            "streamed {} module(s): {} device(s), {} net(s) in {:.2}s",
+            summary.modules, summary.devices, summary.nets, elapsed
+        );
+    } else {
+        for spec in &specs {
+            modules.extend(spec.modules());
+        }
+        print!(
+            "{}",
+            ops::estimate_output(&pipeline, &modules, opts.jobs, opts.json)?
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(opts: &Options) -> Result<(), String> {
+    // The spec may arrive positionally or through --generate; either way
+    // exactly one chip per invocation.
+    let mut specs = opts.files.clone();
+    specs.extend(opts.generate.iter().cloned());
+    if specs.len() != 1 {
+        return Err("generate takes exactly one FAMILY:DEVICES spec".to_owned());
+    }
+    let spec = chip::ChipSpec::parse(&specs[0]).map_err(|e| e.to_string())?;
+    if let Some(path) = &opts.out {
+        ops::write_generated_mnl(&spec, path)?;
+        println!("wrote {path}");
+    }
+    print!("{}", ops::generate_summary(&spec));
     Ok(())
 }
 
@@ -237,7 +322,7 @@ fn cmd_report(opts: &Options) -> Result<(), String> {
     for file in &opts.files {
         modules.extend(ops::load_modules(file)?);
     }
-    let (text, plan) = ops::report_output(&pipeline, &modules, opts.aspect)?;
+    let (text, plan) = ops::report_output(&pipeline, &modules, opts.aspect, opts.jobs)?;
     print!("{text}");
     if let (Some(path), Some(plan)) = (&opts.svg, &plan) {
         std::fs::write(path, plan.to_svg()).map_err(|e| format!("{path}: {e}"))?;
@@ -409,6 +494,7 @@ fn cmd_shootout(opts: &Options) -> Result<(), String> {
 fn root_span_name(cmd: &str) -> &'static str {
     match cmd {
         "estimate" => "cli.estimate",
+        "generate" => "cli.generate",
         "expand" => "cli.expand",
         "depth" => "cli.depth",
         "report" => "cli.report",
@@ -446,6 +532,7 @@ fn main() -> ExitCode {
         let _root = maestro::trace::span(root_span_name(cmd));
         match cmd.as_str() {
             "estimate" => cmd_estimate(&opts),
+            "generate" => cmd_generate(&opts),
             "expand" => cmd_expand(&opts),
             "depth" => cmd_depth(&opts),
             "report" => cmd_report(&opts),

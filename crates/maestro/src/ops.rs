@@ -8,12 +8,14 @@
 //! it and the daemon ships it as a response payload.
 
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::Path;
 
-use maestro_estimator::pipeline::Pipeline;
+use maestro_estimator::pipeline::{Pipeline, StreamSummary};
+use maestro_estimator::report::EstimateRecord;
 use maestro_floorplan::{backend, Block, Floorplan, PlanParams};
 use maestro_fullcustom::{synthesize, SynthesisParams};
-use maestro_netlist::{expand, mnl, spice, LayoutStyle, Module, StatsCache};
+use maestro_netlist::{chip, expand, mnl, spice, LayoutStyle, Module, StatsCache};
 use maestro_place::{place, PlaceParams};
 use maestro_route::route;
 use maestro_tech::{builtin, io as tech_io, ProcessDb};
@@ -71,25 +73,88 @@ pub fn estimate_output(
     }
     let mut out = String::new();
     for rec in db.records() {
-        writeln!(out, "module `{}`", rec.module_name).expect("string write");
-        if let Some(sc) = &rec.standard_cell {
-            writeln!(
-                out,
-                "  standard-cell: {} ({} rows, {} tracks, {} feed-throughs, aspect {})",
-                sc.area, sc.rows, sc.tracks, sc.feedthroughs, sc.aspect_ratio
-            )
-            .expect("string write");
-        }
-        if let Some(fc) = &rec.full_custom {
-            writeln!(
-                out,
-                "  full-custom  : {} exact / {} average (aspect {})",
-                fc.total_exact, fc.total_average, fc.aspect_exact
-            )
-            .expect("string write");
-        }
+        out.push_str(&estimate_record_text(rec));
     }
     Ok(out)
+}
+
+/// The per-module block of the estimate text table — the one renderer both
+/// the in-memory path ([`estimate_output`]) and the streaming path
+/// ([`estimate_stream`]) print, so their outputs are byte-identical by
+/// construction.
+pub fn estimate_record_text(rec: &EstimateRecord) -> String {
+    let mut out = String::new();
+    writeln!(out, "module `{}`", rec.module_name).expect("string write");
+    if let Some(sc) = &rec.standard_cell {
+        writeln!(
+            out,
+            "  standard-cell: {} ({} rows, {} tracks, {} feed-throughs, aspect {})",
+            sc.area, sc.rows, sc.tracks, sc.feedthroughs, sc.aspect_ratio
+        )
+        .expect("string write");
+    }
+    if let Some(fc) = &rec.full_custom {
+        writeln!(
+            out,
+            "  full-custom  : {} exact / {} average (aspect {})",
+            fc.total_exact, fc.total_average, fc.aspect_exact
+        )
+        .expect("string write");
+    }
+    out
+}
+
+/// Runs the estimate batch through [`Pipeline::run_all_streaming`],
+/// writing each module's result to `out` the moment it is ready: the text
+/// block of [`estimate_record_text`], or (with `json`) one compact JSON
+/// record per line. Peak memory holds one wave of modules, never the
+/// whole batch or its results — this is the path that digests
+/// million-device generated chips.
+pub fn estimate_stream<I, W>(
+    pipeline: &Pipeline,
+    modules: I,
+    jobs: usize,
+    json: bool,
+    out: &mut W,
+) -> Result<StreamSummary, String>
+where
+    I: IntoIterator<Item = Module>,
+    W: std::io::Write,
+{
+    let summary = pipeline
+        .run_all_streaming(modules, jobs, |rec| {
+            let rendered = if json {
+                let mut line = serde_json::to_string(&rec).map_err(|e| {
+                    maestro_netlist::NetlistError::invalid(format!("record serialization: {e}"))
+                })?;
+                line.push('\n');
+                line
+            } else {
+                estimate_record_text(&rec)
+            };
+            out.write_all(rendered.as_bytes())
+                .map_err(|e| maestro_netlist::NetlistError::invalid(format!("write: {e}")))
+        })
+        .map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    Ok(summary)
+}
+
+/// Renders a generated chip spec's one-line summary.
+pub fn generate_summary(spec: &chip::ChipSpec) -> String {
+    format!("{spec}\n")
+}
+
+/// Streams a generated chip to `path` as a `.mnl` design, one module at a
+/// time (a million-device chip never exists in memory as a whole).
+pub fn write_generated_mnl(spec: &chip::ChipSpec, path: &str) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    for module in spec.modules() {
+        w.write_all(mnl::to_mnl(&module).as_bytes())
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    w.flush().map_err(|e| format!("{path}: {e}"))
 }
 
 /// Renders the gate-level → nMOS transistor expansion of one module.
@@ -215,13 +280,19 @@ pub fn report_output(
     pipeline: &Pipeline,
     modules: &[Module],
     aspect: Option<f64>,
+    jobs: usize,
 ) -> Result<(String, Option<Floorplan>), String> {
     let mut out = String::new();
     writeln!(out, "# maestro design report\n").expect("string write");
     writeln!(out, "process: `{}`\n", pipeline.tech()).expect("string write");
+    // The estimation stage fans out over `jobs` workers; records come back
+    // in module order and byte-identical to the serial run, so the
+    // rendered report is jobs-invariant.
+    let db = pipeline
+        .run_all_parallel(modules.iter(), jobs)
+        .map_err(|e| e.to_string())?;
     let mut blocks = Vec::new();
-    for module in modules {
-        let record = pipeline.run_module(module).map_err(|e| e.to_string())?;
+    for (module, record) in modules.iter().zip(db.records()) {
         writeln!(out, "## module `{}`\n", record.module_name).expect("string write");
         writeln!(
             out,
@@ -262,7 +333,7 @@ pub fn report_output(
             .expect("string write");
         }
         writeln!(out).expect("string write");
-        if let Some(block) = Block::from_record(&record, 5) {
+        if let Some(block) = Block::from_record(record, 5) {
             blocks.push(block);
         }
     }

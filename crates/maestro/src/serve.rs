@@ -150,7 +150,7 @@ impl Session {
                     .pipeline(tech)
                     .with_replicas(req.replicas as usize)
                     .with_floorplan_backend(req.backend.clone());
-                ops::report_output(&pipeline, &modules, req.aspect).map(|(text, _)| text)
+                ops::report_output(&pipeline, &modules, req.aspect, 1).map(|(text, _)| text)
             }
         }
     }

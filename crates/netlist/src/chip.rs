@@ -1,0 +1,358 @@
+//! Parameterized chip families at 10^4–10^6 devices.
+//!
+//! The paper evaluates on tens of devices; the batch engine's north star
+//! is a service that digests million-device workloads. These families
+//! compose the existing library generators ([`generate`]) into chips of a
+//! requested device count — datapath slices, memory banks (decoder +
+//! register columns + read muxes) and parity-reduction trees — without
+//! ever materializing more than one module at a time: a [`ChipSpec`] is a
+//! plan (a few bytes per module), and [`ChipSpec::module`] builds any
+//! module on demand. Streaming estimation over a spec therefore holds one
+//! module plus one result in memory regardless of chip size.
+//!
+//! Every family is a pure function of its spec string, so benchmark rows
+//! and differential suites are reproducible bit-for-bit.
+
+use std::fmt;
+
+use crate::{generate, Module, NetlistError};
+
+/// Hard ceiling on a spec's requested device count (10^7): large enough
+/// for the million-device scenario with headroom, small enough that a typo
+/// (`1e12`) fails fast instead of grinding.
+pub const MAX_CHIP_DEVICES: usize = 10_000_000;
+
+/// Which composition recipe a spec uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChipFamily {
+    /// Datapath slices: ripple adders, counters, shift registers, muxes.
+    Datapath,
+    /// Memory banks: an address decoder, register columns, read muxes.
+    Memory,
+    /// Parity-reduction trees of mixed arity.
+    Tree,
+    /// Round-robin of the three recipes above.
+    Mixed,
+}
+
+impl ChipFamily {
+    fn parse(s: &str) -> Result<ChipFamily, NetlistError> {
+        match s {
+            "datapath" => Ok(ChipFamily::Datapath),
+            "memory" => Ok(ChipFamily::Memory),
+            "tree" => Ok(ChipFamily::Tree),
+            "mixed" => Ok(ChipFamily::Mixed),
+            other => Err(NetlistError::invalid(format!(
+                "unknown chip family `{other}` (expected datapath, memory, tree or mixed)"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for ChipFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChipFamily::Datapath => "datapath",
+            ChipFamily::Memory => "memory",
+            ChipFamily::Tree => "tree",
+            ChipFamily::Mixed => "mixed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One planned module: which generator to call with which parameter.
+/// Device counts are closed-form so a spec knows its exact total without
+/// building anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModulePlan {
+    RippleAdder { bits: usize },
+    Counter { bits: usize },
+    ShiftRegister { bits: usize },
+    MuxTree { sel_bits: usize },
+    Decoder { sel_bits: usize },
+    ParityTree { inputs: usize },
+}
+
+impl ModulePlan {
+    /// Exact device count of the module this plan builds (pinned against
+    /// the generators by test).
+    fn device_count(self) -> usize {
+        match self {
+            ModulePlan::RippleAdder { bits } => 5 * bits,
+            ModulePlan::Counter { bits } => 3 * bits - 1,
+            ModulePlan::ShiftRegister { bits } => bits,
+            ModulePlan::MuxTree { sel_bits } => (1 << sel_bits) - 1,
+            ModulePlan::Decoder { sel_bits } => {
+                if sel_bits == 1 {
+                    3
+                } else {
+                    sel_bits + (1 << sel_bits) * (sel_bits - 1)
+                }
+            }
+            ModulePlan::ParityTree { inputs } => inputs - 1,
+        }
+    }
+
+    fn build(self) -> Module {
+        match self {
+            ModulePlan::RippleAdder { bits } => generate::ripple_adder(bits),
+            ModulePlan::Counter { bits } => generate::counter(bits),
+            ModulePlan::ShiftRegister { bits } => generate::shift_register(bits),
+            ModulePlan::MuxTree { sel_bits } => generate::mux_tree(sel_bits),
+            ModulePlan::Decoder { sel_bits } => generate::decoder(sel_bits),
+            ModulePlan::ParityTree { inputs } => generate::parity_tree(inputs),
+        }
+    }
+}
+
+/// A deterministic plan for a generated chip: family + target device
+/// count, expanded into per-module build instructions.
+#[derive(Debug, Clone)]
+pub struct ChipSpec {
+    name: String,
+    plans: Vec<ModulePlan>,
+    device_count: usize,
+}
+
+// The repeating unit of each family. A unit is a few hundred to a couple
+// thousand devices: big enough that plans stay compact at 10^6 devices,
+// small enough that batches shard well and no single module dominates.
+const DATAPATH_UNIT: &[ModulePlan] = &[
+    ModulePlan::RippleAdder { bits: 32 },
+    ModulePlan::Counter { bits: 24 },
+    ModulePlan::ShiftRegister { bits: 64 },
+    ModulePlan::MuxTree { sel_bits: 6 },
+];
+
+const TREE_UNIT: &[ModulePlan] = &[
+    ModulePlan::ParityTree { inputs: 256 },
+    ModulePlan::ParityTree { inputs: 128 },
+    ModulePlan::ParityTree { inputs: 64 },
+];
+
+/// A 64-word × 8-bit bank: decoder, one register column per data bit, one
+/// read mux per data bit.
+fn memory_bank(plans: &mut Vec<ModulePlan>) {
+    plans.push(ModulePlan::Decoder { sel_bits: 6 });
+    for _ in 0..8 {
+        plans.push(ModulePlan::ShiftRegister { bits: 64 });
+    }
+    for _ in 0..8 {
+        plans.push(ModulePlan::MuxTree { sel_bits: 6 });
+    }
+}
+
+impl ChipSpec {
+    /// Plans a chip of at least `devices` devices (1..=[`MAX_CHIP_DEVICES`]).
+    /// The plan stops at the first whole module that reaches the target,
+    /// so [`ChipSpec::device_count`] may exceed `devices` by at most one
+    /// module.
+    pub fn new(family: ChipFamily, devices: usize) -> Result<ChipSpec, NetlistError> {
+        if devices == 0 || devices > MAX_CHIP_DEVICES {
+            return Err(NetlistError::invalid(format!(
+                "chip device count must be 1..={MAX_CHIP_DEVICES}, got {devices}"
+            )));
+        }
+        let mut plans = Vec::new();
+        let mut total = 0usize;
+        let mut unit = 0usize;
+        while total < devices {
+            let before = plans.len();
+            match family {
+                ChipFamily::Datapath => plans.push(DATAPATH_UNIT[unit % DATAPATH_UNIT.len()]),
+                ChipFamily::Tree => plans.push(TREE_UNIT[unit % TREE_UNIT.len()]),
+                ChipFamily::Memory => memory_bank(&mut plans),
+                ChipFamily::Mixed => match unit % 3 {
+                    0 => plans.extend_from_slice(DATAPATH_UNIT),
+                    1 => memory_bank(&mut plans),
+                    _ => plans.extend_from_slice(TREE_UNIT),
+                },
+            }
+            // Trim whole modules past the target, keeping at least the
+            // first module of this round.
+            let mut added: usize = plans[before..].iter().map(|p| p.device_count()).sum();
+            while plans.len() > before + 1 && total + added >= devices {
+                let last = plans.last().copied().expect("non-empty round");
+                if total + added - last.device_count() < devices {
+                    break;
+                }
+                added -= last.device_count();
+                plans.pop();
+            }
+            total += added;
+            unit += 1;
+        }
+        Ok(ChipSpec {
+            name: format!("{family}_{devices}"),
+            plans,
+            device_count: total,
+        })
+    }
+
+    /// Parses a `family:devices` spec string, e.g. `datapath:10000`,
+    /// `memory:100k`, `mixed:1m` (suffixes `k` = 10^3, `m` = 10^6).
+    pub fn parse(spec: &str) -> Result<ChipSpec, NetlistError> {
+        let (family, count) = spec.split_once(':').ok_or_else(|| {
+            NetlistError::invalid(format!(
+                "chip spec `{spec}` must be `family:devices` (e.g. `mixed:100k`)"
+            ))
+        })?;
+        let family = ChipFamily::parse(family.trim())?;
+        let count = count.trim().to_ascii_lowercase();
+        let (digits, scale) = match count.strip_suffix(['k', 'm']) {
+            Some(d) if count.ends_with('k') => (d, 1_000usize),
+            Some(d) => (d, 1_000_000usize),
+            None => (count.as_str(), 1usize),
+        };
+        let devices = digits
+            .parse::<usize>()
+            .ok()
+            .and_then(|n| n.checked_mul(scale))
+            .ok_or_else(|| {
+                NetlistError::invalid(format!("chip spec `{spec}`: bad device count `{count}`"))
+            })?;
+        ChipSpec::new(family, devices)
+    }
+
+    /// The spec's canonical name (`family_devices`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of modules the chip expands to.
+    pub fn module_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Exact total device count over all planned modules.
+    pub fn device_count(&self) -> usize {
+        self.device_count
+    }
+
+    /// Builds the `i`-th module (0-based). Instance names are made unique
+    /// by suffixing the library name with the plan index, so a batch of
+    /// one thousand `ripple_adder_32`s stays addressable per instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= module_count()`.
+    pub fn module(&self, i: usize) -> Module {
+        let plan = self.plans[i];
+        let base = plan.build();
+        let name = format!("{}__u{i}", base.name());
+        base.renamed(name)
+    }
+
+    /// Lazily builds every module in plan order. The iterator owns no
+    /// module state: peak memory is one module at a time plus the plan.
+    pub fn modules(&self) -> impl Iterator<Item = Module> + '_ {
+        (0..self.plans.len()).map(move |i| self.module(i))
+    }
+}
+
+impl fmt::Display for ChipSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chip `{}`: {} modules, {} devices",
+            self.name,
+            self.module_count(),
+            self.device_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_device_counts_match_the_generators() {
+        let plans = [
+            ModulePlan::RippleAdder { bits: 32 },
+            ModulePlan::Counter { bits: 24 },
+            ModulePlan::ShiftRegister { bits: 64 },
+            ModulePlan::MuxTree { sel_bits: 6 },
+            ModulePlan::Decoder { sel_bits: 1 },
+            ModulePlan::Decoder { sel_bits: 6 },
+            ModulePlan::ParityTree { inputs: 256 },
+            ModulePlan::ParityTree { inputs: 63 },
+        ];
+        for plan in plans {
+            assert_eq!(
+                plan.device_count(),
+                plan.build().device_count(),
+                "{plan:?} formula disagrees with the generator"
+            );
+        }
+    }
+
+    #[test]
+    fn specs_hit_their_device_targets_within_one_module() {
+        for family in [
+            ChipFamily::Datapath,
+            ChipFamily::Memory,
+            ChipFamily::Tree,
+            ChipFamily::Mixed,
+        ] {
+            for target in [1, 500, 10_000, 100_000] {
+                let spec = ChipSpec::new(family, target).expect("valid spec");
+                assert!(
+                    spec.device_count() >= target,
+                    "{family}:{target} fell short: {}",
+                    spec.device_count()
+                );
+                let planned: usize = spec.plans.iter().map(|p| p.device_count()).sum();
+                assert_eq!(planned, spec.device_count());
+                // Dropping the last module must fall below the target —
+                // the plan has no excess trailing modules.
+                let trimmed = planned - spec.plans.last().unwrap().device_count();
+                assert!(trimmed < target, "{family}:{target} overshoots");
+            }
+        }
+    }
+
+    #[test]
+    fn modules_build_uniquely_named_and_deterministic() {
+        let spec = ChipSpec::parse("mixed:10k").expect("parses");
+        assert_eq!(spec.name(), "mixed_10000");
+        let names: Vec<String> = spec.modules().map(|m| m.name().to_owned()).collect();
+        assert_eq!(names.len(), spec.module_count());
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "instance names are unique");
+        // Rebuilding the same index yields the same module, bit for bit.
+        assert_eq!(spec.module(3), spec.module(3));
+        let built: usize = spec.modules().map(|m| m.device_count()).sum();
+        assert_eq!(built, spec.device_count());
+    }
+
+    #[test]
+    fn spec_strings_parse_with_suffixes_and_reject_junk() {
+        assert_eq!(
+            ChipSpec::parse("datapath:100k").unwrap().name(),
+            "datapath_100000"
+        );
+        assert_eq!(
+            ChipSpec::parse("memory:1m").unwrap().name(),
+            "memory_1000000"
+        );
+        assert_eq!(ChipSpec::parse("tree: 2000 ").unwrap().name(), "tree_2000");
+        for bad in [
+            "datapath",
+            "warehouse:100",
+            "datapath:0",
+            "datapath:20m",
+            "datapath:abc",
+            "datapath:1e6",
+            ":100",
+        ] {
+            assert!(
+                matches!(ChipSpec::parse(bad), Err(NetlistError::Invalid { .. })),
+                "`{bad}` must be rejected"
+            );
+        }
+    }
+}

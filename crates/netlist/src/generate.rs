@@ -11,7 +11,35 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use crate::{Module, ModuleBuilder, NetId, PortDirection};
+use crate::{Module, ModuleBuilder, NetId, NetlistError, PortDirection};
+
+/// Largest select count the gate-level `decoder`/`mux_tree` generators
+/// accept (4096-way fanout). Chosen so chip-family compositions can scale
+/// to 10^6-device designs without any single module exploding.
+pub const MAX_SELECT_BITS: usize = 12;
+
+/// Largest select count for the transistor-level pass mux (1024-way).
+pub const MAX_PASS_SELECT_BITS: usize = 10;
+
+/// Validates a select count and computes `2^sel_bits` with the shift
+/// guarded: `1 << sel_bits` wraps to 0 (or panics in debug builds) once
+/// `sel_bits` reaches the word size, which previously turned an oversized
+/// parameter into a silently empty generator.
+fn checked_fanout(what: &str, sel_bits: usize, max: usize) -> Result<usize, NetlistError> {
+    if !(1..=max).contains(&sel_bits) {
+        return Err(NetlistError::invalid(format!(
+            "{what} supports 1..={max} select bits, got {sel_bits}"
+        )));
+    }
+    // Unreachable with max <= MAX_SELECT_BITS, but keeps the shift safe by
+    // construction should the bound ever widen.
+    u32::try_from(sel_bits)
+        .ok()
+        .and_then(|s| 1usize.checked_shl(s))
+        .ok_or_else(|| {
+            NetlistError::invalid(format!("{what}: 2^{sel_bits} overflows the address space"))
+        })
+}
 
 /// An `bits`-stage shift register on standard cells: DFF chain plus shared
 /// clock.
@@ -127,12 +155,16 @@ pub fn ripple_adder(bits: usize) -> Module {
 ///
 /// # Panics
 ///
-/// Panics if `sel_bits` is 0 or greater than 6.
+/// Panics if `sel_bits` is 0 or greater than [`MAX_SELECT_BITS`]; use
+/// [`try_decoder`] to get an error instead.
 pub fn decoder(sel_bits: usize) -> Module {
-    assert!(
-        (1..=6).contains(&sel_bits),
-        "decoder supports 1..=6 selects"
-    );
+    try_decoder(sel_bits).expect("decoder select count")
+}
+
+/// Fallible [`decoder`]: rejects out-of-range `sel_bits` (including values
+/// whose `2^sel_bits` would overflow) with [`NetlistError::Invalid`].
+pub fn try_decoder(sel_bits: usize) -> Result<Module, NetlistError> {
+    let outputs = checked_fanout("decoder", sel_bits, MAX_SELECT_BITS)?;
     let mut b = ModuleBuilder::new(format!("decoder_{sel_bits}"));
     let sel: Vec<NetId> = (0..sel_bits)
         .map(|i| b.port(format!("s{i}"), PortDirection::Input))
@@ -144,7 +176,7 @@ pub fn decoder(sel_bits: usize) -> Module {
             n
         })
         .collect();
-    for out in 0..(1usize << sel_bits) {
+    for out in 0..outputs {
         let y = b.port(format!("y{out}"), PortDirection::Output);
         // AND the per-bit literals pairwise with AND2s.
         let mut terms: Vec<NetId> = (0..sel_bits)
@@ -178,7 +210,7 @@ pub fn decoder(sel_bits: usize) -> Module {
             b.device(format!("buf{out}"), "BUF", [("A", terms[0]), ("Y", y)]);
         }
     }
-    b.finish()
+    Ok(b.finish())
 }
 
 /// An `bits`-bit synchronous counter on standard cells: DFF + XOR2 toggle
@@ -226,14 +258,18 @@ pub fn counter(bits: usize) -> Module {
 ///
 /// # Panics
 ///
-/// Panics if `sel_bits` is 0 or greater than 6.
+/// Panics if `sel_bits` is 0 or greater than [`MAX_SELECT_BITS`]; use
+/// [`try_mux_tree`] to get an error instead.
 pub fn mux_tree(sel_bits: usize) -> Module {
-    assert!(
-        (1..=6).contains(&sel_bits),
-        "mux tree supports 1..=6 selects"
-    );
+    try_mux_tree(sel_bits).expect("mux tree select count")
+}
+
+/// Fallible [`mux_tree`]: rejects out-of-range `sel_bits` (including
+/// values whose `2^sel_bits` would overflow) with [`NetlistError::Invalid`].
+pub fn try_mux_tree(sel_bits: usize) -> Result<Module, NetlistError> {
+    let fanin = checked_fanout("mux tree", sel_bits, MAX_SELECT_BITS)?;
     let mut b = ModuleBuilder::new(format!("mux_tree_{sel_bits}"));
-    let inputs: Vec<NetId> = (0..(1usize << sel_bits))
+    let inputs: Vec<NetId> = (0..fanin)
         .map(|i| b.port(format!("i{i}"), PortDirection::Input))
         .collect();
     let sel: Vec<NetId> = (0..sel_bits)
@@ -258,7 +294,7 @@ pub fn mux_tree(sel_bits: usize) -> Module {
         }
         layer = next;
     }
-    b.finish()
+    Ok(b.finish())
 }
 
 /// An XOR reduction (parity) tree over `inputs` leaves.
@@ -658,14 +694,18 @@ pub fn nmos_nand(k: usize) -> Module {
 ///
 /// # Panics
 ///
-/// Panics if `sel_bits` is 0 or greater than 4.
+/// Panics if `sel_bits` is 0 or greater than [`MAX_PASS_SELECT_BITS`]; use
+/// [`try_nmos_pass_mux`] to get an error instead.
 pub fn nmos_pass_mux(sel_bits: usize) -> Module {
-    assert!(
-        (1..=4).contains(&sel_bits),
-        "pass mux supports 1..=4 selects"
-    );
+    try_nmos_pass_mux(sel_bits).expect("pass mux select count")
+}
+
+/// Fallible [`nmos_pass_mux`]: rejects out-of-range `sel_bits` (including
+/// values whose `2^sel_bits` would overflow) with [`NetlistError::Invalid`].
+pub fn try_nmos_pass_mux(sel_bits: usize) -> Result<Module, NetlistError> {
+    let fanin = checked_fanout("pass mux", sel_bits, MAX_PASS_SELECT_BITS)?;
     let mut b = ModuleBuilder::new(format!("nmos_pass_mux_{sel_bits}"));
-    let inputs: Vec<NetId> = (0..(1usize << sel_bits))
+    let inputs: Vec<NetId> = (0..fanin)
         .map(|i| b.port(format!("i{i}"), PortDirection::Input))
         .collect();
     let sel: Vec<NetId> = (0..sel_bits)
@@ -704,7 +744,7 @@ pub fn nmos_pass_mux(sel_bits: usize) -> Module {
         }
         layer = next;
     }
-    b.finish()
+    Ok(b.finish())
 }
 
 /// Seeded random transistor-level nMOS logic: a chain-of-gates structure
@@ -767,6 +807,58 @@ mod tests {
     use super::*;
     use crate::{LayoutStyle, NetlistStats};
     use maestro_tech::builtin;
+
+    #[test]
+    fn fanout_generators_reject_out_of_range_selects() {
+        // Zero, just-past-max, the word-size shift boundary, and
+        // usize::MAX must all come back as structured errors — the old
+        // `1 << sel_bits` wrapped (or debug-panicked) at 64.
+        for bad in [0, MAX_SELECT_BITS + 1, usize::BITS as usize, usize::MAX] {
+            assert!(
+                matches!(try_decoder(bad), Err(NetlistError::Invalid { .. })),
+                "decoder({bad}) must be rejected"
+            );
+            assert!(
+                matches!(try_mux_tree(bad), Err(NetlistError::Invalid { .. })),
+                "mux_tree({bad}) must be rejected"
+            );
+        }
+        for bad in [
+            0,
+            MAX_PASS_SELECT_BITS + 1,
+            usize::BITS as usize,
+            usize::MAX,
+        ] {
+            assert!(
+                matches!(try_nmos_pass_mux(bad), Err(NetlistError::Invalid { .. })),
+                "nmos_pass_mux({bad}) must be rejected"
+            );
+        }
+        let err = try_decoder(usize::BITS as usize).unwrap_err();
+        assert!(
+            err.to_string().contains("1..=12 select bits"),
+            "error names the supported range: {err}"
+        );
+    }
+
+    #[test]
+    fn fanout_generators_accept_their_widened_maximum() {
+        let m = try_mux_tree(MAX_SELECT_BITS).expect("max mux tree builds");
+        assert_eq!(m.device_count(), (1 << MAX_SELECT_BITS) - 1);
+        let m = try_nmos_pass_mux(MAX_PASS_SELECT_BITS).expect("max pass mux builds");
+        assert_eq!(
+            m.port_count(),
+            (1 << MAX_PASS_SELECT_BITS) + MAX_PASS_SELECT_BITS + 1
+        );
+        let m = try_decoder(8).expect("8-bit decoder builds");
+        assert_eq!(m.port_count(), 8 + 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "decoder select count")]
+    fn decoder_wrapper_still_panics_on_bad_input() {
+        decoder(0);
+    }
 
     #[test]
     fn shift_register_structure() {

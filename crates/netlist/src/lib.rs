@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod chip;
 pub mod depth;
 mod error;
 pub mod expand;

@@ -91,6 +91,20 @@ impl Net {
     /// ("components") connected. A device attached through two pins counts
     /// once, and module ports do not count as components.
     pub fn component_count(&self) -> usize {
+        // Nets are overwhelmingly 1-4 pins; count distinct devices with a
+        // quadratic scan over the pin list so the common case allocates
+        // nothing. Wide nets (clock spines, generated fanout) fall back to
+        // the sort-and-dedup path.
+        const LINEAR_SCAN_MAX: usize = 8;
+        if self.pins.len() <= LINEAR_SCAN_MAX {
+            let mut count = 0;
+            for (i, pin) in self.pins.iter().enumerate() {
+                if self.pins[..i].iter().all(|p| p.device != pin.device) {
+                    count += 1;
+                }
+            }
+            return count;
+        }
         let mut devices: Vec<DeviceId> = self.pins.iter().map(|p| p.device).collect();
         devices.sort_unstable();
         devices.dedup();
@@ -99,10 +113,20 @@ impl Net {
 
     /// Distinct devices on the net, sorted by id.
     pub fn components(&self) -> Vec<DeviceId> {
-        let mut devices: Vec<DeviceId> = self.pins.iter().map(|p| p.device).collect();
-        devices.sort_unstable();
-        devices.dedup();
+        let mut devices = Vec::new();
+        self.components_into(&mut devices);
         devices
+    }
+
+    /// Writes the distinct devices on the net, sorted by id, into
+    /// `scratch` (cleared first). Batch analyses call this once per net
+    /// with a reused buffer, so a million-net module performs O(1) heap
+    /// allocations for component resolution instead of one per net.
+    pub fn components_into(&self, scratch: &mut Vec<DeviceId>) {
+        scratch.clear();
+        scratch.extend(self.pins.iter().map(|p| p.device));
+        scratch.sort_unstable();
+        scratch.dedup();
     }
 
     /// `true` if the net reaches a module port (it is externally visible).
@@ -161,6 +185,14 @@ impl Module {
     /// Module name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The same module under a new name. Generated chip families
+    /// instantiate one library circuit many times; renaming keeps every
+    /// instance in a batch uniquely addressable (reports, floorplans).
+    pub fn renamed(mut self, name: impl Into<String>) -> Module {
+        self.name = name.into();
+        self
     }
 
     /// The paper's `N`: number of device instances.
@@ -435,6 +467,34 @@ mod tests {
         b.device("u1", "INV", [("A", a), ("Y", mid)]);
         b.device("u2", "INV", [("A", mid), ("Y", y)]);
         b.finish()
+    }
+
+    #[test]
+    fn component_apis_agree_across_linear_and_sorted_paths() {
+        // A net wide enough to take the sort-and-dedup path, with every
+        // device attached twice so deduplication matters on both paths.
+        let mut b = ModuleBuilder::new("wide");
+        let clk = b.net("clk");
+        for i in 0..12 {
+            let q = b.net(format!("q{i}"));
+            b.device(
+                format!("ff{i}"),
+                "DFF2C",
+                [("C1", clk), ("C2", clk), ("Q", q)],
+            );
+        }
+        let m = b.finish();
+        let clk = m.find_net("clk").expect("clk exists");
+        let net = m.net(clk);
+        assert_eq!(net.component_count(), 12);
+        let direct = net.components();
+        let mut scratch = vec![DeviceId::new(999)];
+        net.components_into(&mut scratch);
+        assert_eq!(direct, scratch, "components_into clears and refills");
+        assert_eq!(direct.len(), net.component_count());
+        // Narrow net: the allocation-free linear count agrees too.
+        let q0 = m.find_net("q0").expect("q0 exists");
+        assert_eq!(m.net(q0).component_count(), m.net(q0).components().len());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use maestro_geom::{Lambda, LambdaArea};
 use maestro_tech::ProcessDb;
 use serde::{Deserialize, Serialize};
 
-use crate::{Module, NetId, NetlistError};
+use crate::{DeviceId, Module, NetId, NetlistError};
 
 /// Which layout methodology the statistics are resolved for.
 ///
@@ -47,7 +47,18 @@ impl WidthHistogram {
 
     /// Records one device of the given width.
     pub fn add(&mut self, width: Lambda) {
-        *self.bins.entry(width).or_insert(0) += 1;
+        self.add_many(width, 1);
+    }
+
+    /// Records `count` devices of the given width at once. Generated
+    /// module families repeat a handful of cell widths millions of times;
+    /// bulk insertion keeps their histogram construction O(distinct
+    /// widths) instead of O(devices).
+    pub fn add_many(&mut self, width: Lambda, count: usize) {
+        if count == 0 {
+            return;
+        }
+        *self.bins.entry(width).or_insert(0) += count;
     }
 
     /// `(Wi, Xi)` pairs in increasing width order.
@@ -73,13 +84,23 @@ impl WidthHistogram {
         if n == 0 {
             return 0.0;
         }
-        let sum: i64 = self.bins.iter().map(|(w, &x)| w.get() * x as i64).sum();
-        sum as f64 / n as f64
+        self.widened_sum() as f64 / n as f64
     }
 
-    /// Sum of all recorded widths.
+    /// Sum of all recorded widths, saturating at [`i64::MAX`] λ when the
+    /// widened accumulator exceeds what `Lambda` can carry.
     pub fn total(&self) -> Lambda {
-        Lambda::new(self.bins.iter().map(|(w, &x)| w.get() * x as i64).sum())
+        Lambda::new(i64::try_from(self.widened_sum()).unwrap_or(i64::MAX))
+    }
+
+    /// `Σ Xi·Wi` in an i128 accumulator: a million-device histogram of
+    /// wide cells overflows i64 (2^40 λ × 2^25 devices already wraps),
+    /// and a silently negative area poisons every estimate built on it.
+    fn widened_sum(&self) -> i128 {
+        self.bins
+            .iter()
+            .map(|(w, &x)| w.get() as i128 * x as i128)
+            .sum()
     }
 }
 
@@ -217,9 +238,14 @@ impl NetlistStats {
         }
 
         let mut net_sizes = NetSizeHistogram::new();
-        let mut net_wires = Vec::new();
+        let mut net_wires = Vec::with_capacity(module.net_count());
+        // One scratch buffer reused across every net: the traced batch
+        // profiles convicted the per-net `Net::components()` Vec as the
+        // dominant allocation at 10^5+ devices, so component resolution
+        // runs flat — O(1) allocations for the whole module.
+        let mut comps: Vec<DeviceId> = Vec::new();
         for (id, net) in module.nets() {
-            let comps = net.components();
+            net.components_into(&mut comps);
             if comps.is_empty() {
                 continue;
             }
@@ -354,6 +380,31 @@ mod tests {
         assert_eq!(h.total_count(), 3);
         assert!((h.average() - (14.0 * 2.0 + 18.0) / 3.0).abs() < 1e-12);
         assert_eq!(h.total(), Lambda::new(46));
+    }
+
+    #[test]
+    fn width_histogram_accumulates_beyond_i64_without_wrapping() {
+        // 2^40 λ × 2^25 devices = 2^65 λ — the old i64 accumulator wrapped
+        // this to a negative sum, so average() went negative and total()
+        // was garbage. The widened accumulator must stay exact for the
+        // average and saturate (not wrap) for the Lambda total.
+        let mut h = WidthHistogram::new();
+        h.add_many(Lambda::new(1 << 40), 1 << 25);
+        let expected = (1u128 << 65) as f64 / (1u128 << 25) as f64;
+        assert!(h.average() > 0.0, "average must not wrap negative");
+        assert!((h.average() - expected).abs() < 1e-3);
+        assert_eq!(h.total(), Lambda::new(i64::MAX), "total saturates");
+
+        // A sum that fits i64 but whose per-bin products also fit —
+        // add_many agrees with repeated add().
+        let mut bulk = WidthHistogram::new();
+        bulk.add_many(Lambda::new(14), 3);
+        let mut one = WidthHistogram::new();
+        for _ in 0..3 {
+            one.add(Lambda::new(14));
+        }
+        assert_eq!(bulk, one);
+        assert_eq!(bulk.total(), Lambda::new(42));
     }
 
     #[test]

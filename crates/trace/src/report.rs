@@ -951,6 +951,65 @@ pub fn regressions(
 mod tests {
     use super::*;
 
+    #[test]
+    fn percentile_nearest_rank_edges() {
+        // Empty input: 0 by convention (no latency rows to rank).
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[], 1.0), 0);
+        // Single element: every quantile is that element.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[42], q), 42);
+        }
+        // q = 1.0 is the maximum, q -> 0 clamps to the minimum.
+        let sorted = [10, 20, 30, 40, 50];
+        assert_eq!(percentile(&sorted, 1.0), 50);
+        assert_eq!(percentile(&sorted, 0.0), 10);
+        // Nearest rank: ceil(0.5 * 5) = 3rd element.
+        assert_eq!(percentile(&sorted, 0.5), 30);
+        // Even length: p50 is the lower of the middle pair (rank 2 of 4).
+        assert_eq!(percentile(&[10, 20, 30, 40], 0.5), 20);
+        // Ties: rank lands inside a run of equal values.
+        assert_eq!(percentile(&[1, 7, 7, 7, 9], 0.5), 7);
+        assert_eq!(percentile(&[7, 7, 7, 7], 0.99), 7);
+    }
+
+    #[test]
+    fn percentile_matches_sort_and_index_oracle() {
+        // Property: for seeded random inputs, p50/p99 agree with a naive
+        // integer-arithmetic nearest-rank oracle (rank = ceil(q·n) via
+        // div_ceil, no floating point) — pins the f64 rank computation
+        // against off-by-one drift if percentile() is ever optimized.
+        fn oracle(sorted: &[u64], num: usize, den: usize) -> u64 {
+            let rank = (sorted.len() * num).div_ceil(den).clamp(1, sorted.len());
+            sorted[rank - 1]
+        }
+        // SplitMix64: deterministic, dependency-free.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for round in 0..200 {
+            let len = (next() % 257 + 1) as usize;
+            // Small value range so ties are common.
+            let mut values: Vec<u64> = (0..len).map(|_| next() % 17).collect();
+            values.sort_unstable();
+            assert_eq!(
+                percentile(&values, 0.5),
+                oracle(&values, 1, 2),
+                "p50 diverged at round {round}, len {len}"
+            );
+            assert_eq!(
+                percentile(&values, 0.99),
+                oracle(&values, 99, 100),
+                "p99 diverged at round {round}, len {len}"
+            );
+        }
+    }
+
     fn span(id: u64, parent: u64, name: &str, start_us: u64, dur_us: u64) -> Event {
         Event::Span {
             id,

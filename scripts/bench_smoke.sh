@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Bench smoke: the perf-trajectory artifact for CI.
 #
-#   ./scripts/bench_smoke.sh [label]      # default label: pr7
+#   ./scripts/bench_smoke.sh [label]      # default label: pr8
 #
-# Five cheap checks that keep the perf tooling honest without a full
+# Six cheap checks that keep the perf tooling honest without a full
 # criterion run:
 #
 #   1. `CRITERION_QUICK=1 cargo bench` — the vendored criterion's
@@ -21,6 +21,10 @@
 #      daemon's sustained-throughput path, contributing the
 #      `serve.request` latency row (count, p50/p99 µs, req/s) that
 #      `perf-report --baseline` gates like any other stage.
+#   6. Traced `estimate --generate … --stream` runs over generated chips
+#      at three device scales (10^3, 10^4, 10^5) — the memory-bounded
+#      streaming path, contributing the `estimate.stream.devices_1e*`
+#      throughput metric rows (devices/s, one row per decade).
 #
 # `perf-report` folds the traces into one BENCH_<label>.json —
 # machine-readable per-stage totals that successive PRs can diff. When a
@@ -31,7 +35,7 @@
 # and review the diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-LABEL="${1:-pr7}"
+LABEL="${1:-pr8}"
 
 # An empty or all-whitespace label would silently produce `BENCH_.json`
 # (or a file named after stray spaces) and break the artifact contract —
@@ -51,7 +55,8 @@ LAYOUT_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
 REPLICA_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
 SERVE_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
 SERVE_LOG="$(mktemp -t maestro_serve_XXXXXX.jsonl)"
-trap 'rm -f "$ESTIMATE_TRACE" "$LAYOUT_TRACE" "$REPLICA_TRACE" "$SERVE_TRACE" "$SERVE_LOG"' EXIT
+STREAM_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
+trap 'rm -f "$ESTIMATE_TRACE" "$LAYOUT_TRACE" "$REPLICA_TRACE" "$SERVE_TRACE" "$SERVE_LOG" "$STREAM_TRACE"' EXIT
 ./target/release/maestro-cli estimate assets/table1.mnl assets/counter4.mnl \
     --jobs 4 --trace "$ESTIMATE_TRACE" > /dev/null
 
@@ -71,6 +76,20 @@ done > "$SERVE_LOG"
 printf '{"id":"bye","kind":"shutdown"}\n' >> "$SERVE_LOG"
 ./target/release/maestro-cli serve --trace "$SERVE_TRACE" < "$SERVE_LOG" > /dev/null
 
+echo "==> traced streaming estimates over generated chips (10^3..10^5 devices)"
+# Span IDs restart per process, so each scale gets its own trace file and
+# perf-report folds them separately before merging.
+STREAM_TRACE_1E4="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
+STREAM_TRACE_1E5="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
+trap 'rm -f "$ESTIMATE_TRACE" "$LAYOUT_TRACE" "$REPLICA_TRACE" "$SERVE_TRACE" "$SERVE_LOG" \
+    "$STREAM_TRACE" "$STREAM_TRACE_1E4" "$STREAM_TRACE_1E5"' EXIT
+./target/release/maestro-cli estimate --generate mixed:1k --stream --jobs 4 \
+    --trace "$STREAM_TRACE" > /dev/null
+./target/release/maestro-cli estimate --generate mixed:10k --stream --jobs 4 \
+    --trace "$STREAM_TRACE_1E4" > /dev/null
+./target/release/maestro-cli estimate --generate mixed:100k --stream --jobs 4 \
+    --trace "$STREAM_TRACE_1E5" > /dev/null
+
 GATE=()
 if [[ "$LABEL" != baseline && -f BENCH_baseline.json ]]; then
     echo "==> perf-report -> BENCH_${LABEL}.json (gated against BENCH_baseline.json)"
@@ -80,6 +99,7 @@ else
 fi
 ./target/release/maestro-cli perf-report \
     "$ESTIMATE_TRACE" "$LAYOUT_TRACE" "$REPLICA_TRACE" "$SERVE_TRACE" \
+    "$STREAM_TRACE" "$STREAM_TRACE_1E4" "$STREAM_TRACE_1E5" \
     --label "$LABEL" --out "BENCH_${LABEL}.json" ${GATE[@]+"${GATE[@]}"}
 
 echo "==> bench smoke passed"

@@ -38,4 +38,15 @@ env -u UPDATE_GOLDEN cargo test -q
 echo "==> cargo clippy (first-party crates) -- -D warnings"
 cargo clippy --all-targets "${FIRST_PARTY[@]}" -- -D warnings
 
+echo "==> no debug_assert!-only guards in the sharding/chip-generation paths"
+# Release builds compile debug_assert! away, so a bounds or overflow guard
+# written that way silently vanishes exactly where million-device runs
+# need it. The batch sharding and chip generators must guard with real
+# checks (validated errors or clamps), never debug-only assertions.
+SHARDING_PATHS=(crates/core/src/pipeline.rs crates/netlist/src/chip.rs)
+if grep -n "debug_assert" "${SHARDING_PATHS[@]}"; then
+    echo "error: debug_assert! found in sharding/chip code (use a real guard)" >&2
+    exit 1
+fi
+
 echo "==> tier-1 gate passed"

@@ -224,6 +224,73 @@ fn cached_and_uncached_runs_are_byte_identical_over_table1() {
 }
 
 #[test]
+fn streaming_is_byte_identical_to_in_memory_over_the_paper_suites() {
+    // The streaming differential the scaling work is gated on: emitting
+    // per-module results through a sink, wave by wave, must serialize to
+    // the exact bytes of the in-memory batch — over the paper's Table 1
+    // and Table 2 suites, at every fan-out, with small wave budgets so a
+    // single run crosses many wave boundaries.
+    let mut modules = library_circuits::table1_suite();
+    modules.extend(library_circuits::table2_suite());
+    let pipeline = Pipeline::new(builtin::nmos25()).with_parallel_threshold(0);
+    let reference = pipeline
+        .run_all(modules.iter())
+        .expect("in-memory estimates")
+        .to_json()
+        .expect("serializes");
+    for (jobs, budget) in [(1, 4096), (2, 64), (8, 16)] {
+        let streamer = Pipeline::new(builtin::nmos25())
+            .with_parallel_threshold(0)
+            .with_shard_net_budget(budget);
+        let mut db = ResultsDb::new();
+        let summary = streamer
+            .run_all_streaming(modules.iter().cloned(), jobs, |rec| {
+                db.insert(rec);
+                Ok(())
+            })
+            .expect("streaming estimates");
+        assert_eq!(summary.modules, modules.len(), "jobs={jobs}");
+        assert_eq!(
+            db.to_json().expect("serializes"),
+            reference,
+            "jobs={jobs} budget={budget}"
+        );
+    }
+}
+
+#[test]
+fn streaming_is_byte_identical_to_in_memory_over_a_generated_family() {
+    // Same differential over a generated chip family: modules the library
+    // suites never exercise (renamed instances, mixed datapath/memory/tree
+    // units), streamed lazily from the spec on one side and collected
+    // up front on the other.
+    let spec = maestro::netlist::chip::ChipSpec::parse("mixed:20k").expect("valid spec");
+    let collected: Vec<Module> = spec.modules().collect();
+    assert_eq!(
+        collected.iter().map(Module::device_count).sum::<usize>(),
+        spec.device_count(),
+        "spec device accounting matches the built modules"
+    );
+    let pipeline = Pipeline::new(builtin::nmos25());
+    let reference = pipeline
+        .run_all(collected.iter())
+        .expect("in-memory estimates")
+        .to_json()
+        .expect("serializes");
+    for jobs in [1, 4] {
+        let mut db = ResultsDb::new();
+        let summary = pipeline
+            .run_all_streaming(spec.modules(), jobs, |rec| {
+                db.insert(rec);
+                Ok(())
+            })
+            .expect("streaming estimates");
+        assert_eq!(summary.devices, spec.device_count(), "jobs={jobs}");
+        assert_eq!(db.to_json().expect("serializes"), reference, "jobs={jobs}");
+    }
+}
+
+#[test]
 fn replica_parameterized_pipeline_is_jobs_invariant() {
     // The estimator is closed-form, so a replica-parameterized pipeline
     // must serialize the exact bytes of the plain one — at every fan-out.

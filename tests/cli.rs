@@ -75,6 +75,120 @@ fn estimate_with_rows_and_cmos_tech() {
 }
 
 #[test]
+fn generate_prints_a_chip_summary_and_writes_parsable_mnl() {
+    let dir = std::env::temp_dir().join("maestro-cli-generate-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("chip.mnl");
+    let out = cli()
+        .args(["generate", "datapath:5k", "--out", &path.to_string_lossy()])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("chip `datapath_5000`"), "{text}");
+    // The emitted file is real input: every module parses back, device
+    // accounting intact.
+    let mnl = std::fs::read_to_string(&path).expect("mnl written");
+    let modules = maestro::netlist::mnl::parse_design(&mnl).expect("generated mnl parses");
+    assert!(modules.len() > 1, "multi-module chip");
+    let devices: usize = modules.iter().map(|m| m.device_count()).sum();
+    // The summary line accounts for exactly the devices that were written,
+    // and the total lands within one module of the requested 5000.
+    assert!(
+        text.contains(&format!("{devices} devices")),
+        "summary device count disagrees with the file: {text} vs {devices}"
+    );
+    assert!(
+        (4_000..6_000).contains(&devices),
+        "device count {devices} lands near the target"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn generate_rejects_a_bad_spec() {
+    let out = cli()
+        .args(["generate", "castle:10k"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("castle"), "{err}");
+}
+
+#[test]
+fn estimate_stream_matches_batch_json_per_module() {
+    // Streaming emits one compact JSON record per line; the batch path
+    // emits one pretty-printed ResultsDb. Parsed, they must agree.
+    let batch = cli()
+        .args(["estimate", &asset("table1.mnl"), "--json"])
+        .output()
+        .expect("runs");
+    assert!(batch.status.success());
+    let db = maestro::estimator::ResultsDb::from_json(&String::from_utf8_lossy(&batch.stdout))
+        .expect("batch output parses");
+    let streamed = cli()
+        .args([
+            "estimate",
+            &asset("table1.mnl"),
+            "--json",
+            "--stream",
+            "--jobs",
+            "2",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        streamed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&streamed.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&streamed.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), db.len(), "one record line per module");
+    let mut from_stream = maestro::estimator::ResultsDb::new();
+    for line in &lines {
+        // Each line is one EstimateRecord; wrap it in the DB envelope the
+        // batch path emits so the two parse through the same schema.
+        let db_line = format!("{{\"records\":[{line}]}}");
+        let one = maestro::estimator::ResultsDb::from_json(&db_line).expect("record line parses");
+        for rec in one.records() {
+            from_stream.insert(rec.clone());
+        }
+    }
+    assert_eq!(
+        from_stream.to_json().unwrap(),
+        db.to_json().unwrap(),
+        "streamed records re-serialize to the batch database"
+    );
+    // The tally goes to stderr, leaving stdout pure protocol.
+    let err = String::from_utf8_lossy(&streamed.stderr);
+    assert!(err.contains("streamed"), "{err}");
+}
+
+#[test]
+fn estimate_streams_a_generated_family_without_input_files() {
+    let out = cli()
+        .args(["estimate", "--generate", "tree:2k", "--stream"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("module `parity_256__u0`"), "{text}");
+    assert!(text.contains("standard-cell:"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("device(s)"), "{err}");
+}
+
+#[test]
 fn expand_emits_parsable_transistor_mnl() {
     let out = cli()
         .args(["expand", &asset("full_adder.mnl")])

@@ -348,12 +348,25 @@ impl<'s> Parser<'s> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 scalar starting here.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the longest run of unescaped bytes in one
+                    // shot. Validating from `pos` to the end of the input
+                    // for every scalar is quadratic — megabyte-scale
+                    // strings (inline `.mnl` payloads) never finish. The
+                    // run boundary is always safe to validate alone: `"`
+                    // and `\` are ASCII and can never appear inside a
+                    // multi-byte UTF-8 sequence.
+                    let start = self.pos;
+                    let mut end = self.pos;
+                    while let Some(&b) = self.bytes.get(end) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
+                    self.pos = end;
                 }
             }
         }
@@ -451,6 +464,20 @@ mod tests {
     fn escapes_round_trip() {
         let s = "line1\nline2\t\"quoted\" \\ slash \u{7}".to_owned();
         let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn megabyte_strings_parse_in_linear_time() {
+        // Regression: parse_string used to re-validate the whole remaining
+        // input per scalar, so strings this size effectively never parsed.
+        // Multi-byte text exercises the run-boundary UTF-8 handling; the
+        // interleaved escapes split the fast-path runs.
+        let unit = "λ-grid ruler \\ \"x\" é\n";
+        let s = unit.repeat(200_000);
+        let text = to_string(&s).unwrap();
+        assert!(text.len() > 4 << 20, "payload is megabytes: {}", text.len());
         let back: String = from_str(&text).unwrap();
         assert_eq!(back, s);
     }
