@@ -60,13 +60,15 @@ pub mod pipeline;
 pub mod prob;
 pub mod report;
 pub mod request;
+pub mod results_cache;
 pub mod standard_cell;
 pub mod track_sharing;
 pub mod wirelength;
 
 pub use full_custom::FcEstimate;
-pub use pipeline::Pipeline;
+pub use pipeline::{IncrementalRun, Pipeline};
 pub use prob::{CacheStats, ProbTable};
 pub use report::{EstimateRecord, ResultsDb};
 pub use request::{Request, RequestCall, RequestError, Response};
+pub use results_cache::{ResultsCache, ResultsCacheStats};
 pub use standard_cell::ScEstimate;

@@ -17,12 +17,16 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use maestro_netlist::{mnl, LayoutStyle, Module, NetlistError, NetlistStats, StatsCache};
+use maestro_netlist::{
+    diff, mnl, LayoutStyle, Module, ModuleFingerprint, NetlistDiff, NetlistError, NetlistStats,
+    RevisionManifest, StatsCache,
+};
 use maestro_tech::ProcessDb;
 use maestro_trace as trace;
 
 use crate::prob::{CacheStats, ProbTable};
 use crate::report::{EstimateRecord, ResultsDb};
+use crate::results_cache::{params_digest, ResultsCache, ResultsKey};
 use crate::standard_cell::ScParams;
 use crate::{full_custom, standard_cell};
 
@@ -85,15 +89,32 @@ fn plan_shards(net_counts: &[usize], jobs: usize, cap: usize) -> Vec<std::ops::R
     shards
 }
 
+/// Outcome of one [`Pipeline::run_all_incremental`] revision: the
+/// results database (byte-identical to a cold batch over the same
+/// modules), the fingerprint diff against the previous revision, and the
+/// manifest to diff the *next* revision against.
+#[derive(Debug, Clone)]
+pub struct IncrementalRun {
+    /// Per-module estimates, in module order.
+    pub db: ResultsDb,
+    /// Classification of every module against the previous revision.
+    pub diff: NetlistDiff,
+    /// This revision's manifest — feed it to the next incremental run.
+    pub manifest: RevisionManifest,
+}
+
 /// The module-area-estimation pipeline of the paper's Figure 1.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
-    tech: ProcessDb,
+    tech: Arc<ProcessDb>,
     sc_params: ScParams,
     prob: Arc<ProbTable>,
     /// Resolve-once memo for `NetlistStats`; `None` runs the uncached
     /// reference path (differential testing).
     stats: Option<Arc<StatsCache>>,
+    /// Whole-result memo for ECO re-estimation; `None` (the default)
+    /// recomputes every record, keeping batch counter profiles exact.
+    results: Option<Arc<ResultsCache>>,
     parallel_net_threshold: usize,
     shard_net_budget: usize,
     replicas: usize,
@@ -106,11 +127,20 @@ impl Pipeline {
     /// [`ProbTable::shared`] cache and netlist resolution in the
     /// process-wide [`StatsCache::shared`] memo.
     pub fn new(tech: ProcessDb) -> Self {
+        Pipeline::from_shared_tech(Arc::new(tech))
+    }
+
+    /// As [`Pipeline::new`], but borrowing an already-shared process
+    /// database instead of taking ownership — a long-lived daemon keeps
+    /// one `Arc<ProcessDb>` per technology and hands it to every
+    /// request's pipeline without cloning the table data.
+    pub fn from_shared_tech(tech: Arc<ProcessDb>) -> Self {
         Pipeline {
             tech,
             sc_params: ScParams::default(),
             prob: ProbTable::shared(),
             stats: Some(StatsCache::shared()),
+            results: None,
             parallel_net_threshold: DEFAULT_PARALLEL_NET_THRESHOLD,
             shard_net_budget: DEFAULT_SHARD_NET_BUDGET,
             replicas: 1,
@@ -178,6 +208,15 @@ impl Pipeline {
         self
     }
 
+    /// Memoizes whole [`EstimateRecord`]s in `cache`, keyed by module
+    /// content × technology revision × parameter digest. Off by default:
+    /// only incremental (ECO) entry points opt in, so plain batch runs
+    /// keep their exact resolve-counter profiles.
+    pub fn with_results_cache(mut self, cache: Arc<ResultsCache>) -> Self {
+        self.results = Some(cache);
+        self
+    }
+
     /// Overrides the net-count threshold below which
     /// [`Pipeline::run_all_parallel`] stays serial (`0` always fans out).
     pub fn with_parallel_threshold(mut self, total_nets: usize) -> Self {
@@ -208,6 +247,21 @@ impl Pipeline {
         self.stats.as_ref()
     }
 
+    /// The whole-result memo, when an incremental entry point opted in.
+    pub fn results_cache(&self) -> Option<&Arc<ResultsCache>> {
+        self.results.as_ref()
+    }
+
+    /// The memo key of one module under this pipeline's technology and
+    /// parameters.
+    fn results_key(&self, module: &Module) -> ResultsKey {
+        (
+            ModuleFingerprint::of(module),
+            self.tech.revision().id(),
+            params_digest(&self.sc_params),
+        )
+    }
+
     /// Resolves a module's statistics through the cache (shared `Arc` per
     /// (module, technology, style)), or uncached when disabled.
     fn resolve_stats(
@@ -231,6 +285,15 @@ impl Pipeline {
     pub fn run_module(&self, module: &Module) -> Result<EstimateRecord, NetlistError> {
         let _module_span = trace::span_with("pipeline.module", || module.name().to_owned());
         trace::counter("estimate.nets", module.net_count() as u64);
+        let key = self.results.as_ref().map(|cache| {
+            let key = self.results_key(module);
+            (Arc::clone(cache), key)
+        });
+        if let Some((cache, key)) = &key {
+            if let Some(record) = cache.get(key) {
+                return Ok((*record).clone());
+            }
+        }
         let (sc, sc_candidates) = match self.resolve_stats(module, LayoutStyle::StandardCell) {
             Ok(stats) if stats.device_count() > 0 => {
                 let _sc_span = trace::span("estimate.standard_cell");
@@ -265,12 +328,16 @@ impl Pipeline {
                 template: first.1,
             });
         }
-        Ok(EstimateRecord {
+        let record = EstimateRecord {
             module_name: module.name().to_owned(),
             standard_cell: sc,
             full_custom: fc,
             standard_cell_candidates: sc_candidates,
-        })
+        };
+        if let Some((cache, key)) = key {
+            cache.insert(key, record.clone());
+        }
+        Ok(record)
     }
 
     /// Parses `.mnl` source and estimates the module.
@@ -393,6 +460,39 @@ impl Pipeline {
             db.insert(result?);
         }
         Ok(db)
+    }
+
+    /// Re-estimates a revision against the previous one: fingerprints
+    /// every module, diffs against `prev` (emitting `netlist.diff.*`
+    /// counters), then runs the batch through [`Pipeline::run_all_parallel`].
+    /// With a results cache attached ([`Pipeline::with_results_cache`])
+    /// the unchanged modules are served from the memo and only the
+    /// modified/added slice pays estimation cost; the produced database
+    /// is byte-identical to a cold batch either way, because cache hits
+    /// replay the exact record the cold run would compute.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::run_all_parallel`].
+    pub fn run_all_incremental<'m, I>(
+        &self,
+        prev: &RevisionManifest,
+        modules: I,
+        jobs: usize,
+    ) -> Result<IncrementalRun, NetlistError>
+    where
+        I: IntoIterator<Item = &'m Module>,
+    {
+        let modules: Vec<&Module> = modules.into_iter().collect();
+        let manifest = RevisionManifest::from_modules(modules.iter().copied());
+        let changes = diff(prev, &manifest);
+        let _span = trace::span_with("pipeline.run_all_incremental", || changes.summary());
+        let db = self.run_all_parallel(modules, jobs)?;
+        Ok(IncrementalRun {
+            db,
+            diff: changes,
+            manifest,
+        })
     }
 
     /// The shared parallel engine: `workers` scoped threads pull shard
@@ -872,5 +972,64 @@ mod tests {
             stats.hits > stats.misses,
             "aspect sweep should mostly hit: {stats:?}"
         );
+    }
+
+    #[test]
+    fn incremental_rerun_is_byte_identical_and_mostly_cached() {
+        let results = Arc::new(ResultsCache::new());
+        let p = Pipeline::new(builtin::nmos25())
+            .with_stats_cache(Arc::new(StatsCache::new()))
+            .with_results_cache(Arc::clone(&results));
+        let modules = library_circuits::table1_suite();
+
+        // Cold revision: everything is added, everything misses.
+        let cold = p
+            .run_all_incremental(&RevisionManifest::new(), modules.iter(), 1)
+            .expect("cold run");
+        assert_eq!(cold.diff.added.len(), modules.len());
+        assert_eq!(results.stats().misses, modules.len() as u64);
+
+        // Edit one module; the rerun serves the rest from the memo.
+        let mut edited = modules.clone();
+        edited[0] = generate::counter(7).renamed(edited[0].name());
+        let warm = p
+            .run_all_incremental(&cold.manifest, edited.iter(), 1)
+            .expect("warm run");
+        assert_eq!(warm.diff.modified, vec![edited[0].name().to_string()]);
+        assert_eq!(warm.diff.unchanged.len(), modules.len() - 1);
+        let stats = results.stats();
+        assert_eq!(stats.hits, modules.len() as u64 - 1);
+        assert_eq!(stats.misses, modules.len() as u64 + 1);
+
+        // Byte-identical to a cold batch over the same revision.
+        let reference = Pipeline::new(builtin::nmos25())
+            .run_all(edited.iter())
+            .expect("reference run");
+        assert_eq!(
+            warm.db.to_json().unwrap(),
+            reference.to_json().unwrap(),
+            "memoized records must replay the cold result exactly"
+        );
+    }
+
+    #[test]
+    fn results_cache_separates_params_and_tech_revisions() {
+        let results = Arc::new(ResultsCache::new());
+        let m = generate::ripple_adder(3);
+        let a = Pipeline::new(builtin::nmos25()).with_results_cache(Arc::clone(&results));
+        let b = Pipeline::new(builtin::nmos25())
+            .with_sc_params(ScParams::with_rows(5))
+            .with_results_cache(Arc::clone(&results));
+        let ra = a.run_module(&m).expect("estimates");
+        let rb = b.run_module(&m).expect("estimates");
+        assert_ne!(
+            ra.standard_cell.as_ref().map(|e| e.rows),
+            rb.standard_cell.as_ref().map(|e| e.rows),
+            "different params must not share a memo entry"
+        );
+        // Each pipeline wrapped its own tech: distinct revisions, so even
+        // equal params would key separately.
+        assert_eq!(results.stats().hits, 0);
+        assert_eq!(results.stats().entries, 2);
     }
 }

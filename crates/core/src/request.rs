@@ -17,8 +17,15 @@
 //! {"id":"l1","kind":"layout","files":[],"mnl":["module m; ..."],"tech":"nmos","rows":2,"replicas":1}
 //! {"id":"f1","kind":"floorplan","files":["a.mnl","b.mnl"],"mnl":[],"tech":"nmos","aspect":1.5,"replicas":1,"backend":"annealing"}
 //! {"id":"r1","kind":"report","files":["a.mnl"],"mnl":[],"tech":"cmos","replicas":1,"backend":"spanning-tree"}
+//! {"id":"c1","kind":"cache-stats"}
 //! {"id":"q","kind":"shutdown"}
 //! ```
+//!
+//! An `estimate` request may set `"incremental":true` to diff the batch
+//! against the session's previous revision and serve unchanged modules
+//! from the result memo; a `layout` request may set `"warm":true` to
+//! warm-start synthesis from the session's stored seed. `cache-stats`
+//! reports the session's cache counters as a JSON payload.
 //!
 //! Schematic sources arrive either as `files` (paths resolved by the
 //! server) or `mnl` (inline `.mnl` text); files are read first, inline
@@ -91,6 +98,9 @@ pub enum RequestCall {
     Floorplan(FloorplanRequest),
     /// Markdown design report (`report`).
     Report(ReportRequest),
+    /// Session cache introspection (`cache-stats`): resolve-memo,
+    /// result-memo and tech-reuse counters as a JSON payload.
+    CacheStats,
     /// Graceful shutdown: the server stops reading, drains in-flight
     /// requests, answers this one last and exits.
     Shutdown,
@@ -111,6 +121,9 @@ pub struct EstimateRequest {
     pub jobs: u32,
     /// Respond with the results-database JSON instead of the text table.
     pub json: bool,
+    /// Diff against the session's previous revision and serve unchanged
+    /// modules from the result memo.
+    pub incremental: bool,
 }
 
 /// Schematic sources plus parameters for a `layout` request.
@@ -126,6 +139,8 @@ pub struct LayoutRequest {
     pub rows: Option<u32>,
     /// Annealing replicas (`1..=`[`MAX_FANOUT`]).
     pub replicas: u32,
+    /// Warm-start full-custom synthesis from the session's stored seeds.
+    pub warm: bool,
 }
 
 /// Schematic sources plus parameters for a `floorplan` request.
@@ -275,6 +290,7 @@ impl Request {
             RequestCall::Layout(_) => "layout",
             RequestCall::Floorplan(_) => "floorplan",
             RequestCall::Report(_) => "report",
+            RequestCall::CacheStats => "cache-stats",
             RequestCall::Shutdown => "shutdown",
         }
     }
@@ -306,6 +322,9 @@ impl Request {
                 }
                 fields.push(("jobs".to_owned(), Value::U64(req.jobs.into())));
                 fields.push(("json".to_owned(), Value::Bool(req.json)));
+                if req.incremental {
+                    fields.push(("incremental".to_owned(), Value::Bool(true)));
+                }
             }
             RequestCall::Layout(req) => {
                 sources(&mut fields, &req.files, &req.mnl);
@@ -314,6 +333,9 @@ impl Request {
                     fields.push(("rows".to_owned(), Value::U64(rows.into())));
                 }
                 fields.push(("replicas".to_owned(), Value::U64(req.replicas.into())));
+                if req.warm {
+                    fields.push(("warm".to_owned(), Value::Bool(true)));
+                }
             }
             RequestCall::Floorplan(req) => {
                 sources(&mut fields, &req.files, &req.mnl);
@@ -333,7 +355,7 @@ impl Request {
                 fields.push(("replicas".to_owned(), Value::U64(req.replicas.into())));
                 fields.push(("backend".to_owned(), Value::Str(req.backend.clone())));
             }
-            RequestCall::Shutdown => {}
+            RequestCall::CacheStats | RequestCall::Shutdown => {}
         }
         serde_json::to_string(&Value::Object(fields)).expect("request serializes")
     }
@@ -390,16 +412,29 @@ impl Request {
             None => return Err(fail("missing field `kind`".to_owned())),
         };
         let allowed: &[&str] = match kind.as_str() {
-            "estimate" => &["id", "kind", "files", "mnl", "tech", "rows", "jobs", "json"],
-            "layout" => &["id", "kind", "files", "mnl", "tech", "rows", "replicas"],
+            "estimate" => &[
+                "id",
+                "kind",
+                "files",
+                "mnl",
+                "tech",
+                "rows",
+                "jobs",
+                "json",
+                "incremental",
+            ],
+            "layout" => &[
+                "id", "kind", "files", "mnl", "tech", "rows", "replicas", "warm",
+            ],
             "floorplan" | "report" => &[
                 "id", "kind", "files", "mnl", "tech", "aspect", "replicas", "backend",
             ],
-            "shutdown" => &["id", "kind"],
+            "cache-stats" | "shutdown" => &["id", "kind"],
             other => {
                 return Err(fail(format!(
-                "unknown kind `{other}` (expected estimate, layout, floorplan, report or shutdown)"
-            )))
+                    "unknown kind `{other}` (expected estimate, layout, floorplan, report, \
+                     cache-stats or shutdown)"
+                )))
             }
         };
         for (key, _) in fields {
@@ -420,6 +455,11 @@ impl Request {
                         Some(_) => return Err("field `json` must be a boolean".to_owned()),
                         None => false,
                     },
+                    incremental: match find_field(fields, "incremental") {
+                        Some(Value::Bool(b)) => *b,
+                        Some(_) => return Err("field `incremental` must be a boolean".to_owned()),
+                        None => false,
+                    },
                 }),
                 "layout" => RequestCall::Layout(LayoutRequest {
                     files: parse_sources(fields, "files")?,
@@ -427,6 +467,11 @@ impl Request {
                     tech: parse_tech(fields)?,
                     rows: parse_rows(fields)?,
                     replicas: parse_fanout(fields, "replicas")?,
+                    warm: match find_field(fields, "warm") {
+                        Some(Value::Bool(b)) => *b,
+                        Some(_) => return Err("field `warm` must be a boolean".to_owned()),
+                        None => false,
+                    },
                 }),
                 "floorplan" => RequestCall::Floorplan(FloorplanRequest {
                     files: parse_sources(fields, "files")?,
@@ -444,6 +489,7 @@ impl Request {
                     replicas: parse_fanout(fields, "replicas")?,
                     backend: parse_backend(fields)?,
                 }),
+                "cache-stats" => RequestCall::CacheStats,
                 "shutdown" => RequestCall::Shutdown,
                 _ => unreachable!("kind validated above"),
             })
@@ -454,7 +500,7 @@ impl Request {
             RequestCall::Layout(r) => Some((&r.files, &r.mnl)),
             RequestCall::Floorplan(r) => Some((&r.files, &r.mnl)),
             RequestCall::Report(r) => Some((&r.files, &r.mnl)),
-            RequestCall::Shutdown => None,
+            RequestCall::CacheStats | RequestCall::Shutdown => None,
         } {
             if files.is_empty() && mnl.is_empty() {
                 return Err(RequestError {
@@ -599,6 +645,7 @@ mod tests {
                 rows: Some(4),
                 jobs: 2,
                 json: true,
+                incremental: false,
             }),
         }
     }
@@ -608,6 +655,18 @@ mod tests {
         let requests = [
             estimate_request(),
             Request {
+                id: "e2".to_owned(),
+                call: RequestCall::Estimate(EstimateRequest {
+                    files: vec!["assets/table1.mnl".to_owned()],
+                    mnl: Vec::new(),
+                    tech: "nmos".to_owned(),
+                    rows: None,
+                    jobs: 1,
+                    json: false,
+                    incremental: true,
+                }),
+            },
+            Request {
                 id: "l-1".to_owned(),
                 call: RequestCall::Layout(LayoutRequest {
                     files: Vec::new(),
@@ -615,6 +674,18 @@ mod tests {
                     tech: "cmos".to_owned(),
                     rows: None,
                     replicas: 4,
+                    warm: false,
+                }),
+            },
+            Request {
+                id: "l-2".to_owned(),
+                call: RequestCall::Layout(LayoutRequest {
+                    files: vec!["a.mnl".to_owned()],
+                    mnl: Vec::new(),
+                    tech: "nmos".to_owned(),
+                    rows: Some(2),
+                    replicas: 1,
+                    warm: true,
                 }),
             },
             Request {
@@ -640,6 +711,10 @@ mod tests {
                 }),
             },
             Request {
+                id: "c1".to_owned(),
+                call: RequestCall::CacheStats,
+            },
+            Request {
                 id: "q".to_owned(),
                 call: RequestCall::Shutdown,
             },
@@ -663,6 +738,7 @@ mod tests {
         assert_eq!(req.rows, None);
         assert_eq!(req.jobs, 1);
         assert!(!req.json);
+        assert!(!req.incremental);
         assert!(req.mnl.is_empty());
     }
 
@@ -677,6 +753,25 @@ mod tests {
                 // `json` belongs to estimate, not layout.
                 "{\"id\":\"x\",\"kind\":\"layout\",\"files\":[\"a\"],\"json\":true}",
                 "unknown field `json`",
+            ),
+            (
+                // `incremental` belongs to estimate, not layout.
+                "{\"id\":\"x\",\"kind\":\"layout\",\"files\":[\"a\"],\"incremental\":true}",
+                "unknown field `incremental`",
+            ),
+            (
+                // `warm` belongs to layout, not estimate.
+                "{\"id\":\"x\",\"kind\":\"estimate\",\"files\":[\"a\"],\"warm\":true}",
+                "unknown field `warm`",
+            ),
+            (
+                // cache-stats takes no sources or parameters.
+                "{\"id\":\"x\",\"kind\":\"cache-stats\",\"files\":[\"a\"]}",
+                "unknown field `files`",
+            ),
+            (
+                "{\"id\":\"x\",\"kind\":\"estimate\",\"files\":[\"a\"],\"incremental\":1}",
+                "field `incremental` must be a boolean",
             ),
             (
                 "{\"id\":\"x\",\"kind\":\"frobnicate\"}",
@@ -789,6 +884,8 @@ mod tests {
         let err = Request::parse("{\"id\":\"x\",\"kind\":\"estimate\"}").unwrap_err();
         assert!(err.message.contains("at least one source"), "{err:?}");
         Request::parse("{\"id\":\"x\",\"kind\":\"shutdown\"}").expect("shutdown needs no source");
+        Request::parse("{\"id\":\"x\",\"kind\":\"cache-stats\"}")
+            .expect("cache-stats needs no source");
     }
 
     #[test]

@@ -59,6 +59,7 @@ fn build_request(kind: u8, seed: u64, rows: u32, fanout: u32, aspect_milli: u32)
             rows,
             jobs: fanout,
             json: seed % 2 == 1,
+            incremental: seed.is_multiple_of(5),
         }),
         1 => RequestCall::Layout(LayoutRequest {
             files,
@@ -66,6 +67,7 @@ fn build_request(kind: u8, seed: u64, rows: u32, fanout: u32, aspect_milli: u32)
             tech,
             rows,
             replicas: fanout,
+            warm: seed.is_multiple_of(5),
         }),
         2 => RequestCall::Floorplan(FloorplanRequest {
             files,
@@ -83,6 +85,7 @@ fn build_request(kind: u8, seed: u64, rows: u32, fanout: u32, aspect_milli: u32)
             replicas: fanout,
             backend,
         }),
+        4 => RequestCall::CacheStats,
         _ => RequestCall::Shutdown,
     };
     Request { id, call }
@@ -93,7 +96,7 @@ proptest! {
 
     #[test]
     fn requests_round_trip_byte_exactly(
-        kind in 0u8..=4,
+        kind in 0u8..=5,
         seed in 0u64..u64::MAX,
         rows in 1u32..=MAX_ROWS,
         fanout in 1u32..=MAX_FANOUT,
@@ -110,7 +113,7 @@ proptest! {
 
     #[test]
     fn truncated_request_lines_always_error(
-        kind in 0u8..=4,
+        kind in 0u8..=5,
         seed in 0u64..u64::MAX,
         cut_permille in 0u32..1000,
     ) {
@@ -125,7 +128,7 @@ proptest! {
 
     #[test]
     fn unknown_fields_are_rejected_with_the_id_recovered(
-        kind in 0u8..=4,
+        kind in 0u8..=5,
         seed in 0u64..u64::MAX,
     ) {
         let request = build_request(kind, seed, 2, 1, 1000);

@@ -119,6 +119,7 @@ impl FloorplanBackend for Annealing {
                 ("anneal.evals_full".to_owned(), counters.evals_full),
                 ("anneal.evals_delta".to_owned(), counters.evals_delta),
                 ("anneal.replicas".to_owned(), self.params.replicas as u64),
+                ("anneal.warm_start".to_owned(), u64::from(self.warm_start)),
             ],
         }
     }

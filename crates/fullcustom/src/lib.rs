@@ -42,6 +42,10 @@
 
 pub mod polish;
 pub mod synthesize;
+pub mod warm;
 pub mod wiring;
 
-pub use synthesize::{synthesize, synthesize_full_refresh, FcLayout, SynthesisParams};
+pub use synthesize::{
+    synthesize, synthesize_full_refresh, synthesize_seeded, FcLayout, SynthSeed, SynthesisParams,
+};
+pub use warm::WarmStore;

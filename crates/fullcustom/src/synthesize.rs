@@ -3,7 +3,7 @@
 
 use maestro_geom::{AspectRatio, Lambda, LambdaArea};
 use maestro_netlist::{DeviceId, LayoutStyle, Module, NetlistError, StatsCache};
-use maestro_place::{anneal_replicas, AnnealSchedule, AnnealState};
+use maestro_place::{anneal_replicas_warm, AnnealSchedule, AnnealState};
 use maestro_tech::ProcessDb;
 use maestro_trace as trace;
 use rand::rngs::StdRng;
@@ -53,6 +53,32 @@ impl SynthesisParams {
             schedule: AnnealSchedule::quick(),
             ..SynthesisParams::default()
         }
+    }
+}
+
+/// The reusable outcome of one synthesis anneal: the winning Polish
+/// expression and its cost, for warm-starting the next synthesis of a
+/// (possibly edited) revision of the same module.
+///
+/// A seed is advisory — [`synthesize_seeded`] validates it against the
+/// new tile set and falls back to a cold start when the module's device
+/// count changed or the expression no longer parses as a valid slicing
+/// tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthSeed {
+    expr: PolishExpr,
+    cost: f64,
+}
+
+impl SynthSeed {
+    /// Number of tiles the seed's expression places.
+    pub fn tile_count(&self) -> usize {
+        self.expr.tile_count()
+    }
+
+    /// The annealing cost the seed's expression achieved.
+    pub fn cost(&self) -> f64 {
+        self.cost
     }
 }
 
@@ -406,6 +432,32 @@ pub fn synthesize(
     synthesize_with(module, tech, params, EvalMode::Delta)
 }
 
+/// [`synthesize`] with an optional warm-start seed from a prior run.
+///
+/// The seed's expression joins the best-of-replicas reduction as one
+/// *extra* walk (see `anneal_replicas_warm`): the cold walks run exactly
+/// as an unseeded [`synthesize`] would, so the result is never worse —
+/// in cost — than either the unseeded run at the same parameters or the
+/// seed itself. A seed whose tile count no longer matches the module (a
+/// device was added or dropped) or whose expression is invalid is
+/// rejected, counted by `fullcustom.warm_rejected`, and the run proceeds
+/// cold; accepted seeds count `fullcustom.warm_start`.
+///
+/// Returns the layout plus the winning [`SynthSeed`] to feed into the
+/// next revision's synthesis.
+///
+/// # Errors
+///
+/// As [`synthesize`].
+pub fn synthesize_seeded(
+    module: &Module,
+    tech: &ProcessDb,
+    params: &SynthesisParams,
+    seed: Option<&SynthSeed>,
+) -> Result<(FcLayout, SynthSeed), NetlistError> {
+    synthesize_with_seed(module, tech, params, seed, EvalMode::Delta)
+}
+
 /// [`synthesize`] on the full-refresh reference path: every move and
 /// revert re-evaluates the whole expression and every net. Output is
 /// bit-identical to [`synthesize`]; kept (and exercised by the
@@ -426,6 +478,16 @@ fn synthesize_with(
     params: &SynthesisParams,
     mode: EvalMode,
 ) -> Result<FcLayout, NetlistError> {
+    synthesize_with_seed(module, tech, params, None, mode).map(|(layout, _)| layout)
+}
+
+fn synthesize_with_seed(
+    module: &Module,
+    tech: &ProcessDb,
+    params: &SynthesisParams,
+    warm: Option<&SynthSeed>,
+    mode: EvalMode,
+) -> Result<(FcLayout, SynthSeed), NetlistError> {
     if module.device_count() == 0 {
         return Err(NetlistError::invalid("cannot lay out an empty module"));
     }
@@ -486,8 +548,24 @@ fn synthesize_with(
     let initial_expr = state.expr.clone();
     let initial_cost = state.cached_cost;
     let work_size = state.tiles.len();
-    let final_cost = anneal_replicas(
+    // An accepted seed becomes one extra annealing walk; the cold walks
+    // below run exactly as an unseeded synthesis would, so seeding can
+    // only improve the reduced cost.
+    let warm_state = warm.and_then(|seed| {
+        if seed.expr.tile_count() == state.tiles.len() && seed.expr.is_valid() {
+            trace::counter("fullcustom.warm_start", 1);
+            let mut w = state.clone();
+            w.expr = seed.expr.clone();
+            w.refresh();
+            Some(w)
+        } else {
+            trace::counter("fullcustom.warm_rejected", 1);
+            None
+        }
+    });
+    let final_cost = anneal_replicas_warm(
         &mut state,
+        warm_state,
         &params.schedule,
         params.seed,
         params.replicas,
@@ -509,14 +587,21 @@ fn synthesize_with(
         tech.rules()
             .wire_pitch(maestro_geom::design_rules::Layer::Metal1),
     );
-    Ok(FcLayout {
-        module_name: module.name().to_owned(),
-        width: eval.width,
-        height: eval.height,
-        device_area: stats.total_device_area(),
-        wire_area,
-        placements: eval.placements,
-    })
+    let winning_seed = SynthSeed {
+        expr: state.expr.clone(),
+        cost: state.cached_cost,
+    };
+    Ok((
+        FcLayout {
+            module_name: module.name().to_owned(),
+            width: eval.width,
+            height: eval.height,
+            device_area: stats.total_device_area(),
+            wire_area,
+            placements: eval.placements,
+        },
+        winning_seed,
+    ))
 }
 
 #[cfg(test)]
@@ -660,6 +745,52 @@ mod tests {
             let full = synthesize_full_refresh(&m, &tech, &SynthesisParams::quick()).unwrap();
             assert_eq!(delta, full, "{} diverged", m.name());
         }
+    }
+
+    #[test]
+    fn seeded_with_none_matches_unseeded_bit_for_bit() {
+        let m = library_circuits::nmos_full_adder();
+        let tech = builtin::nmos25();
+        let plain = synthesize(&m, &tech, &SynthesisParams::quick()).unwrap();
+        let (layout, seed) = synthesize_seeded(&m, &tech, &SynthesisParams::quick(), None).unwrap();
+        assert_eq!(plain, layout);
+        assert_eq!(seed.tile_count(), m.device_count());
+    }
+
+    #[test]
+    fn stale_seed_is_rejected_and_the_run_stays_cold() {
+        let tech = builtin::nmos25();
+        // A seed from a 3-tile module cannot warm-start a 14-tile one.
+        let (_, stale) = synthesize_seeded(
+            &library_circuits::pass_chain(3),
+            &tech,
+            &SynthesisParams::quick(),
+            None,
+        )
+        .unwrap();
+        let m = library_circuits::nmos_full_adder();
+        let cold = synthesize(&m, &tech, &SynthesisParams::quick()).unwrap();
+        let (seeded, _) =
+            synthesize_seeded(&m, &tech, &SynthesisParams::quick(), Some(&stale)).unwrap();
+        assert_eq!(cold, seeded, "a rejected seed must not perturb the run");
+    }
+
+    #[test]
+    fn seeding_never_worsens_the_cost_and_is_deterministic() {
+        let m = library_circuits::nmos_full_adder();
+        let tech = builtin::nmos25();
+        let (_, cold_seed) = synthesize_seeded(&m, &tech, &SynthesisParams::quick(), None).unwrap();
+        let run = || synthesize_seeded(&m, &tech, &SynthesisParams::quick(), Some(&cold_seed));
+        let (warm_layout, warm_seed) = run().unwrap();
+        assert!(
+            warm_seed.cost() <= cold_seed.cost(),
+            "warm {} must not exceed cold {}",
+            warm_seed.cost(),
+            cold_seed.cost()
+        );
+        let (again_layout, again_seed) = run().unwrap();
+        assert_eq!(warm_layout, again_layout);
+        assert_eq!(warm_seed, again_seed);
     }
 
     #[test]

@@ -21,13 +21,14 @@ use std::process::ExitCode;
 use maestro::estimator::pipeline::Pipeline;
 use maestro::estimator::standard_cell::ScParams;
 use maestro::netlist::chip;
+use maestro::netlist::RevisionManifest;
 use maestro::ops;
 use maestro::prelude::*;
 
 fn usage() -> &'static str {
     "usage:\n  \
      maestro-cli estimate  <file...> [--tech nmos|cmos|<db.json>] [--rows N] [--jobs N] [--json]\n  \
-     \x20                   [--generate FAMILY:DEVICES]... [--stream]\n  \
+     \x20                   [--generate FAMILY:DEVICES]... [--stream] [--since prev.mnl]\n  \
      maestro-cli generate  <FAMILY:DEVICES> [--out chip.mnl]\n  \
      \x20                   (families: datapath, memory, tree, mixed; sizes accept k/m suffixes)\n  \
      maestro-cli expand    <file.mnl>\n  \
@@ -50,6 +51,7 @@ struct Options {
     files: Vec<String>,
     generate: Vec<String>,
     stream: bool,
+    since: Option<String>,
     tech: String,
     rows: Option<u32>,
     aspect: Option<f64>,
@@ -73,6 +75,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         files: Vec::new(),
         generate: Vec::new(),
         stream: false,
+        since: None,
         tech: "nmos".to_owned(),
         rows: None,
         aspect: None,
@@ -128,6 +131,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 );
             }
             "--stream" => opts.stream = true,
+            "--since" => {
+                opts.since = Some(it.next().ok_or("--since needs a schematic path")?.clone());
+            }
             "--json" => opts.json = true,
             "--svg" => {
                 opts.svg = Some(it.next().ok_or("--svg needs a path")?.clone());
@@ -218,6 +224,9 @@ fn cmd_estimate(opts: &Options) -> Result<(), String> {
     for file in &opts.files {
         modules.extend(ops::load_modules(file)?);
     }
+    if opts.stream && opts.since.is_some() {
+        return Err("--since diffs whole revisions in memory; drop --stream".to_owned());
+    }
     if opts.stream {
         // Streaming path: generated modules are built lazily and every
         // result leaves through stdout as soon as its wave completes, so
@@ -244,6 +253,19 @@ fn cmd_estimate(opts: &Options) -> Result<(), String> {
             "streamed {} module(s): {} device(s), {} net(s) in {:.2}s",
             summary.modules, summary.devices, summary.nets, elapsed
         );
+    } else if let Some(since) = &opts.since {
+        for spec in &specs {
+            modules.extend(spec.modules());
+        }
+        // ECO mode: classify this revision against the previous schematic
+        // before estimating. The diff tally goes to stderr; stdout stays
+        // byte-identical to a plain estimate of the same files.
+        let prev_modules = ops::load_modules(since)?;
+        let prev = RevisionManifest::from_modules(prev_modules.iter());
+        let (text, run) =
+            ops::estimate_output_incremental(&pipeline, &prev, &modules, opts.jobs, opts.json)?;
+        eprintln!("since {since}: {}", run.diff.summary());
+        print!("{text}");
     } else {
         for spec in &specs {
             modules.extend(spec.modules());
@@ -295,6 +317,7 @@ fn cmd_layout(opts: &Options) -> Result<(), String> {
                 opts.rows,
                 opts.replicas,
                 opts.svg.is_some(),
+                None,
             )?;
             if let (Some(path), Some(svg)) = (&opts.svg, &outcome.svg) {
                 std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;

@@ -7,18 +7,22 @@
 //! text the CLI prints (every line `\n`-terminated), the CLI `print!`s
 //! it and the daemon ships it as a response payload.
 
+use std::borrow::Borrow;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
 
-use maestro_estimator::pipeline::{Pipeline, StreamSummary};
-use maestro_estimator::report::EstimateRecord;
+use maestro_estimator::pipeline::{IncrementalRun, Pipeline, StreamSummary};
+use maestro_estimator::report::{EstimateRecord, ResultsDb};
 use maestro_floorplan::{backend, Block, Floorplan, PlanParams};
-use maestro_fullcustom::{synthesize, SynthesisParams};
-use maestro_netlist::{chip, expand, mnl, spice, LayoutStyle, Module, StatsCache};
+use maestro_fullcustom::{synthesize, synthesize_seeded, SynthesisParams, WarmStore};
+use maestro_netlist::{
+    chip, expand, mnl, spice, LayoutStyle, Module, RevisionManifest, StatsCache,
+};
 use maestro_place::{place, PlaceParams};
 use maestro_route::route;
 use maestro_tech::{builtin, io as tech_io, ProcessDb};
+use maestro_trace as trace;
 
 /// Resolves a `--tech` spec: the built-in names or a process-DB JSON path.
 pub fn load_tech(spec: &str) -> Result<ProcessDb, String> {
@@ -57,17 +61,26 @@ pub fn parse_inline_mnl(source: &str) -> Result<Vec<Module>, String> {
 
 /// Runs the estimate batch and renders the CLI's output for it: the
 /// results-database JSON (with `--json`) or the per-module text table.
-pub fn estimate_output(
+pub fn estimate_output<M: Borrow<Module>>(
     pipeline: &Pipeline,
-    modules: &[Module],
+    modules: &[M],
     jobs: usize,
     json: bool,
 ) -> Result<String, String> {
     // `jobs` fans the batch over worker threads; the merged database
     // (and its JSON) is identical to the serial run's.
     let db = pipeline
-        .run_all_parallel(modules.iter(), jobs)
+        .run_all_parallel(modules.iter().map(Borrow::borrow), jobs)
         .map_err(|e| e.to_string())?;
+    render_estimate_db(&db, json)
+}
+
+/// Renders a results database the way the estimate command prints it:
+/// the database JSON (with `--json`) or the per-module text table. The
+/// cold and incremental estimate paths both end here, which is what makes
+/// their outputs byte-identical.
+pub fn render_estimate_db(db: &ResultsDb, json: bool) -> Result<String, String> {
+    let _span = trace::span("estimate.render");
     if json {
         return Ok(format!("{}\n", db.to_json().map_err(|e| e.to_string())?));
     }
@@ -76,6 +89,24 @@ pub fn estimate_output(
         out.push_str(&estimate_record_text(rec));
     }
     Ok(out)
+}
+
+/// Runs the estimate batch incrementally against a previous revision
+/// manifest and renders the same output as [`estimate_output`]. The
+/// returned [`IncrementalRun`] carries the classified diff and the new
+/// manifest for the caller to persist for the next round.
+pub fn estimate_output_incremental<M: Borrow<Module>>(
+    pipeline: &Pipeline,
+    prev: &RevisionManifest,
+    modules: &[M],
+    jobs: usize,
+    json: bool,
+) -> Result<(String, IncrementalRun), String> {
+    let run = pipeline
+        .run_all_incremental(prev, modules.iter().map(Borrow::borrow), jobs)
+        .map_err(|e| e.to_string())?;
+    let text = render_estimate_db(&run.db, json)?;
+    Ok((text, run))
 }
 
 /// The per-module block of the estimate text table — the one renderer both
@@ -174,6 +205,11 @@ pub struct LayoutOutcome {
 /// Lays out one module — place & route for gate-level schematics,
 /// full-custom synthesis for transistor-level ones, decided by which
 /// technology table resolves — and renders the CLI summary line.
+///
+/// With `warm`, full-custom synthesis seeds from the store's last winning
+/// solution for this module (keyed by name and technology revision) and
+/// threads the new winner back in — the serve daemon's ECO path. `None`
+/// (the one-shot CLI) is bit-identical to the historical cold behaviour.
 pub fn layout_module(
     module: &Module,
     tech: &ProcessDb,
@@ -181,6 +217,7 @@ pub fn layout_module(
     rows: Option<u32>,
     replicas: usize,
     want_svg: bool,
+    warm: Option<&WarmStore>,
 ) -> Result<LayoutOutcome, String> {
     // Probing via the resolve-once cache means `place` below re-uses
     // this very resolution instead of re-scanning the module.
@@ -219,7 +256,16 @@ pub fn layout_module(
             replicas,
             ..Default::default()
         };
-        let layout = synthesize(module, tech, &params).map_err(|e| e.to_string())?;
+        let layout = if let Some(store) = warm {
+            let revision = tech.revision().id();
+            let seed = store.get(module.name(), revision);
+            let (layout, winner) = synthesize_seeded(module, tech, &params, seed.as_ref())
+                .map_err(|e| e.to_string())?;
+            store.put(module.name(), revision, winner);
+            layout
+        } else {
+            synthesize(module, tech, &params).map_err(|e| e.to_string())?
+        };
         let svg = want_svg.then(|| layout.to_svg());
         Ok(LayoutOutcome {
             summary: format!(
@@ -276,9 +322,9 @@ fn plan_backend(
 /// Renders the markdown design report. The floorplan the `## chip
 /// floorplan` section (emitted when more than one block shaped) was built
 /// from is returned alongside, so the CLI can draw it.
-pub fn report_output(
+pub fn report_output<M: Borrow<Module>>(
     pipeline: &Pipeline,
-    modules: &[Module],
+    modules: &[M],
     aspect: Option<f64>,
     jobs: usize,
 ) -> Result<(String, Option<Floorplan>), String> {
@@ -289,10 +335,10 @@ pub fn report_output(
     // in module order and byte-identical to the serial run, so the
     // rendered report is jobs-invariant.
     let db = pipeline
-        .run_all_parallel(modules.iter(), jobs)
+        .run_all_parallel(modules.iter().map(Borrow::borrow), jobs)
         .map_err(|e| e.to_string())?;
     let mut blocks = Vec::new();
-    for (module, record) in modules.iter().zip(db.records()) {
+    for (module, record) in modules.iter().map(Borrow::borrow).zip(db.records()) {
         writeln!(out, "## module `{}`\n", record.module_name).expect("string write");
         writeln!(
             out,
@@ -361,13 +407,14 @@ pub fn report_output(
 /// Shapes every module into a block, floorplans the chip, and renders the
 /// CLI's chip + placements text. The plan is returned alongside so the
 /// CLI can draw it.
-pub fn floorplan_output(
+pub fn floorplan_output<M: Borrow<Module>>(
     pipeline: &Pipeline,
-    modules: &[Module],
+    modules: &[M],
     aspect: Option<f64>,
 ) -> Result<(String, Floorplan), String> {
     let mut blocks = Vec::new();
     for module in modules {
+        let module = module.borrow();
         // One estimator pass per module; the pipeline's resolve-once
         // cache carries the analysis into any later layout commands.
         if let Some(block) = Block::from_module(pipeline, module, 5).map_err(|e| e.to_string())? {

@@ -42,8 +42,10 @@ use std::time::Duration;
 use maestro_estimator::pipeline::Pipeline;
 use maestro_estimator::prob::ProbTable;
 use maestro_estimator::request::{Request, RequestCall, Response};
+use maestro_estimator::results_cache::ResultsCache;
 use maestro_estimator::standard_cell::ScParams;
-use maestro_netlist::{Module, StatsCache};
+use maestro_fullcustom::WarmStore;
+use maestro_netlist::{mnl, Module, RevisionManifest, StatsCache};
 use maestro_tech::ProcessDb;
 use maestro_trace as trace;
 
@@ -52,14 +54,62 @@ use crate::ops;
 /// The warm state one daemon keeps across requests.
 ///
 /// Technology databases are parsed once per distinct `tech` spec and
-/// cloned per request — a clone shares the original's cache revision, so
-/// the process-wide resolve-once memo sees every request against the same
-/// tech as one cache line: exactly one `netlist.resolve` miss per
-/// (module, style) over a whole session.
+/// shared by `Arc` across requests — every request against the same spec
+/// sees one tech revision, so the process-wide resolve-once memo treats
+/// the whole session as one cache line: exactly one `netlist.resolve`
+/// miss per (module, style). Reuses are counted by `serve.tech_reuse`.
+///
+/// For ECO loops the session additionally keeps a [`ResultsCache`] of
+/// full per-module estimates, the previous revision manifest (so an
+/// `"incremental":true` estimate can diff against the last batch), and a
+/// [`WarmStore`] of winning synthesis seeds for `"warm":true` layouts.
+///
+/// Request sources are parsed through a per-module memo: canonical
+/// multi-module `.mnl` text is split into `module … endmodule` chunks
+/// and each chunk's parse is cached by content hash, so re-submitting a
+/// chip with one edited module re-parses one module, not the whole file.
+/// Any non-canonical or erroneous source falls back to the whole-file
+/// parser for byte-identical diagnostics.
 pub struct Session {
-    techs: Mutex<HashMap<String, ProcessDb>>,
+    techs: Mutex<HashMap<String, Arc<ProcessDb>>>,
     stats: Arc<StatsCache>,
     prob: Arc<ProbTable>,
+    results: Arc<ResultsCache>,
+    warm: WarmStore,
+    prev: Mutex<Option<RevisionManifest>>,
+    tech_reuse: AtomicU64,
+    parsed: Mutex<HashMap<u128, (Arc<Module>, u64)>>,
+    parse_tick: AtomicU64,
+    parse_hits: AtomicU64,
+    parse_misses: AtomicU64,
+}
+
+/// Parsed-module memo bound: ~10× the largest chip batch the bench
+/// drives, small enough that eviction never matters in practice.
+const PARSE_CACHE_CAPACITY: usize = 8192;
+
+/// 128-bit content hash over a chunk, FNV-style but folding 16-byte
+/// words per multiply: the memo hashes the entire request text on every
+/// round, so per-byte multiplies would rival the parse it avoids. The
+/// length is mixed in up front (so a short text and its zero-padded
+/// sibling differ) and only in-session equality matters — the hash never
+/// crosses a process boundary.
+fn hash128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    let mut h = OFFSET ^ (bytes.len() as u128).wrapping_mul(PRIME);
+    let mut words = bytes.chunks_exact(16);
+    for word in &mut words {
+        let word = u128::from_le_bytes(word.try_into().expect("exact chunk"));
+        h = (h ^ word).wrapping_mul(PRIME);
+    }
+    let tail = words.remainder();
+    if !tail.is_empty() {
+        let mut padded = [0u8; 16];
+        padded[..tail.len()].copy_from_slice(tail);
+        h = (h ^ u128::from_le_bytes(padded)).wrapping_mul(PRIME);
+    }
+    (h ^ (h >> 64)).wrapping_mul(PRIME)
 }
 
 impl Default for Session {
@@ -82,6 +132,14 @@ impl Session {
             techs: Mutex::new(HashMap::new()),
             stats,
             prob,
+            results: Arc::new(ResultsCache::new()),
+            warm: WarmStore::new(),
+            prev: Mutex::new(None),
+            tech_reuse: AtomicU64::new(0),
+            parsed: Mutex::new(HashMap::new()),
+            parse_tick: AtomicU64::new(0),
+            parse_hits: AtomicU64::new(0),
+            parse_misses: AtomicU64::new(0),
         }
     }
 
@@ -105,21 +163,158 @@ impl Session {
         &self.stats
     }
 
+    /// The session's full-result memo for incremental estimates.
+    pub fn results_cache(&self) -> &Arc<ResultsCache> {
+        &self.results
+    }
+
+    /// How many requests reused an already-parsed tech DB.
+    pub fn tech_reuses(&self) -> u64 {
+        self.tech_reuse.load(Ordering::Relaxed)
+    }
+
+    /// Parses one `.mnl` source through the per-module memo, or `None`
+    /// when the source isn't canonically splittable, any chunk fails to
+    /// parse, or chunks duplicate a module name — the caller then runs
+    /// the whole-file parser so diagnostics (line numbers, duplicate
+    /// errors) stay byte-identical to the uncached path.
+    fn try_parse_cached(&self, source: &str) -> Option<Vec<Arc<Module>>> {
+        let _span = trace::span("serve.parse");
+        let chunks = mnl::split_design(source)?;
+        let hashes: Vec<u128> = chunks.iter().map(|c| hash128(c.as_bytes())).collect();
+        let mut modules: Vec<Option<Arc<Module>>> = vec![None; chunks.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let mut parsed = self.parsed.lock().expect("serve parse memo lock poisoned");
+            for (i, hash) in hashes.iter().enumerate() {
+                if let Some((module, tick)) = parsed.get_mut(hash) {
+                    *tick = self.parse_tick.fetch_add(1, Ordering::Relaxed);
+                    modules[i] = Some(Arc::clone(module));
+                } else {
+                    missing.push(i);
+                }
+            }
+        }
+        let hits = (chunks.len() - missing.len()) as u64;
+        if hits > 0 {
+            self.parse_hits.fetch_add(hits, Ordering::Relaxed);
+            trace::counter("serve.parse.hits", hits);
+        }
+        // Parse the misses outside the lock: the memo stays available to
+        // concurrent requests while this one chews its fresh chunks.
+        let mut fresh: Vec<(u128, Arc<Module>)> = Vec::with_capacity(missing.len());
+        for i in missing {
+            let module = Arc::new(mnl::parse(chunks[i]).ok()?);
+            fresh.push((hashes[i], Arc::clone(&module)));
+            modules[i] = Some(module);
+        }
+        let modules: Vec<Arc<Module>> = modules
+            .into_iter()
+            .map(|m| m.expect("all slots filled"))
+            .collect();
+        for (i, module) in modules.iter().enumerate() {
+            if modules[..i].iter().any(|m| m.name() == module.name()) {
+                return None; // duplicate name: parse_design owns the error
+            }
+        }
+        if !fresh.is_empty() {
+            self.parse_misses
+                .fetch_add(fresh.len() as u64, Ordering::Relaxed);
+            trace::counter("serve.parse.misses", fresh.len() as u64);
+            let mut parsed = self.parsed.lock().expect("serve parse memo lock poisoned");
+            for (hash, module) in fresh {
+                let tick = self.parse_tick.fetch_add(1, Ordering::Relaxed);
+                parsed.insert(hash, (module, tick));
+            }
+            while parsed.len() > PARSE_CACHE_CAPACITY {
+                let victim = parsed
+                    .iter()
+                    .min_by_key(|(_, (_, tick))| *tick)
+                    .map(|(hash, _)| *hash)
+                    .expect("non-empty over capacity");
+                parsed.remove(&victim);
+            }
+        }
+        Some(modules)
+    }
+
+    /// Gathers a request's modules from file paths and inline sources,
+    /// routing every `.mnl` text through the parse memo with a
+    /// whole-file fallback for canonical error reporting.
+    fn gather_modules(
+        &self,
+        files: &[String],
+        mnl_sources: &[String],
+    ) -> Result<Vec<Arc<Module>>, String> {
+        let mut modules = Vec::new();
+        for file in files {
+            if std::path::Path::new(file)
+                .extension()
+                .is_some_and(|e| e == "mnl")
+            {
+                let source = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read {file}: {e}"))?;
+                match self.try_parse_cached(&source) {
+                    Some(parsed) => modules.extend(parsed),
+                    None => modules.extend(
+                        mnl::parse_design(&source)
+                            .map_err(|e| format!("{file}: {e}"))?
+                            .into_iter()
+                            .map(Arc::new),
+                    ),
+                }
+            } else {
+                modules.extend(ops::load_modules(file)?.into_iter().map(Arc::new));
+            }
+        }
+        for source in mnl_sources {
+            match self.try_parse_cached(source) {
+                Some(parsed) => modules.extend(parsed),
+                None => modules.extend(ops::parse_inline_mnl(source)?.into_iter().map(Arc::new)),
+            }
+        }
+        Ok(modules)
+    }
+
     fn dispatch(&self, request: &Request) -> Result<String, String> {
         match &request.call {
             RequestCall::Shutdown => Ok(String::new()),
+            RequestCall::CacheStats => Ok(self.cache_stats_payload()),
             RequestCall::Estimate(req) => {
                 let tech = self.tech(&req.tech)?;
-                let modules = gather_modules(&req.files, &req.mnl)?;
+                let modules = self.gather_modules(&req.files, &req.mnl)?;
                 let mut pipeline = self.pipeline(tech);
                 if let Some(rows) = req.rows {
                     pipeline = pipeline.with_sc_params(ScParams::with_rows(rows));
                 }
-                ops::estimate_output(&pipeline, &modules, req.jobs as usize, req.json)
+                if !req.incremental {
+                    return ops::estimate_output(&pipeline, &modules, req.jobs as usize, req.json);
+                }
+                // Incremental: diff against the session's previous
+                // revision and let the result memo serve unchanged
+                // modules; the rendered payload is byte-identical to the
+                // cold path by construction.
+                let pipeline = pipeline.with_results_cache(Arc::clone(&self.results));
+                let prev = self
+                    .prev
+                    .lock()
+                    .expect("serve revision lock poisoned")
+                    .clone()
+                    .unwrap_or_default();
+                let (text, run) = ops::estimate_output_incremental(
+                    &pipeline,
+                    &prev,
+                    &modules,
+                    req.jobs as usize,
+                    req.json,
+                )?;
+                *self.prev.lock().expect("serve revision lock poisoned") = Some(run.manifest);
+                Ok(text)
             }
             RequestCall::Layout(req) => {
                 let tech = self.tech(&req.tech)?;
-                let modules = gather_modules(&req.files, &req.mnl)?;
+                let modules = self.gather_modules(&req.files, &req.mnl)?;
+                let warm = req.warm.then_some(&self.warm);
                 let mut out = String::new();
                 for module in &modules {
                     let outcome = ops::layout_module(
@@ -129,6 +324,7 @@ impl Session {
                         req.rows,
                         req.replicas as usize,
                         false,
+                        warm,
                     )?;
                     out.push_str(&outcome.summary);
                 }
@@ -136,7 +332,7 @@ impl Session {
             }
             RequestCall::Floorplan(req) => {
                 let tech = self.tech(&req.tech)?;
-                let modules = gather_modules(&req.files, &req.mnl)?;
+                let modules = self.gather_modules(&req.files, &req.mnl)?;
                 let pipeline = self
                     .pipeline(tech)
                     .with_replicas(req.replicas as usize)
@@ -145,7 +341,7 @@ impl Session {
             }
             RequestCall::Report(req) => {
                 let tech = self.tech(&req.tech)?;
-                let modules = gather_modules(&req.files, &req.mnl)?;
+                let modules = self.gather_modules(&req.files, &req.mnl)?;
                 let pipeline = self
                     .pipeline(tech)
                     .with_replicas(req.replicas as usize)
@@ -155,33 +351,60 @@ impl Session {
         }
     }
 
-    /// The warm tech DB for a spec, parsing it on first use.
-    fn tech(&self, spec: &str) -> Result<ProcessDb, String> {
+    /// The warm tech DB for a spec, parsed on first use and shared by
+    /// `Arc` thereafter — later requests reuse the same instance instead
+    /// of deep-cloning the process tables per request.
+    fn tech(&self, spec: &str) -> Result<Arc<ProcessDb>, String> {
         let mut techs = self.techs.lock().expect("serve tech map lock poisoned");
         if let Some(tech) = techs.get(spec) {
-            return Ok(tech.clone());
+            self.tech_reuse.fetch_add(1, Ordering::Relaxed);
+            trace::counter("serve.tech_reuse", 1);
+            return Ok(Arc::clone(tech));
         }
-        let tech = ops::load_tech(spec)?;
-        techs.insert(spec.to_owned(), tech.clone());
+        let tech = Arc::new(ops::load_tech(spec)?);
+        techs.insert(spec.to_owned(), Arc::clone(&tech));
         Ok(tech)
     }
 
-    fn pipeline(&self, tech: ProcessDb) -> Pipeline {
-        Pipeline::new(tech)
+    fn pipeline(&self, tech: Arc<ProcessDb>) -> Pipeline {
+        Pipeline::from_shared_tech(tech)
             .with_prob_table(Arc::clone(&self.prob))
             .with_stats_cache(Arc::clone(&self.stats))
     }
-}
 
-fn gather_modules(files: &[String], mnl: &[String]) -> Result<Vec<Module>, String> {
-    let mut modules = Vec::new();
-    for file in files {
-        modules.extend(ops::load_modules(file)?);
+    /// The `cache-stats` payload: one fixed-order JSON object over the
+    /// session's resolve memo, result memo, parse memo, warm-seed store
+    /// and tech reuse counter.
+    fn cache_stats_payload(&self) -> String {
+        let resolve = self.stats.stats();
+        let results = self.results.stats();
+        let parse_entries = self
+            .parsed
+            .lock()
+            .expect("serve parse memo lock poisoned")
+            .len();
+        format!(
+            concat!(
+                "{{\"resolve\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{}}},",
+                "\"results\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{}}},",
+                "\"parse\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},",
+                "\"warm_seeds\":{},\"tech_reuse\":{}}}\n"
+            ),
+            resolve.hits,
+            resolve.misses,
+            resolve.evictions,
+            resolve.entries,
+            results.hits,
+            results.misses,
+            results.evictions,
+            results.entries,
+            self.parse_hits.load(Ordering::Relaxed),
+            self.parse_misses.load(Ordering::Relaxed),
+            parse_entries,
+            self.warm.len(),
+            self.tech_reuse.load(Ordering::Relaxed),
+        )
     }
-    for source in mnl {
-        modules.extend(ops::parse_inline_mnl(source)?);
-    }
-    Ok(modules)
 }
 
 /// What one serve stream did, for logging and tests.

@@ -131,19 +131,22 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that ran `NetlistStats::resolve` (successfully or not).
     pub misses: u64,
+    /// Entries dropped by the capacity bound since construction.
+    pub evictions: u64,
     /// Distinct keys currently cached (including cached failures).
     pub entries: usize,
 }
 
 impl CacheStats {
-    /// Hit/miss growth since an `earlier` snapshot of the same cache.
-    /// `entries` carries the current level (it is not a monotonic
+    /// Hit/miss/eviction growth since an `earlier` snapshot of the same
+    /// cache. `entries` carries the current level (it is not a monotonic
     /// counter). Saturates if the snapshots are swapped.
     #[must_use]
     pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
             entries: self.entries,
         }
     }
@@ -154,6 +157,21 @@ impl CacheStats {
 /// `get_or_init` until the winner's computation lands, instead of
 /// duplicating it.
 type Slot = Arc<OnceLock<Result<Arc<NetlistStats>, NetlistError>>>;
+
+type Key = (ModuleFingerprint, u64, LayoutStyle);
+
+/// Default entry cap: generous for chip-scale batches (a `mixed:1m`
+/// stream resolves ~11k distinct triples) while still bounding a
+/// pathological stream of never-repeating modules.
+pub const DEFAULT_STATS_CAPACITY: usize = 4096;
+
+/// A memo slot plus the logical clock of its most recent use, for
+/// least-recently-used victim selection.
+#[derive(Debug, Default)]
+struct SlotEntry {
+    slot: Slot,
+    last_used: AtomicU64,
+}
 
 /// The concurrent resolve-once memo for [`NetlistStats`].
 ///
@@ -173,17 +191,48 @@ type Slot = Arc<OnceLock<Result<Arc<NetlistStats>, NetlistError>>>;
 /// let stats = cache.stats();
 /// assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StatsCache {
-    memo: RwLock<HashMap<(ModuleFingerprint, u64, LayoutStyle), Slot>>,
+    memo: RwLock<HashMap<Key, SlotEntry>>,
+    capacity: usize,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for StatsCache {
+    fn default() -> Self {
+        StatsCache::with_capacity(DEFAULT_STATS_CAPACITY)
+    }
 }
 
 impl StatsCache {
-    /// An empty cache.
+    /// An empty cache with the default entry cap
+    /// ([`DEFAULT_STATS_CAPACITY`]).
     pub fn new() -> Self {
         StatsCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries (clamped to at
+    /// least 1). When an insertion would exceed the cap, the
+    /// least-recently-used *completed* entries are dropped in a batch
+    /// (an eighth of the capacity, at least one) — in-flight slots that
+    /// other threads may be blocked on are never evicted.
+    pub fn with_capacity(capacity: usize) -> Self {
+        StatsCache {
+            memo: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The entry cap this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The process-wide shared cache: entry points that carry no explicit
@@ -211,15 +260,24 @@ impl StatsCache {
         style: LayoutStyle,
     ) -> Result<Arc<NetlistStats>, NetlistError> {
         let key = (ModuleFingerprint::of(module), tech.revision().id(), style);
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
         let slot = {
             let read = self.memo.read().expect("stats memo poisoned");
-            read.get(&key).cloned()
+            read.get(&key).map(|entry| {
+                entry.last_used.store(now, Ordering::Relaxed);
+                Arc::clone(&entry.slot)
+            })
         };
         let slot = match slot {
             Some(slot) => slot,
             None => {
                 let mut write = self.memo.write().expect("stats memo poisoned");
-                Arc::clone(write.entry(key).or_default())
+                if !write.contains_key(&key) && write.len() >= self.capacity {
+                    self.evict_oldest(&mut write);
+                }
+                let entry = write.entry(key).or_default();
+                entry.last_used.store(now, Ordering::Relaxed);
+                Arc::clone(&entry.slot)
             }
         };
         // Outside both locks: concurrent *distinct* keys compute freely in
@@ -242,12 +300,38 @@ impl StatsCache {
         result
     }
 
-    /// Hit/miss/entry counters (hits and misses are read `Relaxed`; exact
-    /// only in quiescence, indicative under concurrency).
+    /// Drops the least-recently-used completed entries to make room for
+    /// one more insertion. Runs under the write lock, so victim selection
+    /// sees a consistent map; in-flight slots (whose compute another
+    /// thread may be blocked on) are exempt. Each eviction is counted and
+    /// emitted as a `netlist.resolve.evictions` trace counter.
+    fn evict_oldest(&self, memo: &mut HashMap<Key, SlotEntry>) {
+        let batch = (self.capacity / 8).max(1);
+        let mut victims: Vec<(Key, u64)> = memo
+            .iter()
+            .filter(|(_, entry)| entry.slot.get().is_some())
+            .map(|(key, entry)| (*key, entry.last_used.load(Ordering::Relaxed)))
+            .collect();
+        victims.sort_unstable_by_key(|&(_, used)| used);
+        let mut evicted = 0u64;
+        for (key, _) in victims.into_iter().take(batch) {
+            memo.remove(&key);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            trace::counter("netlist.resolve.evictions", evicted);
+        }
+    }
+
+    /// Hit/miss/eviction/entry counters (the monotonic counters are read
+    /// `Relaxed`; exact only in quiescence, indicative under
+    /// concurrency).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.memo.read().expect("stats memo poisoned").len(),
         }
     }
@@ -303,6 +387,7 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
+                evictions: 0,
                 entries: 1
             }
         );
@@ -367,11 +452,13 @@ mod tests {
         let a = CacheStats {
             hits: 10,
             misses: 4,
+            evictions: 1,
             entries: 3,
         };
         let b = CacheStats {
             hits: 12,
             misses: 4,
+            evictions: 3,
             entries: 5,
         };
         assert_eq!(
@@ -379,9 +466,31 @@ mod tests {
             CacheStats {
                 hits: 2,
                 misses: 0,
+                evictions: 2,
                 entries: 5
             }
         );
         assert_eq!(a.delta_since(&b).hits, 0, "swapped snapshots saturate");
+    }
+
+    #[test]
+    fn capacity_bound_evicts_the_least_recently_used_entry() {
+        let cache = StatsCache::with_capacity(2);
+        let tech = builtin::nmos25();
+        let m1 = library_circuits::nmos_full_adder();
+        let m2 = library_circuits::pass_chain(3);
+        let m3 = library_circuits::nmos_mux4();
+        cache.resolve(&m1, &tech, LayoutStyle::FullCustom).unwrap();
+        cache.resolve(&m2, &tech, LayoutStyle::FullCustom).unwrap();
+        // Touch m1 so m2 is the LRU victim when m3 forces an eviction.
+        cache.resolve(&m1, &tech, LayoutStyle::FullCustom).unwrap();
+        cache.resolve(&m3, &tech, LayoutStyle::FullCustom).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.evictions, stats.entries), (1, 2));
+        // m1 survived (hit); m2 was dropped (fresh miss re-resolves it).
+        cache.resolve(&m1, &tech, LayoutStyle::FullCustom).unwrap();
+        assert_eq!(cache.stats().hits, 2);
+        cache.resolve(&m2, &tech, LayoutStyle::FullCustom).unwrap();
+        assert_eq!(cache.stats().misses, 4);
     }
 }

@@ -44,6 +44,7 @@
 mod cache;
 pub mod chip;
 pub mod depth;
+pub mod diff;
 mod error;
 pub mod expand;
 pub mod generate;
@@ -55,7 +56,8 @@ pub mod spice;
 mod stats;
 pub mod validate;
 
-pub use cache::{CacheStats, ModuleFingerprint, StatsCache};
+pub use cache::{CacheStats, ModuleFingerprint, StatsCache, DEFAULT_STATS_CAPACITY};
+pub use diff::{diff, NetlistDiff, RevisionManifest};
 pub use error::{NetlistError, ParseErrorKind};
 pub use ids::{DeviceId, NetId, PortId};
 pub use module::{Device, Module, ModuleBuilder, Net, PinRef, Port, PortDirection};

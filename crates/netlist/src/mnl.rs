@@ -445,6 +445,60 @@ pub fn to_mnl(module: &Module) -> String {
     s
 }
 
+/// Splits a multi-module design source into per-module text chunks
+/// *without* parsing — the cheap first half of an incremental re-parse.
+///
+/// Each chunk runs from its `module …` line through its `endmodule` line
+/// inclusive; blank lines and `#` comments between modules belong to no
+/// chunk (they carry no semantics, so a caller hashing chunks for a parse
+/// memo stays insensitive to them). The split is deliberately
+/// conservative: it only recognizes the canonical one-declaration-per-line
+/// shape [`to_mnl`] emits, and returns `None` for anything else — content
+/// outside a block, an unterminated block, an empty source — so callers
+/// fall back to [`parse_design`], which reports the canonical error.
+///
+/// A chunk is *not* guaranteed to be a valid module, only to cover the
+/// same text [`parse_design`] would consume for it: parse each chunk (or
+/// serve it from a memo) and fall back to the whole source on failure.
+///
+/// # Examples
+///
+/// ```
+/// let source = "# two blocks\nmodule a;\ninput x;\nendmodule\n\nmodule b;\ninput y;\nendmodule\n";
+/// let chunks = maestro_netlist::mnl::split_design(source).expect("canonical shape");
+/// assert_eq!(chunks.len(), 2);
+/// assert!(chunks[0].starts_with("module a;"));
+/// assert!(chunks[1].ends_with("endmodule\n"));
+/// ```
+pub fn split_design(source: &str) -> Option<Vec<&str>> {
+    let mut chunks = Vec::new();
+    let mut start: Option<usize> = None;
+    let mut offset = 0;
+    for line in source.split_inclusive('\n') {
+        let trimmed = line.trim();
+        match start {
+            None => {
+                if trimmed.starts_with("module ") || trimmed.starts_with("module\t") {
+                    start = Some(offset);
+                } else if !trimmed.is_empty() && !trimmed.starts_with('#') {
+                    return None;
+                }
+            }
+            Some(s) => {
+                if trimmed == "endmodule" {
+                    chunks.push(&source[s..offset + line.len()]);
+                    start = None;
+                }
+            }
+        }
+        offset += line.len();
+    }
+    if start.is_some() || chunks.is_empty() {
+        return None;
+    }
+    Some(chunks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,5 +684,38 @@ endmodule
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn split_design_covers_every_block_and_reparses_identically() {
+        let source = "# header comment\n\nmodule a;\ninput x;\ndevice u INV (A=x, Y=y);\nendmodule\n\n# between\nmodule b;\ninput x;\ndevice u BUF (A=x, Y=y);\nendmodule\n";
+        let chunks = split_design(source).expect("canonical shape splits");
+        assert_eq!(chunks.len(), 2);
+        let whole = parse_design(source).expect("whole source parses");
+        for (chunk, reference) in chunks.iter().zip(&whole) {
+            let one = parse(chunk).expect("chunk parses alone");
+            assert_eq!(one.name(), reference.name());
+            assert_eq!(to_mnl(&one), to_mnl(reference));
+        }
+    }
+
+    #[test]
+    fn split_design_rejects_non_canonical_shapes() {
+        // Content outside a block.
+        assert!(split_design("stray\nmodule a;\nendmodule\n").is_none());
+        // Unterminated block.
+        assert!(split_design("module a;\ninput x;\n").is_none());
+        // Trailing junk after the last block.
+        assert!(split_design("module a;\nendmodule\njunk\n").is_none());
+        // Empty source.
+        assert!(split_design("").is_none());
+        assert!(split_design("# only comments\n").is_none());
+    }
+
+    #[test]
+    fn split_design_handles_a_missing_final_newline() {
+        let chunks = split_design("module a;\ninput x;\nendmodule").expect("splits");
+        assert_eq!(chunks.len(), 1);
+        assert!(parse(chunks[0]).is_ok());
     }
 }

@@ -2,9 +2,74 @@
 //! generator invariants and statistics consistency.
 
 use maestro_netlist::generate::{self, RandomLogicConfig};
-use maestro_netlist::{expand, mnl, spice, LayoutStyle, NetlistStats};
+use maestro_netlist::{
+    diff, expand, mnl, spice, LayoutStyle, Module, ModuleBuilder, NetId, NetlistStats,
+    RevisionManifest,
+};
 use maestro_tech::builtin;
 use proptest::prelude::*;
+
+/// Rebuilds `module` with exactly one device-level mutation applied:
+/// 0 = add a device, 1 = drop a device, 2 = rewire one pin to the next
+/// net, 3 = retemplate a device, 4 = rename a device.
+fn mutate_one(module: &Module, kind: u8) -> Module {
+    let mut b = ModuleBuilder::new(module.name());
+    let mut mapped: Vec<Option<NetId>> = vec![None; module.net_count()];
+    for (_, port) in module.ports() {
+        mapped[port.net().index()] = Some(b.port(port.name(), port.direction()));
+    }
+    for (old, net) in module.nets() {
+        if mapped[old.index()].is_none() {
+            mapped[old.index()] = Some(b.net(net.name()));
+        }
+    }
+    let m = |id: NetId| mapped[id.index()].expect("net mapped");
+    let nets_in_order: Vec<NetId> = module.nets().map(|(old, _)| m(old)).collect();
+    let target = module.device_count() / 2;
+    for (id, dev) in module.devices() {
+        let plain = dev.pins().iter().map(|(p, n)| (p.as_str(), m(*n)));
+        if id.index() != target {
+            b.device(dev.name(), dev.template(), plain);
+            continue;
+        }
+        match kind {
+            0 => {
+                b.device(dev.name(), dev.template(), plain);
+            }
+            1 => {} // drop: re-add nothing
+            2 => {
+                let pins: Vec<(String, NetId)> = dev
+                    .pins()
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, (p, n))| {
+                        let net = if pi == 0 {
+                            nets_in_order[(n.index() + 1) % nets_in_order.len()]
+                        } else {
+                            m(*n)
+                        };
+                        (p.clone(), net)
+                    })
+                    .collect();
+                b.device(
+                    dev.name(),
+                    dev.template(),
+                    pins.iter().map(|(p, n)| (p.as_str(), *n)),
+                );
+            }
+            3 => {
+                b.device(dev.name(), format!("{}_ALT", dev.template()), plain);
+            }
+            _ => {
+                b.device(format!("{}_renamed", dev.name()), dev.template(), plain);
+            }
+        }
+    }
+    if kind == 0 {
+        b.device("zz_eco_added", "INV", [("A", nets_in_order[0])]);
+    }
+    b.finish()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -86,6 +151,34 @@ proptest! {
         let tech = builtin::nmos25();
         let stats = NetlistStats::resolve(&xt, &tech, LayoutStyle::FullCustom).unwrap();
         prop_assert!(stats.total_device_area().get() > 0);
+    }
+
+    #[test]
+    fn single_module_mutations_land_exactly_in_modified(
+        which in 0usize..5,
+        kind in 0u8..5,
+        seed in 0u64..100,
+    ) {
+        let cfg = RandomLogicConfig { device_count: 12, ..Default::default() };
+        let suite: Vec<Module> = (0..5u64)
+            .map(|i| generate::random_logic(seed * 5 + i, &cfg).renamed(format!("blk{i}")))
+            .collect();
+        let prev = RevisionManifest::from_modules(&suite);
+
+        let mut next_mods = suite.clone();
+        next_mods[which] = mutate_one(&suite[which], kind);
+        let next = RevisionManifest::from_modules(&next_mods);
+
+        let d = diff(&prev, &next);
+        let name = suite[which].name().to_string();
+        prop_assert_eq!(d.modified, vec![name.clone()], "kind {}", kind);
+        prop_assert!(d.added.is_empty() && d.removed.is_empty());
+        prop_assert_eq!(d.unchanged.len(), suite.len() - 1);
+        prop_assert!(!d.unchanged.contains(&name));
+        // Nothing in `unchanged` changed identity across the revisions.
+        for n in &d.unchanged {
+            prop_assert_eq!(prev.fingerprint(n), next.fingerprint(n));
+        }
     }
 
     #[test]

@@ -207,6 +207,99 @@ pub fn anneal_replicas<S: AnnealState + Send>(
     best.0
 }
 
+/// [`anneal_replicas`] plus one optional *warm* walk seeded from a prior
+/// solution.
+///
+/// With `warm = None` this delegates to [`anneal_replicas`] — same walks,
+/// same counters, bit-identical result. With `warm = Some(prior)` the
+/// engine runs the `replicas` cold walks exactly as the plain call would
+/// (same starting state, same per-replica seeds) **plus** one extra walk
+/// of index `replicas` starting from `prior`. The reduction stays
+/// strict-`<` with lowest index winning ties, which yields two contracts
+/// by construction:
+///
+/// * **never worse than cold**: every cold walk of the unseeded run is
+///   present unchanged, so the reduced cost can only match or beat it;
+/// * **never worse than the seed**: [`anneal`] counts the starting state
+///   as "best seen", so the warm walk's cost never exceeds `prior`'s.
+///
+/// When the warm walk does not strictly win, the cold walks' winner is
+/// restored — the result is then identical to the unseeded run. Emits the
+/// usual `anneal.replicas` / `anneal.replica_best` counters (the warm
+/// walk counts as a replica) plus `anneal.warm_walks` and
+/// `anneal.warm_best` (1 when the warm walk won).
+pub fn anneal_replicas_warm<S: AnnealState + Send>(
+    state: &mut S,
+    warm: Option<S>,
+    schedule: &AnnealSchedule,
+    base_seed: u64,
+    replicas: usize,
+    probes: usize,
+    work_size: usize,
+) -> f64 {
+    let Some(warm) = warm else {
+        return anneal_replicas(state, schedule, base_seed, replicas, probes, work_size);
+    };
+    let replicas = replicas.max(1);
+    let total = replicas + 1;
+    let set_span = trace::span_with("anneal.replica_set", || {
+        format!("replicas={replicas} warm=1")
+    });
+    let set_id = set_span.id();
+    let run_replica = |r: usize, mut local: S| -> (f64, S) {
+        let seed = replica_seed(base_seed, r);
+        let _span = trace::span_under("anneal.replica", set_id, || {
+            if r == replicas {
+                format!("replica={r} warm")
+            } else {
+                format!("replica={r}")
+            }
+        });
+        let sched = schedule.clone().calibrated(&mut local, seed, probes);
+        let cost = anneal(&mut local, &sched, seed);
+        (cost, local)
+    };
+    let mut starts: Vec<Option<S>> = (0..replicas).map(|_| Some(state.clone())).collect();
+    starts.push(Some(warm));
+    let mut slots: Vec<Option<(f64, S)>> = (0..total).map(|_| None).collect();
+    if work_size < DEFAULT_REPLICA_WORK_THRESHOLD {
+        for (r, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(run_replica(r, starts[r].take().expect("start state")));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for ((r, slot), start) in slots.iter_mut().enumerate().zip(starts.iter_mut()) {
+                let local = start.take().expect("start state");
+                let run = &run_replica;
+                scope.spawn(move || {
+                    if trace::enabled() {
+                        trace::set_thread_label(format!("replica-{r}"));
+                    }
+                    *slot = Some(run(r, local));
+                });
+            }
+        });
+    }
+    let mut best_idx = 0usize;
+    let mut best = slots[0].take().expect("replica 0 result");
+    for (r, slot) in slots.iter_mut().enumerate().skip(1) {
+        let (cost, s) = slot.take().expect("replica result");
+        // Strict `<`: ties keep the lowest index, so the warm walk (the
+        // highest index) only wins by strictly improving on every cold
+        // walk.
+        if cost < best.0 {
+            best = (cost, s);
+            best_idx = r;
+        }
+    }
+    trace::counter("anneal.replicas", total as u64);
+    trace::counter("anneal.replica_best", best_idx as u64);
+    trace::counter("anneal.warm_walks", 1);
+    trace::counter("anneal.warm_best", u64::from(best_idx == replicas));
+    *state = best.1;
+    best.0
+}
+
 /// Runs the Metropolis loop, mutating `state` toward lower cost; returns
 /// the final cost. Deterministic for a given seed.
 ///
@@ -507,6 +600,84 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), seeds.len(), "derived seeds must not collide");
+    }
+
+    #[test]
+    fn warm_none_delegates_bit_for_bit() {
+        let run_plain = || {
+            let mut s = SortState::new(20, 3);
+            let cost = anneal_replicas(&mut s, &AnnealSchedule::quick(), 7, 3, 32, usize::MAX);
+            (cost, s.values)
+        };
+        let run_warm_none = || {
+            let mut s = SortState::new(20, 3);
+            let cost =
+                anneal_replicas_warm(&mut s, None, &AnnealSchedule::quick(), 7, 3, 32, usize::MAX);
+            (cost, s.values)
+        };
+        assert_eq!(run_plain(), run_warm_none());
+    }
+
+    #[test]
+    fn warm_walk_never_loses_to_cold_or_to_its_seed() {
+        let cold = |replicas| {
+            let mut s = SortState::new(24, 5);
+            anneal_replicas(
+                &mut s,
+                &AnnealSchedule::quick(),
+                9,
+                replicas,
+                32,
+                usize::MAX,
+            )
+        };
+        // A nearly-sorted warm seed: one swap away from optimal.
+        let mut warm_seed = SortState {
+            values: (0..24).collect(),
+            last_swap: None,
+        };
+        warm_seed.values.swap(0, 1);
+        let seed_cost = warm_seed.cost();
+        for replicas in [1usize, 3] {
+            let mut s = SortState::new(24, 5);
+            let warm_cost = anneal_replicas_warm(
+                &mut s,
+                Some(warm_seed.clone()),
+                &AnnealSchedule::quick(),
+                9,
+                replicas,
+                32,
+                usize::MAX,
+            );
+            assert!(
+                warm_cost <= cold(replicas),
+                "seeded run must never be worse than the cold run at the same seed"
+            );
+            assert!(
+                warm_cost <= seed_cost,
+                "seeded run must never be worse than its seed"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_runs_are_deterministic_and_scheduling_independent() {
+        let run = |work_size| {
+            let mut s = SortState::new(20, 3);
+            let warm = SortState::new(20, 11);
+            let cost = anneal_replicas_warm(
+                &mut s,
+                Some(warm),
+                &AnnealSchedule::quick(),
+                7,
+                3,
+                32,
+                work_size,
+            );
+            (cost, s.values)
+        };
+        assert_eq!(run(usize::MAX), run(0));
+        assert_eq!(run(usize::MAX), run(usize::MAX));
     }
 
     #[test]

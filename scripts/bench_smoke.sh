@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Bench smoke: the perf-trajectory artifact for CI.
 #
-#   ./scripts/bench_smoke.sh [label]      # default label: pr8
+#   ./scripts/bench_smoke.sh [label]      # default label: pr10
 #
-# Six cheap checks that keep the perf tooling honest without a full
+# Seven cheap checks that keep the perf tooling honest without a full
 # criterion run:
 #
 #   1. `CRITERION_QUICK=1 cargo bench` — the vendored criterion's
@@ -25,6 +25,12 @@
 #      at three device scales (10^3, 10^4, 10^5) — the memory-bounded
 #      streaming path, contributing the `estimate.stream.devices_1e*`
 #      throughput metric rows (devices/s, one row per decade).
+#   7. A traced serve ECO loop over a ~97-module generated chip: one
+#      cold incremental estimate fills the memos, then each round edits
+#      a single module and re-estimates. Hard gates: exactly 2
+#      `netlist.resolve` misses per edit (one module x two style
+#      probes), >=95 result-memo hits per warm round, and >=5x
+#      cold/warm wall-time speedup.
 #
 # `perf-report` folds the traces into one BENCH_<label>.json —
 # machine-readable per-stage totals that successive PRs can diff. When a
@@ -35,7 +41,7 @@
 # and review the diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-LABEL="${1:-pr8}"
+LABEL="${1:-pr10}"
 
 # An empty or all-whitespace label would silently produce `BENCH_.json`
 # (or a file named after stray spaces) and break the artifact contract —
@@ -90,6 +96,14 @@ trap 'rm -f "$ESTIMATE_TRACE" "$LAYOUT_TRACE" "$REPLICA_TRACE" "$SERVE_TRACE" "$
 ./target/release/maestro-cli estimate --generate mixed:100k --stream --jobs 4 \
     --trace "$STREAM_TRACE_1E5" > /dev/null
 
+echo "==> serve ECO loop: edit one module of a generated chip, re-estimate"
+ECO_TRACE="$(mktemp -t maestro_trace_XXXXXX.jsonl)"
+ECO_CHIP="$(mktemp -t maestro_eco_XXXXXX.mnl)"
+trap 'rm -f "$ESTIMATE_TRACE" "$LAYOUT_TRACE" "$REPLICA_TRACE" "$SERVE_TRACE" "$SERVE_LOG" \
+    "$STREAM_TRACE" "$STREAM_TRACE_1E4" "$STREAM_TRACE_1E5" "$ECO_TRACE" "$ECO_CHIP"' EXIT
+./target/release/maestro-cli generate datapath:8600 --out "$ECO_CHIP" > /dev/null
+ECO_TRACE="$ECO_TRACE" ECO_CHIP="$ECO_CHIP" python3 scripts/eco_gate.py
+
 GATE=()
 if [[ "$LABEL" != baseline && -f BENCH_baseline.json ]]; then
     echo "==> perf-report -> BENCH_${LABEL}.json (gated against BENCH_baseline.json)"
@@ -99,7 +113,7 @@ else
 fi
 ./target/release/maestro-cli perf-report \
     "$ESTIMATE_TRACE" "$LAYOUT_TRACE" "$REPLICA_TRACE" "$SERVE_TRACE" \
-    "$STREAM_TRACE" "$STREAM_TRACE_1E4" "$STREAM_TRACE_1E5" \
+    "$STREAM_TRACE" "$STREAM_TRACE_1E4" "$STREAM_TRACE_1E5" "$ECO_TRACE" \
     --label "$LABEL" --out "BENCH_${LABEL}.json" ${GATE[@]+"${GATE[@]}"}
 
 echo "==> bench smoke passed"

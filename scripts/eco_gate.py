@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""ECO warm-loop gate for bench_smoke.sh.
+
+Drives a traced `maestro-cli serve` session through an engineering-change
+loop over a generated chip: a cold `"incremental":true` estimate fills
+the session's memos, then each round duplicates one device in one module
+(a single-module netlist edit) and re-estimates the whole chip.
+
+Hard gates, matching the incremental re-estimation contract:
+
+- exactly 2 `netlist.resolve` misses per edited round (the one changed
+  module probed under both layout styles);
+- at least 95 result-memo hits per edited round (every unchanged module
+  served from the memo);
+- warm rounds at least 5x faster than the cold fill (best warm round vs
+  the cold round, so scheduler noise cannot flake the gate).
+
+Inputs come from the environment: ECO_CHIP is the generated `.mnl` chip
+(edited in place, round by round) and ECO_TRACE receives the daemon's
+trace for the perf-report fold.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+WARM_ROUNDS = 3
+MIN_RESULT_HITS = 95
+MIN_SPEEDUP = 5.0
+
+chip_path = os.environ["ECO_CHIP"]
+trace_path = os.environ["ECO_TRACE"]
+
+
+def eco_edit(path, round_no):
+    """Duplicate the chip's first device line under a fresh name."""
+    out, edited = [], False
+    with open(path) as f:
+        for line in f:
+            out.append(line)
+            if not edited and line.startswith("device "):
+                _, _, tail = line.split(" ", 2)
+                out.append(f"device zz_eco{round_no} {tail}")
+                edited = True
+    assert edited, "generated chip has at least one device"
+    with open(path, "w") as f:
+        f.writelines(out)
+
+
+proc = subprocess.Popen(
+    ["./target/release/maestro-cli", "serve", "--trace", trace_path],
+    stdin=subprocess.PIPE,
+    stdout=subprocess.PIPE,
+    text=True,
+)
+
+
+def request(obj):
+    start = time.monotonic()
+    proc.stdin.write(json.dumps(obj) + "\n")
+    proc.stdin.flush()
+    line = proc.stdout.readline()
+    elapsed = time.monotonic() - start
+    response = json.loads(line)
+    assert response.get("ok"), f"serve error: {response}"
+    return response, elapsed
+
+
+def estimate(rid):
+    return {
+        "id": rid,
+        "kind": "estimate",
+        "files": [chip_path],
+        "tech": "nmos",
+        "jobs": 1,
+        "incremental": True,
+    }
+
+
+def stats(rid):
+    response, _ = request({"id": rid, "kind": "cache-stats"})
+    return json.loads(response["payload"])
+
+
+cold_payload, cold_time = request(estimate("cold"))
+before = stats("s0")
+
+warm_times = []
+failures = []
+for round_no in range(1, WARM_ROUNDS + 1):
+    eco_edit(chip_path, round_no)
+    _, warm_time = request(estimate(f"warm{round_no}"))
+    after = stats(f"s{round_no}")
+    warm_times.append(warm_time)
+    resolve_misses = after["resolve"]["misses"] - before["resolve"]["misses"]
+    result_hits = after["results"]["hits"] - before["results"]["hits"]
+    if resolve_misses != 2:
+        failures.append(
+            f"round {round_no}: {resolve_misses} resolve misses, expected 2"
+        )
+    if result_hits < MIN_RESULT_HITS:
+        failures.append(
+            f"round {round_no}: {result_hits} result-memo hits, "
+            f"expected >= {MIN_RESULT_HITS}"
+        )
+    before = after
+
+request({"id": "bye", "kind": "shutdown"})
+proc.wait()
+
+best_warm = min(warm_times)
+speedup = cold_time / best_warm
+print(
+    f"    eco: cold {cold_time * 1e3:.1f} ms, "
+    f"best warm {best_warm * 1e3:.1f} ms, speedup {speedup:.1f}x"
+)
+if speedup < MIN_SPEEDUP:
+    failures.append(
+        f"speedup {speedup:.1f}x below the {MIN_SPEEDUP:.0f}x gate "
+        f"(cold {cold_time * 1e3:.1f} ms, best warm {best_warm * 1e3:.1f} ms)"
+    )
+
+if failures:
+    for failure in failures:
+        print(f"    FAIL {failure}", file=sys.stderr)
+    sys.exit(1)
+print("    eco gates passed")

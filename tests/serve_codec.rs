@@ -29,6 +29,7 @@ fn valid_request(id: &str) -> Request {
             rows: None,
             jobs: 1,
             json: false,
+            incremental: false,
         }),
     }
 }

@@ -41,6 +41,7 @@ fn estimate_request(id: &str, source: &str, json: bool) -> Request {
             rows: None,
             jobs: 1,
             json,
+            incremental: false,
         }),
     }
 }
@@ -220,6 +221,7 @@ fn malformed_requests_never_kill_the_session() {
                     rows: None,
                     jobs: 1,
                     json: false,
+                    incremental: false,
                 }),
             }
             .to_json_line(),
@@ -314,6 +316,7 @@ fn child_process_serve_matches_one_shot_cli_under_concurrent_writers() {
                 rows: None,
                 jobs: 1,
                 json,
+                incremental: false,
             }),
         }
         .to_json_line()
@@ -413,6 +416,7 @@ fn child_process_serve_matches_one_shot_cli_under_concurrent_writers() {
                         tech: "nmos".to_owned(),
                         rows: None,
                         replicas: 1,
+                        warm: false,
                     }),
                 }
                 .to_json_line()

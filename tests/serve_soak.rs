@@ -54,6 +54,7 @@ fn mixed_log(clients: usize, per_client: usize) -> Vec<String> {
                         rows: None,
                         jobs: 1,
                         json: false,
+                        incremental: false,
                     }),
                 },
                 1 => Request {
@@ -65,6 +66,7 @@ fn mixed_log(clients: usize, per_client: usize) -> Vec<String> {
                         rows: Some(3),
                         jobs: 1,
                         json: true,
+                        incremental: false,
                     }),
                 },
                 2 => Request {
@@ -75,6 +77,7 @@ fn mixed_log(clients: usize, per_client: usize) -> Vec<String> {
                         tech: "nmos".to_owned(),
                         rows: None,
                         replicas: 1,
+                        warm: false,
                     }),
                 },
                 3 => Request {

@@ -12,6 +12,7 @@
 
 use std::error::Error as StdError;
 use std::fmt;
+use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize, Value};
 
@@ -146,21 +147,32 @@ fn write_f64(out: &mut String, f: f64) {
 
 fn write_string(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+    // Copy maximal runs needing no escape in one `push_str`: per-char
+    // encoding is the hot spot when serve payloads carry whole `.mnl`
+    // files. Escapable bytes (`"`, `\`, control) are all ASCII, so a run
+    // boundary can never split a multi-byte UTF-8 sequence.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'"' && b != b'\\' && b >= 0x20 {
+            continue;
+        }
+        out.push_str(&s[start..i]);
+        start = i + 1;
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\t' => out.push_str("\\t"),
+            b'\r' => out.push_str("\\r"),
+            0x08 => out.push_str("\\b"),
+            0x0c => out.push_str("\\f"),
+            _ => {
+                let _ = write!(out, "\\u{:04x}", b);
             }
-            c => out.push(c),
         }
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
